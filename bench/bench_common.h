@@ -1,0 +1,95 @@
+// Shared helpers for the reproduction benches. Each bench binary
+// regenerates one table or figure of the paper; the helpers standardize
+// configuration and formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "phy/mode.h"
+#include "stats/metrics.h"
+#include "stats/table.h"
+#include "topo/experiment.h"
+
+namespace hydra::bench {
+
+// The four rates the paper's experiments use (§5).
+inline const std::vector<std::size_t> kPaperModeIndices = {0, 1, 2, 3};
+
+inline std::string rate_label(std::size_t mode_idx) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.2f",
+                phy::mode_by_index(mode_idx).rate.mbps());
+  return buf;
+}
+
+// Builds a TCP experiment at one rate (broadcast rate = unicast rate).
+inline topo::ExperimentConfig tcp_config(topo::Topology topology,
+                                         core::AggregationPolicy policy,
+                                         std::size_t mode_idx,
+                                         std::uint64_t file_bytes = 200'000) {
+  topo::ExperimentConfig cfg;
+  cfg.topology = topology;
+  cfg.policy = policy;
+  cfg.traffic = topo::TrafficKind::kTcp;
+  cfg.tcp_file_bytes = file_bytes;
+  cfg.unicast_mode = phy::mode_by_index(mode_idx);
+  cfg.broadcast_mode = phy::mode_by_index(mode_idx);
+  return cfg;
+}
+
+// Builds a saturating UDP experiment at one rate.
+inline topo::ExperimentConfig udp_config(topo::Topology topology,
+                                         core::AggregationPolicy policy,
+                                         std::size_t mode_idx) {
+  topo::ExperimentConfig cfg;
+  cfg.topology = topology;
+  cfg.policy = policy;
+  cfg.traffic = topo::TrafficKind::kUdp;
+  cfg.unicast_mode = phy::mode_by_index(mode_idx);
+  cfg.broadcast_mode = phy::mode_by_index(mode_idx);
+  cfg.udp_interval = sim::Duration::millis(100);
+  cfg.udp_packets_per_tick = 8;  // saturates every paper rate
+  cfg.udp_duration = sim::Duration::seconds(20);
+  return cfg;
+}
+
+inline void print_header(const char* id, const char* paper_result,
+                         const char* note) {
+  std::printf("== %s — %s ==\n", id, paper_result);
+  if (note && note[0]) std::printf("%s\n", note);
+}
+
+// Number of independent runs each data point is averaged over (the
+// paper's testbed numbers are averages of repeated transfers; DCF
+// collision luck makes single runs noisy).
+inline constexpr int kDefaultRuns = 5;
+
+// Mean of `metric` over `runs` seeds.
+template <typename F>
+double avg_metric(topo::ExperimentConfig cfg, F metric,
+                  int runs = kDefaultRuns) {
+  double sum = 0.0;
+  for (int seed = 1; seed <= runs; ++seed) {
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    sum += metric(topo::run_experiment(cfg));
+  }
+  return sum / runs;
+}
+
+// Mean first-flow (or worst-flow) throughput over `runs` seeds.
+inline double avg_throughput(const topo::ExperimentConfig& cfg,
+                             bool worst_case = false,
+                             int runs = kDefaultRuns) {
+  return avg_metric(
+      cfg,
+      [worst_case](const topo::ExperimentResult& r) {
+        return worst_case ? r.worst_throughput_mbps()
+                          : r.flows[0].throughput_mbps;
+      },
+      runs);
+}
+
+}  // namespace hydra::bench

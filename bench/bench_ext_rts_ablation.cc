@@ -1,0 +1,39 @@
+// Ablation bench: how much of aggregation's win is saved floor
+// acquisitions / control exchange vs saved headers?
+//
+// Related work (§2) contrasts the paper's design with 802.11n
+// bi-directional transfer, which saves floor acquisitions but not
+// headers. Disabling RTS/CTS removes most of the per-transmission
+// control cost, letting us separate the two effects.
+#include "bench_common.h"
+
+using namespace hydra;
+
+int main() {
+  bench::print_header("Ablation: RTS/CTS",
+                      "2-hop TCP with and without the RTS/CTS exchange",
+                      "Gap(NA-UA) with RTS/CTS off isolates header savings.");
+
+  stats::Table table({"Rate (Mbps)", "NA rts", "UA rts", "gain",
+                      "NA no-rts", "UA no-rts", "gain"});
+  for (const auto mode_idx : bench::kPaperModeIndices) {
+    std::vector<std::string> row = {bench::rate_label(mode_idx)};
+    for (const bool use_rts : {true, false}) {
+      double thr[2];
+      int i = 0;
+      for (const auto& policy :
+           {core::AggregationPolicy::na(), core::AggregationPolicy::ua()}) {
+        auto cfg = bench::tcp_config(topo::Topology::kTwoHop, policy,
+                                     mode_idx);
+        cfg.use_rts_cts = use_rts;
+        const double t = bench::avg_throughput(cfg);
+        thr[i++] = t;
+        row.push_back(stats::Table::num(t, 3));
+      }
+      row.push_back(stats::Table::percent((thr[1] - thr[0]) / thr[0]));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

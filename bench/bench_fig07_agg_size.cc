@@ -1,0 +1,45 @@
+// Figure 7: throughput vs maximum aggregation size.
+//
+// Paper: 1-hop UDP with enough queueing that aggregation engages;
+// throughput rises with the size cap and then collapses to ~0 once the
+// aggregate exceeds the channel-coherence limit (~120 Ksamples: 5 KB at
+// 0.65 Mbps, 11 KB at 1.3 Mbps, 15 KB at 1.95 Mbps).
+#include "bench_common.h"
+
+#include "phy/timing.h"
+
+using namespace hydra;
+
+int main() {
+  bench::print_header(
+      "Figure 7", "Throughput vs aggregation size (1-hop UDP)",
+      "Expect a rise, then a cliff to ~0 when the aggregate outlives the\n"
+      "channel coherence time (~120 Ksamples).");
+
+  const std::vector<std::size_t> modes = {0, 1, 2};  // 0.65 / 1.3 / 1.95
+  stats::Table table({"Agg size (KB)", "0.65 Mbps", "1.30 Mbps",
+                      "1.95 Mbps", "Ksamples @1.95"});
+
+  for (std::size_t kb = 1; kb <= 20; ++kb) {
+    std::vector<std::string> row = {std::to_string(kb)};
+    for (const auto mode_idx : modes) {
+      auto cfg = bench::udp_config(topo::Topology::kOneHop,
+                                   core::AggregationPolicy::ua(), mode_idx);
+      cfg.policy.max_aggregate_bytes = kb * 1024;
+      cfg.udp_packets_per_tick = 16;  // deep queue: aggregation engages
+      row.push_back(stats::Table::num(bench::avg_throughput(cfg), 3));
+    }
+    // Sample count of a full aggregate at the highest rate in the row.
+    phy::PortionSpec spec;
+    spec.mode = phy::mode_by_index(2);
+    spec.subframe_bytes.assign(kb * 1024 / 1140, 1140);
+    const auto timing = phy::frame_timing({}, spec);
+    row.push_back(std::to_string(phy::samples_for(timing.total) / 1000));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nPaper thresholds: 5 KB @0.65, 11 KB @1.3, 15 KB @1.95 "
+      "(all ~120 Ksamples).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks of the hot paths (google-benchmark): event scheduler,
+// CRC-32/FCS, wire-format round trips, aggregate assembly, and a full
+// small experiment as an end-to-end figure of merit.
+#include <benchmark/benchmark.h>
+
+#include "core/aggregator.h"
+#include "mac/frames.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "topo/experiment.h"
+#include "util/crc32.h"
+
+namespace {
+
+using namespace hydra;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.schedule_in(sim::Duration::micros(static_cast<std::int64_t>(
+                            (i * 7919) % 100000)),
+                        [&sum, i] { sum += i; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(160)->Arg(1464)->Arg(5120);
+
+mac::MacSubframe make_subframe() {
+  mac::MacSubframe sf;
+  sf.receiver = mac::MacAddress(1);
+  sf.transmitter = mac::MacAddress(2);
+  sf.source = mac::MacAddress(2);
+  sf.sequence = 42;
+  sf.packet = net::make_tcp_packet(net::Ipv4Address::for_node(0),
+                                   net::Ipv4Address::for_node(1), 1, 2, 100,
+                                   200, {.ack = true}, 21712, 1357);
+  return sf;
+}
+
+void BM_SubframeSerialize(benchmark::State& state) {
+  const auto sf = make_subframe();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sf.serialize());
+  }
+}
+BENCHMARK(BM_SubframeSerialize);
+
+void BM_SubframeParse(benchmark::State& state) {
+  const auto bytes = make_subframe().serialize();
+  for (auto _ : state) {
+    BufferReader r(bytes);
+    benchmark::DoNotOptimize(mac::MacSubframe::parse(r));
+  }
+}
+BENCHMARK(BM_SubframeParse);
+
+void BM_AggregatorBuild(benchmark::State& state) {
+  core::Aggregator agg(core::AggregationPolicy::ba());
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::DualQueue q(64);
+    for (int i = 0; i < 4; ++i) {
+      auto sf = make_subframe();
+      q.unicast().push(sf, {});
+      auto ack = make_subframe();
+      ack.packet = net::make_tcp_packet(net::Ipv4Address::for_node(1),
+                                        net::Ipv4Address::for_node(0), 2, 1,
+                                        0, 0, {.ack = true}, 21712, 0);
+      q.broadcast().push(ack, {});
+    }
+    state.ResumeTiming();
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(agg.build(q));
+    }
+  }
+}
+BENCHMARK(BM_AggregatorBuild);
+
+void BM_FullExperimentTcp(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::ExperimentConfig cfg;
+    cfg.topology = topo::Topology::kTwoHop;
+    cfg.policy = core::AggregationPolicy::ba();
+    cfg.tcp_file_bytes = 50'000;
+    benchmark::DoNotOptimize(run_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FullExperimentTcp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Tables 5, 6, 7: relay-node frame size, size overhead and transmission
+// percentage, star topology vs 2-hop linear, for UA and BA.
+//
+// Paper: UA's frame size is nearly identical on both topologies (same-
+// destination-only aggregation gains nothing from the star), while BA's
+// grows from 2727B to 3432B because ACKs to different destinations
+// aggregate at the center.
+#include "bench_common.h"
+
+using namespace hydra;
+
+int main() {
+  bench::print_header("Tables 5-7",
+                      "Relay detail: 2-hop linear vs star (UA, BA)", "");
+
+  constexpr std::size_t kModeIdx = 0;
+
+  const auto run = [&](topo::Topology t, core::AggregationPolicy p) {
+    return run_experiment(bench::tcp_config(t, p, kModeIdx));
+  };
+  const auto ua2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ua());
+  const auto ba2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ba());
+  const auto na2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::na());
+  const auto uas = run(topo::Topology::kStar, core::AggregationPolicy::ua());
+  const auto bas = run(topo::Topology::kStar, core::AggregationPolicy::ba());
+  const auto nas = run(topo::Topology::kStar, core::AggregationPolicy::na());
+
+  std::printf("\nTable 5: relay frame size\n");
+  stats::Table t5({"Scheme", "2-hop", "Star"});
+  t5.add_row({"UA", stats::Table::bytes(ua2.relay_stats().avg_frame_bytes()),
+              stats::Table::bytes(uas.relay_stats().avg_frame_bytes())});
+  t5.add_row({"BA", stats::Table::bytes(ba2.relay_stats().avg_frame_bytes()),
+              stats::Table::bytes(bas.relay_stats().avg_frame_bytes())});
+  t5.print();
+  std::printf("Paper: UA 2662B/2651B;  BA 2727B/3432B.\n");
+
+  std::printf("\nTable 6: relay size overhead\n");
+  const auto& mode = phy::mode_by_index(kModeIdx);
+  stats::Table t6({"Scheme", "2-hop", "Star"});
+  t6.add_row(
+      {"UA",
+       stats::Table::percent(stats::size_overhead(ua2.relay_stats(), mode), 2),
+       stats::Table::percent(stats::size_overhead(uas.relay_stats(), mode),
+                             2)});
+  t6.add_row(
+      {"BA",
+       stats::Table::percent(stats::size_overhead(ba2.relay_stats(), mode), 2),
+       stats::Table::percent(stats::size_overhead(bas.relay_stats(), mode),
+                             2)});
+  t6.print();
+  std::printf("Paper: UA 6.83%%/6.83%%;  BA 6.55%%/5.93%%.\n");
+
+  std::printf("\nTable 7: relay transmissions (%% of NA)\n");
+  stats::Table t7({"Scheme", "2-hop", "Star"});
+  const auto pct = [](const topo::ExperimentResult& r,
+                      const topo::ExperimentResult& na) {
+    return stats::Table::percent(
+        static_cast<double>(r.relay_stats().data_frames_tx) /
+        static_cast<double>(na.relay_stats().data_frames_tx));
+  };
+  t7.add_row({"UA", pct(ua2, na2), pct(uas, nas)});
+  t7.add_row({"BA", pct(ba2, na2), pct(bas, nas)});
+  t7.print();
+  std::printf("Paper: UA 33.7%%/30.7%%;  BA 26.7%%/22.5%%.\n");
+  return 0;
+}

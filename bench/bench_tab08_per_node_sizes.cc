@@ -1,0 +1,41 @@
+// Table 8: average frame size at every node (server, relays, client) for
+// UA and BA over 2-hop and 3-hop topologies.
+//
+// Paper: relay aggregation grows with hop count — the UA-vs-BA frame
+// size difference at the relay is 65B for 2 hops but 154B/446B at the
+// two relays of the 3-hop chain.
+#include "bench_common.h"
+
+using namespace hydra;
+
+int main() {
+  bench::print_header("Table 8", "Frame size at all nodes, 2-hop and 3-hop",
+                      "Node 0 = TCP server (file sender); last = client.");
+
+  constexpr std::size_t kModeIdx = 0;
+  const auto run = [&](topo::Topology t, core::AggregationPolicy p) {
+    return run_experiment(bench::tcp_config(t, p, kModeIdx));
+  };
+
+  const auto ua2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ua());
+  const auto ba2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ba());
+  const auto ua3 =
+      run(topo::Topology::kThreeHop, core::AggregationPolicy::ua());
+  const auto ba3 =
+      run(topo::Topology::kThreeHop, core::AggregationPolicy::ba());
+
+  const auto size = [](const topo::ExperimentResult& r, std::size_t node) {
+    return stats::Table::bytes(r.node_stats[node].avg_frame_bytes());
+  };
+
+  stats::Table table({"Scheme", "Server(2)", "Relay(2)", "Client(2)",
+                      "Server(3)", "Relay1(3)", "Relay2(3)", "Client(3)"});
+  table.add_row({"UA", size(ua2, 0), size(ua2, 1), size(ua2, 2), size(ua3, 0),
+                 size(ua3, 1), size(ua3, 2), size(ua3, 3)});
+  table.add_row({"BA", size(ba2, 0), size(ba2, 1), size(ba2, 2), size(ba3, 0),
+                 size(ba3, 1), size(ba3, 2), size(ba3, 3)});
+  table.print();
+  std::printf("\nPaper UA: 3897 / 2662 / 463 / 3451 / 2384 / 2224 / 443 B\n"
+              "Paper BA: 3488 / 2727 / 447 / 3313 / 2538 / 2670 / 430 B\n");
+  return 0;
+}

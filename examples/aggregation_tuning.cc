@@ -1,0 +1,62 @@
+// Reproduces the paper's §6.1 methodology for picking the maximum
+// aggregation size: sweep the cap, watch throughput rise with
+// amortized overhead and then collapse when aggregates outlive the
+// channel coherence time (~120 Ksamples on this PHY).
+//
+//   $ ./aggregation_tuning [rate_mbps_x100]   (default 65 = 0.65 Mbps)
+#include <cstdio>
+#include <cstdlib>
+
+#include "phy/timing.h"
+#include "topo/experiment.h"
+
+using namespace hydra;
+
+int main(int argc, char** argv) {
+  std::uint64_t rate_x100 = 65;
+  if (argc > 1) rate_x100 = std::strtoull(argv[1], nullptr, 10);
+  const auto mode = phy::mode_for_mbps_x100(rate_x100);
+  if (!mode) {
+    std::fprintf(stderr, "unknown rate; try 65, 130, 195, 260\n");
+    return 1;
+  }
+
+  std::printf("1-hop saturated UDP at %s — sweep max aggregate size\n\n",
+              phy::to_string(*mode).c_str());
+  std::printf("%-10s %-12s %-12s %s\n", "cap (KB)", "thr (Mbps)",
+              "Ksamples", "note");
+
+  double best = 0;
+  std::size_t best_kb = 0;
+  for (std::size_t kb = 1; kb <= 20; ++kb) {
+    topo::ExperimentConfig cfg;
+    cfg.topology = topo::Topology::kOneHop;
+    cfg.policy = core::AggregationPolicy::ua();
+    cfg.policy.max_aggregate_bytes = kb * 1024;
+    cfg.traffic = topo::TrafficKind::kUdp;
+    cfg.unicast_mode = *mode;
+    cfg.udp_packets_per_tick = 16;
+    cfg.udp_duration = sim::Duration::seconds(15);
+    const auto r = run_experiment(cfg);
+
+    // Airtime of a cap-filling aggregate, in baseband samples.
+    const auto airtime = phy::payload_airtime(kb * 1024, *mode) +
+                         phy::default_timings().preamble;
+    const auto ksamples = phy::samples_for(airtime) / 1000;
+
+    const double thr = r.flows[0].throughput_mbps;
+    const char* note = "";
+    if (thr > best) {
+      best = thr;
+      best_kb = kb;
+      note = "<- best so far";
+    } else if (thr < 0.01) {
+      note = "past the coherence cliff";
+    }
+    std::printf("%-10zu %-12.3f %-12lld %s\n", kb, thr,
+                static_cast<long long>(ksamples), note);
+  }
+  std::printf("\nPick %zu KB (the paper settled on 5 KB so every rate stays "
+              "below ~120 Ksamples).\n", best_kb);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Broadcast aggregation under control-plane flooding.
+//
+// Ad-hoc routing protocols (DSR, AODV) flood small broadcast frames for
+// route discovery; each one normally costs a full floor acquisition.
+// With broadcast aggregation they ride along in the broadcast portion of
+// data frames. This example runs a 2-hop UDP flow while every node
+// floods, and shows where the flood frames ended up.
+//
+//   $ ./flooding_mesh [flood_interval_ms]   (default 250)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "app/flood.h"
+#include "app/udp_cbr.h"
+#include "app/udp_sink.h"
+#include "net/node.h"
+#include "phy/medium.h"
+#include "sim/simulation.h"
+
+using namespace hydra;
+
+namespace {
+
+struct RunResult {
+  double goodput_mbps;
+  std::uint64_t flood_frames_sent;
+  std::uint64_t bcast_subframes;
+  std::uint64_t data_frames;
+};
+
+RunResult run(core::AggregationPolicy policy, sim::Duration flood_interval) {
+  sim::Simulation simulation(7);
+  phy::Medium medium(simulation);
+
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    net::NodeConfig nc;
+    nc.position = {2.5 * i, 0};
+    nc.policy = policy;
+    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
+  }
+  // Static 2-hop route 0 -> 1 -> 2, as in the paper.
+  nodes[0]->routes().add_route(net::Ipv4Address::for_node(2),
+                               net::Ipv4Address::for_node(1));
+  nodes[2]->routes().add_route(net::Ipv4Address::for_node(0),
+                               net::Ipv4Address::for_node(1));
+
+  app::UdpSinkApp sink(simulation, *nodes[2], 9001);
+  app::UdpCbrConfig cbr_cfg;
+  cbr_cfg.destination = {net::Ipv4Address::for_node(2), 9001};
+  cbr_cfg.interval = sim::Duration::millis(100);
+  cbr_cfg.packets_per_tick = 8;  // saturate the channel
+  cbr_cfg.stop = sim::TimePoint::at(sim::Duration::seconds(15));
+  app::UdpCbrApp cbr(simulation, *nodes[0], cbr_cfg);
+  cbr.start();
+
+  std::vector<std::unique_ptr<app::FloodApp>> flooders;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    app::FloodConfig fc;
+    fc.interval = flood_interval;
+    fc.initial_offset = sim::Duration::millis(13) * (i + 1);
+    fc.stop = cbr_cfg.stop;
+    flooders.push_back(
+        std::make_unique<app::FloodApp>(simulation, *nodes[i], fc));
+    flooders.back()->start();
+  }
+
+  simulation.run_until(sim::TimePoint::at(sim::Duration::seconds(17)));
+
+  RunResult r{};
+  r.goodput_mbps = sink.goodput_mbps(sim::Duration::seconds(15));
+  for (const auto& f : flooders) r.flood_frames_sent += f->packets_sent();
+  for (const auto& n : nodes) {
+    r.bcast_subframes += n->mac_stats().broadcast_subframes_tx;
+    r.data_frames += n->mac_stats().data_frames_tx;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t interval_ms = 250;
+  if (argc > 1) interval_ms = std::strtoll(argv[1], nullptr, 10);
+  const auto interval = sim::Duration::millis(interval_ms);
+
+  std::printf("2-hop UDP flow + every node flooding every %lld ms\n\n",
+              static_cast<long long>(interval_ms));
+
+  const auto agg = run(core::AggregationPolicy::ba(), interval);
+  const auto na = run(core::AggregationPolicy::na(), interval);
+
+  std::printf("with aggregation:    %.3f Mbps goodput, %llu flood frames "
+              "carried in %llu PHY frames\n",
+              agg.goodput_mbps, (unsigned long long)agg.bcast_subframes,
+              (unsigned long long)agg.data_frames);
+  std::printf("without aggregation: %.3f Mbps goodput, %llu flood frames "
+              "each costing a transmission (%llu PHY frames)\n",
+              na.goodput_mbps, (unsigned long long)na.bcast_subframes,
+              (unsigned long long)na.data_frames);
+  std::printf("\naggregation keeps %.1f%% more goodput under this flood.\n",
+              (agg.goodput_mbps - na.goodput_mbps) / na.goodput_mbps * 100);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's headline scenario: a one-way TCP file transfer across a
+// 2-hop relay, comparing the three MAC configurations.
+//
+//   NA  — plain 802.11 DCF, one frame per transmission
+//   UA  — unicast aggregation (fewer floor acquisitions, shared headers)
+//   BA  — + TCP ACKs reclassified as broadcasts, riding in the broadcast
+//         portion of frames flowing the other way (the contribution)
+//
+//   $ ./tcp_relay_comparison [rate_mbps_x100]   (default 130 = 1.3 Mbps)
+#include <cstdio>
+#include <cstdlib>
+
+#include "stats/metrics.h"
+#include "topo/experiment.h"
+
+using namespace hydra;
+
+int main(int argc, char** argv) {
+  std::uint64_t rate_x100 = 130;
+  if (argc > 1) rate_x100 = std::strtoull(argv[1], nullptr, 10);
+  const auto mode = phy::mode_for_mbps_x100(rate_x100);
+  if (!mode) {
+    std::fprintf(stderr, "unknown rate; try 65, 130, 195, 260, ... 650\n");
+    return 1;
+  }
+
+  std::printf("2-hop TCP, 0.2 MB file, %s\n\n",
+              phy::to_string(*mode).c_str());
+
+  struct Scheme {
+    const char* name;
+    core::AggregationPolicy policy;
+  };
+  const Scheme schemes[] = {
+      {"NA (no aggregation)       ", core::AggregationPolicy::na()},
+      {"UA (unicast aggregation)  ", core::AggregationPolicy::ua()},
+      {"BA (+ broadcast TCP ACKs) ", core::AggregationPolicy::ba()},
+  };
+
+  for (const auto& scheme : schemes) {
+    topo::ExperimentConfig cfg;
+    cfg.topology = topo::Topology::kTwoHop;
+    cfg.policy = scheme.policy;
+    cfg.unicast_mode = *mode;
+    cfg.broadcast_mode = *mode;
+    cfg.tcp_file_bytes = 200'000;
+    const auto result = run_experiment(cfg);
+
+    const auto& relay = result.relay_stats();
+    std::printf(
+        "%s  %.3f Mbps | relay: %4llu frames, avg %4.0f B, "
+        "%4.1f%% time overhead\n",
+        scheme.name, result.flows[0].throughput_mbps,
+        (unsigned long long)relay.data_frames_tx, relay.avg_frame_bytes(),
+        relay.time.overhead_fraction() * 100);
+  }
+
+  std::printf(
+      "\nWatch the relay: aggregation collapses its transmission count and\n"
+      "overhead share; BA additionally folds the returning TCP ACKs into\n"
+      "the data frames it was sending anyway.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Throughput over time: watch a TCP transfer ramp up and drain under
+// each aggregation scheme, rendered as per-second sparklines.
+//
+//   $ ./throughput_timeline
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "app/file_transfer.h"
+#include "net/node.h"
+#include "phy/medium.h"
+#include "sim/simulation.h"
+#include "stats/timeseries.h"
+
+using namespace hydra;
+
+namespace {
+
+struct TimelineRun {
+  std::vector<double> series;
+  double seconds;
+};
+
+TimelineRun run(const core::AggregationPolicy& policy) {
+  sim::Simulation simulation(3);
+  phy::Medium medium(simulation);
+
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    net::NodeConfig nc;
+    nc.position = {2.5 * i, 0};
+    nc.policy = policy;
+    nc.unicast_mode = phy::mode_by_index(1);
+    nc.broadcast_mode = phy::mode_by_index(1);
+    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      nodes[i]->routes().add_route(net::Ipv4Address::for_node(j),
+                                   net::Ipv4Address::for_node(j > i ? i + 1
+                                                                    : i - 1));
+    }
+  }
+
+  constexpr std::uint64_t kFile = 400'000;
+  stats::ThroughputTimeline timeline(sim::Duration::millis(500));
+  app::FileReceiverApp receiver(simulation, *nodes[2], 5001, kFile);
+  // Tap delivered bytes into the timeline via a second receiver hook:
+  // FileReceiverApp already accumulates; sample it per slice instead.
+  app::FileSenderApp sender(simulation, *nodes[0],
+                            {net::Ipv4Address::for_node(2), 5001}, kFile);
+  sender.start();
+
+  std::uint64_t last_total = 0;
+  while (!receiver.all_complete(1) &&
+         simulation.now() < sim::TimePoint::at(sim::Duration::seconds(60))) {
+    simulation.run_for(sim::Duration::millis(500));
+    const auto total = receiver.total_received();
+    timeline.record(simulation.now(), total - last_total);
+    last_total = total;
+  }
+  return {timeline.mbps_series(), simulation.now().seconds_f()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("2-hop TCP, 0.4 MB at 1.3 Mbps — goodput per 500 ms bin\n\n");
+  struct Scheme {
+    const char* name;
+    core::AggregationPolicy policy;
+  };
+  const Scheme schemes[] = {
+      {"NA ", core::AggregationPolicy::na()},
+      {"UA ", core::AggregationPolicy::ua()},
+      {"BA ", core::AggregationPolicy::ba()},
+      {"DBA", core::AggregationPolicy::dba(3)},
+  };
+  for (const auto& scheme : schemes) {
+    const auto r = run(scheme.policy);
+    std::printf("%s  %5.2f s  %s\n", scheme.name, r.seconds,
+                stats::sparkline(r.series).c_str());
+  }
+  std::printf("\nShorter bars-row = earlier completion; bar height = "
+              "instantaneous goodput.\n");
+  return 0;
+}

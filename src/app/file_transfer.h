@@ -1,0 +1,71 @@
+// One-way TCP file transfer (paper §5: a 0.2 Mbyte file, MSS 1357).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.h"
+#include "sim/timer.h"
+#include "transport/tcp.h"
+
+namespace hydra::app {
+
+// Sender: connects and pushes `file_bytes`, then closes.
+class FileSenderApp {
+ public:
+  FileSenderApp(sim::Simulation& simulation, net::Node& node,
+                net::Endpoint destination, std::uint64_t file_bytes,
+                transport::TcpConfig tcp = {});
+
+  // Begins the transfer at `at` (simulation time).
+  void start(sim::TimePoint at = sim::TimePoint::origin());
+
+  bool send_complete() const { return send_complete_; }
+  sim::TimePoint started_at() const { return started_at_; }
+  sim::TimePoint completed_at() const { return completed_at_; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  const transport::TcpConnection* connection() const { return connection_; }
+
+ private:
+  void begin();
+
+  sim::Simulation& sim_;
+  net::Node& node_;
+  net::Endpoint destination_;
+  std::uint64_t file_bytes_;
+  transport::TcpConfig tcp_config_;
+  sim::Timer start_timer_;
+  transport::TcpConnection* connection_ = nullptr;
+  bool send_complete_ = false;
+  sim::TimePoint started_at_;
+  sim::TimePoint completed_at_;
+};
+
+// Receiver: accepts connections on a port and tracks per-flow delivery.
+// `expected_bytes` lets it record the end-to-end completion instant the
+// paper's throughput numbers are based on.
+class FileReceiverApp {
+ public:
+  struct Flow {
+    std::uint64_t received = 0;
+    bool complete = false;
+    sim::TimePoint first_byte;
+    sim::TimePoint completed_at;
+  };
+
+  FileReceiverApp(sim::Simulation& simulation, net::Node& node,
+                  net::Port port, std::uint64_t expected_bytes,
+                  transport::TcpConfig tcp = {});
+
+  std::size_t flow_count() const { return flows_.size(); }
+  const Flow& flow(std::size_t i) const { return flows_.at(i); }
+  std::uint64_t total_received() const;
+  bool all_complete(std::size_t expected_flows) const;
+
+ private:
+  sim::Simulation& sim_;
+  std::uint64_t expected_bytes_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace hydra::app

@@ -1,0 +1,41 @@
+// Broadcast flooding generator: stands in for the route-discovery /
+// maintenance traffic of protocols like DSR and AODV (paper §3.2, §6.3:
+// "each node generated broadcast frames at a fixed rate").
+#pragma once
+
+#include <cstdint>
+
+#include "net/node.h"
+#include "sim/timer.h"
+
+namespace hydra::app {
+
+struct FloodConfig {
+  // Payload sized so the flood MAC frame is the 160 B minimum subframe —
+  // typical of small route-control packets.
+  std::uint32_t payload_bytes = 40;
+  sim::Duration interval = sim::Duration::seconds(1);
+  // First emission offset (staggering nodes avoids synchronized floods).
+  sim::Duration initial_offset = sim::Duration::zero();
+  sim::TimePoint stop = sim::TimePoint::at(sim::Duration::seconds(3600));
+};
+
+class FloodApp {
+ public:
+  FloodApp(sim::Simulation& simulation, net::Node& node, FloodConfig config);
+
+  void start();
+
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void tick();
+
+  sim::Simulation& sim_;
+  net::Node& node_;
+  FloodConfig config_;
+  sim::Timer timer_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace hydra::app

@@ -1,0 +1,83 @@
+// UDP echo (ping): round-trip-time measurement through the stack.
+//
+// Aggregation trades per-frame overhead for queueing/holding delay; the
+// latency extension bench uses this app to quantify the cost (delayed
+// aggregation in particular holds frames back on purpose).
+//
+// One probe is outstanding at a time; a reply or a timeout releases the
+// next one. RTTs are accumulated as min / mean / max.
+#pragma once
+
+#include <cstdint>
+
+#include "net/node.h"
+#include "sim/timer.h"
+
+namespace hydra::app {
+
+// Echoes every datagram back to its sender.
+class PingResponderApp {
+ public:
+  PingResponderApp(net::Node& node, net::Port port);
+
+  std::uint64_t echoed() const { return echoed_; }
+
+ private:
+  transport::UdpSocket& socket_;
+  std::uint64_t echoed_ = 0;
+};
+
+struct PingConfig {
+  net::Endpoint destination;
+  std::uint32_t payload_bytes = 56;
+  sim::Duration interval = sim::Duration::millis(200);
+  sim::Duration timeout = sim::Duration::seconds(2);
+  std::uint64_t count = 0;  // 0 = unlimited
+};
+
+class PingApp {
+ public:
+  PingApp(sim::Simulation& simulation, net::Node& node, PingConfig config,
+          net::Port local_port = 9100);
+
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t received() const { return received_; }
+  std::uint64_t timed_out() const { return timeouts_; }
+  double loss_fraction() const {
+    return sent_ == 0 ? 0.0
+                      : 1.0 - static_cast<double>(received_) /
+                                  static_cast<double>(sent_);
+  }
+  sim::Duration min_rtt() const { return min_rtt_; }
+  sim::Duration max_rtt() const { return max_rtt_; }
+  sim::Duration avg_rtt() const {
+    return received_ == 0
+               ? sim::Duration::zero()
+               : sim::Duration::nanos(total_rtt_ns_ /
+                                      static_cast<std::int64_t>(received_));
+  }
+
+ private:
+  void send_probe();
+  void on_reply();
+  void on_timeout();
+
+  sim::Simulation& sim_;
+  PingConfig config_;
+  transport::UdpSocket& socket_;
+  sim::Timer interval_timer_;
+  sim::Timer timeout_timer_;
+
+  bool awaiting_reply_ = false;
+  sim::TimePoint probe_sent_at_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::int64_t total_rtt_ns_ = 0;
+  sim::Duration min_rtt_ = sim::Duration::infinite();
+  sim::Duration max_rtt_ = sim::Duration::zero();
+};
+
+}  // namespace hydra::app

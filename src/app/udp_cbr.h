@@ -1,0 +1,48 @@
+// Constant-bit-rate UDP source: the paper's "application that simply sent
+// UDP packets at a controllable rate" (§5).
+#pragma once
+
+#include <cstdint>
+
+#include "net/node.h"
+#include "sim/timer.h"
+
+namespace hydra::app {
+
+struct UdpCbrConfig {
+  net::Endpoint destination;
+  // Payload size chosen so the resulting MAC frame is 1140 B (paper §5):
+  // 1048 + 8 (UDP) + 20 (IP) + 64 (MAC header/encap/FCS) = 1140.
+  std::uint32_t payload_bytes = 1048;
+  sim::Duration interval = sim::Duration::millis(100);
+  // Packets generated per tick (bursts create queueing, which makes
+  // aggregation effective — paper §6.1).
+  std::uint32_t packets_per_tick = 1;
+  sim::TimePoint start;
+  sim::TimePoint stop = sim::TimePoint::at(sim::Duration::seconds(30));
+};
+
+class UdpCbrApp {
+ public:
+  UdpCbrApp(sim::Simulation& simulation, net::Node& node, UdpCbrConfig config,
+            net::Port local_port = 9000);
+
+  void start();
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t bytes_sent() const {
+    return sent_ * config_.payload_bytes;
+  }
+  const UdpCbrConfig& config() const { return config_; }
+
+ private:
+  void tick();
+
+  sim::Simulation& sim_;
+  UdpCbrConfig config_;
+  transport::UdpSocket& socket_;
+  sim::Timer timer_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace hydra::app

@@ -1,0 +1,17 @@
+#include "app/udp_sink.h"
+
+namespace hydra::app {
+
+UdpSinkApp::UdpSinkApp(sim::Simulation& simulation, net::Node& node,
+                       net::Port port)
+    : sim_(simulation) {
+  auto& socket = node.transport().open_udp(port);
+  socket.on_receive = [this](const net::Packet& packet) {
+    if (packets_ == 0) first_ = sim_.now();
+    ++packets_;
+    bytes_ += packet.payload_bytes;
+    last_ = sim_.now();
+  };
+}
+
+}  // namespace hydra::app

@@ -1,0 +1,33 @@
+// UDP sink: counts received datagrams and computes goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "net/node.h"
+
+namespace hydra::app {
+
+class UdpSinkApp {
+ public:
+  UdpSinkApp(sim::Simulation& simulation, net::Node& node, net::Port port);
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t payload_bytes() const { return bytes_; }
+  sim::TimePoint first_rx() const { return first_; }
+  sim::TimePoint last_rx() const { return last_; }
+
+  // Application-level goodput over the given measurement window.
+  double goodput_mbps(sim::Duration window) const {
+    if (window.is_zero()) return 0.0;
+    return static_cast<double>(bytes_) * 8.0 / window.seconds_f() / 1e6;
+  }
+
+ private:
+  sim::Simulation& sim_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  sim::TimePoint first_;
+  sim::TimePoint last_;
+};
+
+}  // namespace hydra::app

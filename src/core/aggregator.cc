@@ -1,0 +1,133 @@
+#include "core/aggregator.h"
+
+#include "util/assert.h"
+
+namespace hydra::core {
+
+bool Aggregator::may_transmit(
+    const DualQueue& queues, sim::TimePoint now,
+    std::optional<sim::TimePoint>* holdoff_deadline) const {
+  if (holdoff_deadline) holdoff_deadline->reset();
+  if (queues.empty()) return false;
+  if (policy_.delay_min_subframes == 0) return true;
+  if (queues.total_size() >= policy_.delay_min_subframes) return true;
+
+  // Delayed aggregation: hold until enough subframes or the oldest one
+  // has waited out the safety timeout.
+  const auto oldest = queues.oldest_enqueue();
+  HYDRA_ASSERT(oldest.has_value());
+  const auto deadline = *oldest + policy_.delay_timeout;
+  if (now >= deadline) return true;
+  if (holdoff_deadline) *holdoff_deadline = deadline;
+  return false;
+}
+
+std::int64_t Aggregator::budget_limit() const {
+  if (policy_.airtime_capped()) return policy_.max_aggregate_airtime.ns();
+  return static_cast<std::int64_t>(policy_.max_aggregate_bytes);
+}
+
+std::int64_t Aggregator::subframe_cost(const mac::MacSubframe& sf,
+                                       const phy::PhyMode& mode) const {
+  if (policy_.airtime_capped()) {
+    return phy::payload_airtime(sf.wire_bytes(), mode).ns();
+  }
+  return static_cast<std::int64_t>(sf.wire_bytes());
+}
+
+std::int64_t Aggregator::frame_cost(const mac::AggregateFrame& frame) const {
+  std::int64_t cost = 0;
+  for (const auto& sf : frame.broadcast) {
+    cost += subframe_cost(sf, broadcast_mode_);
+  }
+  for (const auto& sf : frame.unicast) cost += subframe_cost(sf, unicast_mode_);
+  return cost;
+}
+
+void Aggregator::fill_broadcast(DualQueue& queues, mac::AggregateFrame& frame,
+                                std::int64_t reserved_cost) const {
+  if (!policy_.broadcast_aggregation()) return;
+  auto& bq = queues.broadcast();
+  std::int64_t used = frame_cost(frame) + reserved_cost;
+  const std::size_t max_subframes =
+      policy_.forward_aggregation ? SIZE_MAX : 1;
+  while (!bq.empty() && frame.broadcast.size() < max_subframes) {
+    const auto cost = subframe_cost(bq.front()->subframe, broadcast_mode_);
+    const bool first = frame.broadcast.empty() && reserved_cost == 0;
+    if (!first && used + cost > budget_limit()) break;
+    frame.broadcast.push_back(bq.pop().subframe);
+    used += cost;
+  }
+}
+
+mac::AggregateFrame Aggregator::build(DualQueue& queues) const {
+  HYDRA_ASSERT_MSG(!queues.empty(), "build on empty queues");
+  mac::AggregateFrame frame;
+
+  if (!policy_.aggregation_enabled()) {
+    // NA baseline: exactly one subframe per PHY frame. Broadcast-class
+    // traffic is served first (it is sparse control traffic).
+    auto& source = queues.broadcast().empty() ? queues.unicast()
+                                              : queues.broadcast();
+    auto queued = source.pop();
+    if (queued.subframe.receiver.is_broadcast() ||
+        &source == &queues.broadcast()) {
+      frame.broadcast.push_back(std::move(queued.subframe));
+    } else {
+      frame.unicast.push_back(std::move(queued.subframe));
+    }
+    return frame;
+  }
+
+  if (policy_.mode == AggregationMode::kUnicast &&
+      !queues.broadcast().empty()) {
+    // Unicast-only aggregation: broadcast traffic is still sent, but one
+    // frame at a time, exactly as in the NA baseline.
+    frame.broadcast.push_back(queues.broadcast().pop().subframe);
+    return frame;
+  }
+
+  // Broadcast portion first (paper: "the MAC aggregates the broadcast
+  // subframes followed by unicast subframes").
+  fill_broadcast(queues, frame, /*reserved_cost=*/0);
+
+  // Unicast portion: subframes sharing the destination of the queue head.
+  auto& uq = queues.unicast();
+  if (!uq.empty()) {
+    const auto dest = uq.front()->subframe.receiver;
+    std::int64_t used = frame_cost(frame);
+    const std::size_t max_subframes =
+        policy_.forward_aggregation ? SIZE_MAX : 1;
+    while (!uq.empty() && frame.unicast.size() < max_subframes &&
+           uq.front()->subframe.receiver == dest) {
+      const auto cost = subframe_cost(uq.front()->subframe, unicast_mode_);
+      const bool first = frame.empty();
+      if (!first && used + cost > budget_limit()) break;
+      frame.unicast.push_back(uq.pop().subframe);
+      used += cost;
+    }
+  }
+
+  HYDRA_ASSERT(!frame.empty());
+  return frame;
+}
+
+mac::AggregateFrame Aggregator::build_retry(
+    DualQueue& queues,
+    std::span<const mac::MacSubframe> unicast_burst) const {
+  HYDRA_ASSERT(!unicast_burst.empty());
+  mac::AggregateFrame frame;
+  std::int64_t burst_cost = 0;
+  for (const auto& sf : unicast_burst) {
+    burst_cost += subframe_cost(sf, unicast_mode_);
+  }
+
+  fill_broadcast(queues, frame, burst_cost);
+  for (const auto& sf : unicast_burst) {
+    frame.unicast.push_back(sf);
+    frame.unicast.back().retry = true;
+  }
+  return frame;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,75 @@
+// Frame assembly: builds the next aggregate from the dual queues
+// (paper §4.2.3 transmit process).
+//
+// Assembly order follows the paper exactly: broadcast subframes first —
+// they sit closest to the PHY training sequences and are least exposed to
+// channel aging — then unicast subframes that share the destination of
+// the unicast queue head, up to the policy's maximum aggregate size.
+//
+// The size cap is either a byte budget (the paper's 5 KB) or, with the
+// rate-adaptive extension, an airtime budget evaluated against each
+// portion's PHY mode.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/queues.h"
+#include "mac/frames.h"
+#include "phy/mode.h"
+#include "phy/timing.h"
+
+namespace hydra::core {
+
+class Aggregator {
+ public:
+  explicit Aggregator(AggregationPolicy policy) : policy_(policy) {}
+
+  const AggregationPolicy& policy() const { return policy_; }
+  AggregationPolicy& policy() { return policy_; }
+
+  // The PHY modes of the two portions; required for airtime-capped
+  // policies (kept current by the MAC when its rates change).
+  void set_modes(const phy::PhyMode& broadcast_mode,
+                 const phy::PhyMode& unicast_mode) {
+    broadcast_mode_ = broadcast_mode;
+    unicast_mode_ = unicast_mode;
+  }
+
+  // Whether the MAC may contend for the floor now. False only while the
+  // delayed-aggregation policy is holding out for more subframes; in that
+  // case `holdoff_deadline` is set to when the hold expires.
+  bool may_transmit(const DualQueue& queues, sim::TimePoint now,
+                    std::optional<sim::TimePoint>* holdoff_deadline) const;
+
+  // Builds the next aggregate, consuming broadcast-queue entries and
+  // popping the unicast subframes it includes. At least one subframe is
+  // always produced if any queue is non-empty (a lone oversized subframe
+  // still goes out).
+  mac::AggregateFrame build(DualQueue& queues) const;
+
+  // Rebuilds a retransmission: the unicast burst is fixed (802.11 retry
+  // semantics), but freshly queued broadcast subframes may still ride
+  // along when broadcast aggregation is on.
+  mac::AggregateFrame build_retry(
+      DualQueue& queues, std::span<const mac::MacSubframe> unicast_burst)
+      const;
+
+ private:
+  // Budget bookkeeping in the policy's units (bytes or airtime ns).
+  std::int64_t budget_limit() const;
+  std::int64_t subframe_cost(const mac::MacSubframe& sf,
+                             const phy::PhyMode& mode) const;
+  std::int64_t frame_cost(const mac::AggregateFrame& frame) const;
+
+  void fill_broadcast(DualQueue& queues, mac::AggregateFrame& frame,
+                      std::int64_t reserved_cost) const;
+
+  AggregationPolicy policy_;
+  phy::PhyMode broadcast_mode_ = phy::base_mode();
+  phy::PhyMode unicast_mode_ = phy::base_mode();
+};
+
+}  // namespace hydra::core

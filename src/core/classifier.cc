@@ -1,0 +1,16 @@
+#include "core/classifier.h"
+
+namespace hydra::core {
+
+TrafficClass TcpAckClassifier::classify(const net::Packet& packet,
+                                        bool link_broadcast) const {
+  ++packets_seen_;
+  if (link_broadcast) return TrafficClass::kBroadcast;
+  if (tcp_ack_as_broadcast_ && packet.is_pure_tcp_ack()) {
+    ++acks_classified_;
+    return TrafficClass::kTcpAck;
+  }
+  return TrafficClass::kUnicast;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,94 @@
+// Aggregation policy: the knobs the paper evaluates.
+//
+// The paper's configurations map to policies as follows:
+//   NA  (no aggregation)        -> AggregationPolicy::na()
+//   UA  (unicast aggregation)   -> AggregationPolicy::ua()
+//   BA  (broadcast aggregation
+//        + TCP ACKs broadcast)  -> AggregationPolicy::ba()
+//   DBA (delayed BA, 3 frames)  -> AggregationPolicy::dba()
+//   Fig 14's "BA without forward aggregation"
+//                               -> ba() with forward_aggregation = false
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace hydra::core {
+
+enum class AggregationMode {
+  kNone,       // one subframe per PHY frame (the 802.11 baseline)
+  kUnicast,    // aggregate subframes to the same receiver (paper §3.1)
+  kBroadcast,  // + prepend broadcast subframes (paper §3.2)
+};
+
+struct AggregationPolicy {
+  AggregationMode mode = AggregationMode::kBroadcast;
+
+  // Maximum MAC bytes per aggregate (headers + FCS + padding included).
+  // The paper selects 5 KB (§6.1) so every rate stays below the
+  // ~120 Ksample channel-coherence limit.
+  std::size_t max_aggregate_bytes = 5 * 1024;
+
+  // Extension (paper §6.1 future work: "changing the aggregation size as
+  // a function of rate"). When set, the aggregate is capped by *airtime*
+  // rather than bytes, so faster rates fit proportionally more data under
+  // the same channel-coherence budget. Zero disables (byte cap applies).
+  sim::Duration max_aggregate_airtime = sim::Duration::zero();
+
+  bool airtime_capped() const { return !max_aggregate_airtime.is_zero(); }
+
+  // Classify pure TCP ACKs as link-layer broadcasts (paper §3.3). Only
+  // effective in kBroadcast mode.
+  bool tcp_ack_as_broadcast = true;
+
+  // Forward aggregation: combining multiple subframes travelling the same
+  // direction. Disabling it (paper §6.4.4) limits each portion to a
+  // single subframe, isolating the benefit of backward (data+ACK)
+  // aggregation.
+  bool forward_aggregation = true;
+
+  // Delayed aggregation (paper §6.4.3): hold transmission until at least
+  // this many subframes are queued. 0 disables. The paper does not
+  // specify a safety valve; `delay_timeout` bounds the wait so a draining
+  // flow cannot deadlock. It is kept shorter than a data frame's airtime
+  // so a stalled hold costs less than one transmission.
+  unsigned delay_min_subframes = 0;
+  sim::Duration delay_timeout = sim::Duration::millis(10);
+
+  // Extension (paper §7 future work): block ACK. The receiver accepts
+  // correct unicast subframes individually and reports a bitmap; only
+  // failed subframes are retransmitted.
+  bool block_ack = false;
+
+  bool aggregation_enabled() const { return mode != AggregationMode::kNone; }
+  bool broadcast_aggregation() const {
+    return mode == AggregationMode::kBroadcast;
+  }
+
+  static AggregationPolicy na() {
+    AggregationPolicy p;
+    p.mode = AggregationMode::kNone;
+    p.tcp_ack_as_broadcast = false;
+    return p;
+  }
+  static AggregationPolicy ua() {
+    AggregationPolicy p;
+    p.mode = AggregationMode::kUnicast;
+    p.tcp_ack_as_broadcast = false;
+    return p;
+  }
+  static AggregationPolicy ba() {
+    AggregationPolicy p;
+    p.mode = AggregationMode::kBroadcast;
+    p.tcp_ack_as_broadcast = true;
+    return p;
+  }
+  static AggregationPolicy dba(unsigned min_subframes = 3) {
+    AggregationPolicy p = ba();
+    p.delay_min_subframes = min_subframes;
+    return p;
+  }
+};
+
+}  // namespace hydra::core

@@ -1,0 +1,32 @@
+#include "core/queues.h"
+
+#include "util/assert.h"
+
+namespace hydra::core {
+
+bool SubframeQueue::push(mac::MacSubframe subframe, sim::TimePoint now) {
+  if (q_.size() >= limit_) {
+    ++drops_;
+    return false;
+  }
+  q_.push_back(QueuedSubframe{std::move(subframe), now});
+  return true;
+}
+
+QueuedSubframe SubframeQueue::pop() {
+  HYDRA_ASSERT(!q_.empty());
+  QueuedSubframe out = std::move(q_.front());
+  q_.pop_front();
+  return out;
+}
+
+std::optional<sim::TimePoint> DualQueue::oldest_enqueue() const {
+  std::optional<sim::TimePoint> oldest;
+  if (const auto* b = broadcast_.front()) oldest = b->enqueued;
+  if (const auto* u = unicast_.front()) {
+    if (!oldest || u->enqueued < *oldest) oldest = u->enqueued;
+  }
+  return oldest;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,201 @@
+#include "mac/frames.h"
+
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/crc32.h"
+
+namespace hydra::mac {
+namespace {
+
+// Frame control encoding: low 2 bits = type, bit 2 = retry.
+std::uint16_t frame_control(FrameType type, bool retry) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(type) |
+                                    (retry ? 0x04 : 0x00));
+}
+
+void write_mac_address(BufferWriter& w, MacAddress a) {
+  // 6-byte wire format; the simulation uses the low 2 bytes.
+  w.write_u32(0);
+  w.write_u16(a.value());
+}
+
+MacAddress read_mac_address(BufferReader& r) {
+  r.skip(4);
+  return MacAddress(r.read_u16());
+}
+
+}  // namespace
+
+Bytes MacSubframe::serialize() const {
+  BufferWriter w(wire_bytes());
+  w.write_u16(frame_control(type, retry));
+  w.write_u16(duration_units);
+  write_mac_address(w, receiver);
+  write_mac_address(w, transmitter);
+  write_mac_address(w, source);
+  w.write_u16(sequence);
+  const auto pkt_bytes = packet_bytes();
+  w.write_u16(static_cast<std::uint16_t>(kEncapBytes + pkt_bytes));
+  w.write_zeros(kEncapBytes);
+  if (packet) w.write_bytes(packet->serialize());
+  // FCS covers header + payload.
+  const auto fcs = crc32(w.view());
+  w.write_u32(fcs);
+  const auto total = wire_bytes();
+  HYDRA_ASSERT(w.size() <= total);
+  w.write_zeros(total - w.size());
+  return w.take();
+}
+
+std::optional<MacSubframe> MacSubframe::parse(BufferReader& r) {
+  if (!r.can_read(kMacHeaderBytes)) return std::nullopt;
+  const auto start = r.position();
+  MacSubframe sf;
+  const auto fc = r.read_u16();
+  if ((fc & 0x03) != static_cast<std::uint16_t>(FrameType::kData)) {
+    return std::nullopt;
+  }
+  sf.retry = (fc & 0x04) != 0;
+  sf.duration_units = r.read_u16();
+  sf.receiver = read_mac_address(r);
+  sf.transmitter = read_mac_address(r);
+  sf.source = read_mac_address(r);
+  sf.sequence = r.read_u16();
+  const auto payload_len = r.read_u16();
+  if (payload_len < kEncapBytes) return std::nullopt;
+  if (!r.can_read(payload_len + kFcsBytes)) return std::nullopt;
+  r.skip(kEncapBytes);
+
+  const std::size_t pkt_bytes = payload_len - kEncapBytes;
+  if (pkt_bytes > 0) {
+    const auto pkt_start = r.position();
+    auto parsed = net::Packet::parse(r);
+    if (!parsed) return std::nullopt;
+    if (r.position() - pkt_start != pkt_bytes) return std::nullopt;
+    sf.packet = std::make_shared<const net::Packet>(*parsed);
+  }
+
+  // Verify the FCS over header + payload, exactly the span serialize()
+  // covered.
+  const auto covered = r.position() - start;
+  const auto fcs = r.read_u32();
+  if (fcs != crc32(r.slice(start, covered))) return std::nullopt;
+
+  // Consume padding up to the wire size.
+  const auto total = subframe_wire_bytes(pkt_bytes);
+  const auto consumed = r.position() - start;
+  if (consumed > total || !r.can_read(total - consumed)) return std::nullopt;
+  r.skip(total - consumed);
+  return sf;
+}
+
+std::size_t ControlFrame::wire_bytes() const {
+  switch (type) {
+    case FrameType::kRts: return kRtsBytes;
+    case FrameType::kCts: return kCtsBytes;
+    case FrameType::kAck: return has_block_ack ? kBlockAckBytes : kAckBytes;
+    case FrameType::kData: break;
+  }
+  HYDRA_UNREACHABLE("data is not a control frame");
+}
+
+Bytes ControlFrame::serialize() const {
+  BufferWriter w(wire_bytes());
+  w.write_u16(frame_control(type, false));
+  w.write_u16(duration_units);
+  write_mac_address(w, receiver);
+  if (type == FrameType::kRts) {
+    write_mac_address(w, transmitter);
+  }
+  if (type == FrameType::kAck && has_block_ack) {
+    w.write_u64(block_ack_bitmap);
+  }
+  // FCS over the body.
+  const auto fcs = crc32(w.view());
+  w.write_u32(fcs);
+  HYDRA_ASSERT(w.size() == wire_bytes());
+  return w.take();
+}
+
+std::optional<ControlFrame> ControlFrame::parse(BufferReader& r) {
+  if (!r.can_read(4)) return std::nullopt;
+  const auto start = r.position();
+  ControlFrame f;
+  const auto fc = r.read_u16();
+  f.type = static_cast<FrameType>(fc & 0x03);
+  if (f.type == FrameType::kData) return std::nullopt;
+  f.duration_units = r.read_u16();
+  if (!r.can_read(6)) return std::nullopt;
+  f.receiver = read_mac_address(r);
+  if (f.type == FrameType::kRts) {
+    if (!r.can_read(6)) return std::nullopt;
+    f.transmitter = read_mac_address(r);
+  }
+  // Distinguish plain ACK from block-ACK by remaining length.
+  if (f.type == FrameType::kAck && r.remaining() >= 12) {
+    f.has_block_ack = true;
+    f.block_ack_bitmap = r.read_u64();
+  }
+  if (!r.can_read(kFcsBytes)) return std::nullopt;
+  const auto covered = r.position() - start;
+  const auto fcs = r.read_u32();
+  if (fcs != crc32(r.slice(start, covered))) return std::nullopt;
+  return f;
+}
+
+MacAddress AggregateFrame::unicast_receiver() const {
+  HYDRA_ASSERT(has_unicast());
+  return unicast.front().receiver;
+}
+
+std::size_t AggregateFrame::total_wire_bytes() const {
+  const auto sum = [](std::size_t acc, const MacSubframe& sf) {
+    return acc + sf.wire_bytes();
+  };
+  return std::accumulate(broadcast.begin(), broadcast.end(), std::size_t{0},
+                         sum) +
+         std::accumulate(unicast.begin(), unicast.end(), std::size_t{0}, sum);
+}
+
+std::shared_ptr<const MacPdu> MacPdu::make_control(ControlFrame frame,
+                                                   MacAddress transmitter) {
+  auto pdu = std::make_shared<MacPdu>();
+  pdu->kind = Kind::kControl;
+  pdu->control = frame;
+  pdu->transmitter = transmitter;
+  return pdu;
+}
+
+std::shared_ptr<const MacPdu> MacPdu::make_aggregate(AggregateFrame frame,
+                                                     MacAddress transmitter) {
+  auto pdu = std::make_shared<MacPdu>();
+  pdu->kind = Kind::kAggregate;
+  pdu->aggregate = std::move(frame);
+  pdu->transmitter = transmitter;
+  return pdu;
+}
+
+phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
+                           const phy::PhyMode& bcast_mode,
+                           const phy::PhyMode& ucast_mode) {
+  HYDRA_ASSERT(pdu != nullptr);
+  phy::PhyFrame frame;
+  frame.payload = pdu;
+  if (pdu->kind == MacPdu::Kind::kControl) {
+    frame.unicast.mode = phy::base_mode();
+    frame.unicast.subframe_bytes.push_back(pdu->control.wire_bytes());
+    return frame;
+  }
+  frame.broadcast.mode = bcast_mode;
+  for (const auto& sf : pdu->aggregate.broadcast) {
+    frame.broadcast.subframe_bytes.push_back(sf.wire_bytes());
+  }
+  frame.unicast.mode = ucast_mode;
+  for (const auto& sf : pdu->aggregate.unicast) {
+    frame.unicast.subframe_bytes.push_back(sf.wire_bytes());
+  }
+  return frame;
+}
+
+}  // namespace hydra::mac

@@ -1,0 +1,139 @@
+// MAC wire formats: the subframe layout of the paper's Fig. 4, control
+// frames, and the aggregate (Fig. 1 / Fig. 2 payload carried by the PHY).
+//
+// Subframe layout on the wire:
+//
+//   | frame control (2) | duration (2) | addr1 (6) | addr2 (6) | addr3 (6)
+//   | sequence control (2) | length (2) | encapsulation (34)
+//   | L3 packet (length bytes) | FCS (4)
+//   | PAD (to 4-byte boundary, minimum subframe 160 bytes) |
+//
+// The 34-byte encapsulation block and the 160-byte minimum are calibrated
+// to the frame sizes the paper reports: a 1357-byte TCP MSS yields a
+// 1464-byte MAC frame, a pure TCP ACK a 160-byte frame, and the UDP
+// workload 1140-byte frames (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/address.h"
+#include "net/packet.h"
+#include "phy/frame.h"
+
+namespace hydra::mac {
+
+enum class FrameType : std::uint8_t { kData = 0, kRts = 1, kCts = 2, kAck = 3 };
+
+// Fixed wire-size constants (bytes).
+inline constexpr std::size_t kMacHeaderBytes = 26;  // FC+dur+3 addr+seq+len
+inline constexpr std::size_t kFcsBytes = 4;
+inline constexpr std::size_t kEncapBytes = 34;  // LLC + prototype shim
+inline constexpr std::size_t kMinSubframeBytes = 160;
+inline constexpr std::size_t kSubframeAlign = 4;
+inline constexpr std::size_t kRtsBytes = 20;
+inline constexpr std::size_t kCtsBytes = 14;
+inline constexpr std::size_t kAckBytes = 14;
+// Block-ACK response (extension): ACK + 8-byte subframe bitmap.
+inline constexpr std::size_t kBlockAckBytes = 22;
+
+// Wire size of a data subframe carrying `packet_bytes` of L3 packet.
+constexpr std::size_t subframe_wire_bytes(std::size_t packet_bytes) {
+  const std::size_t raw =
+      kMacHeaderBytes + kEncapBytes + packet_bytes + kFcsBytes;
+  const std::size_t padded = raw < kMinSubframeBytes ? kMinSubframeBytes : raw;
+  return (padded + kSubframeAlign - 1) / kSubframeAlign * kSubframeAlign;
+}
+
+// Duration field: microseconds of medium reservation remaining after this
+// frame, in units of 8 us (16-bit field covers the longest aggregates).
+constexpr std::uint16_t encode_duration_us(std::int64_t us) {
+  const std::int64_t units = (us + 7) / 8;
+  return units > 0xffff ? 0xffff : static_cast<std::uint16_t>(units);
+}
+constexpr std::int64_t decode_duration_us(std::uint16_t units) {
+  return std::int64_t{units} * 8;
+}
+
+// One MAC subframe: header fields + the L3 packet it carries.
+struct MacSubframe {
+  FrameType type = FrameType::kData;
+  bool retry = false;
+  std::uint16_t duration_units = 0;  // encode_duration_us
+  MacAddress receiver;      // addr1: link-layer next hop
+  MacAddress transmitter;   // addr2: link-layer sender
+  MacAddress source;        // addr3: originating node
+  // Per-transmitter sequence number; retransmissions keep it, so the
+  // receiver can suppress duplicates after a lost link-level ACK.
+  std::uint16_t sequence = 0;
+  net::PacketPtr packet;
+
+  std::size_t packet_bytes() const { return packet ? packet->wire_size() : 0; }
+  std::size_t wire_bytes() const { return subframe_wire_bytes(packet_bytes()); }
+
+  // Serializes the subframe, including a correct FCS and padding.
+  Bytes serialize() const;
+  // Parses one subframe; returns nullopt on truncation, malformed header
+  // or FCS mismatch. Consumes exactly wire_bytes() on success.
+  static std::optional<MacSubframe> parse(BufferReader& r);
+};
+
+// RTS / CTS / ACK / Block-ACK.
+struct ControlFrame {
+  FrameType type = FrameType::kAck;
+  MacAddress receiver;
+  MacAddress transmitter;  // absent on wire for CTS/ACK; kept for tracing
+  std::uint16_t duration_units = 0;
+  // Extension (paper §7 future work): per-subframe ACK bitmap. Bit i set
+  // means unicast subframe i was received correctly. Only meaningful when
+  // type == kAck and the block-ACK scheme is enabled.
+  std::uint64_t block_ack_bitmap = 0;
+  bool has_block_ack = false;
+
+  std::size_t wire_bytes() const;
+  Bytes serialize() const;
+  static std::optional<ControlFrame> parse(BufferReader& r);
+};
+
+// The aggregate handed to the PHY: broadcast subframes first, then unicast
+// subframes all addressed to one receiver (paper Fig. 2).
+struct AggregateFrame {
+  std::vector<MacSubframe> broadcast;
+  std::vector<MacSubframe> unicast;
+
+  bool has_unicast() const { return !unicast.empty(); }
+  bool empty() const { return broadcast.empty() && unicast.empty(); }
+  std::size_t subframe_count() const {
+    return broadcast.size() + unicast.size();
+  }
+  // Receiver of the unicast portion (asserts has_unicast()).
+  MacAddress unicast_receiver() const;
+  // Total MAC bytes (all subframes with headers, FCS and padding).
+  std::size_t total_wire_bytes() const;
+};
+
+// What travels through the PHY: either a control frame or an aggregate.
+struct MacPdu final : phy::Payload {
+  enum class Kind { kControl, kAggregate };
+  Kind kind = Kind::kControl;
+  ControlFrame control;
+  AggregateFrame aggregate;
+  MacAddress transmitter;
+
+  static std::shared_ptr<const MacPdu> make_control(ControlFrame frame,
+                                                    MacAddress transmitter);
+  static std::shared_ptr<const MacPdu> make_aggregate(AggregateFrame frame,
+                                                      MacAddress transmitter);
+};
+
+// Builds the PHY frame (portion specs + payload pointer) for a PDU.
+// Control frames always use the base mode. `bcast_mode`/`ucast_mode`
+// select the rates of the two aggregate portions (paper Fig. 2 allows
+// them to differ).
+phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
+                           const phy::PhyMode& bcast_mode,
+                           const phy::PhyMode& ucast_mode);
+
+}  // namespace hydra::mac

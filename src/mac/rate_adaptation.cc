@@ -1,0 +1,72 @@
+#include "mac/rate_adaptation.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace hydra::mac {
+
+ArfAdapter::ArfAdapter(ArfConfig config, std::size_t initial_index)
+    : config_(config), index_(initial_index) {
+  HYDRA_ASSERT(config.min_index <= config.max_index);
+  HYDRA_ASSERT(config.max_index < phy::hydra_modes().size());
+  index_ = std::clamp(index_, config_.min_index, config_.max_index);
+}
+
+void ArfAdapter::on_tx_result(bool success) {
+  if (success) {
+    probing_ = false;
+    failures_ = 0;
+    if (++successes_ >= config_.success_threshold &&
+        index_ < config_.max_index) {
+      ++index_;
+      ++raises_;
+      successes_ = 0;
+      probing_ = true;  // next failure falls back immediately
+    }
+    return;
+  }
+  successes_ = 0;
+  ++failures_;
+  const bool fall = probing_ || failures_ >= config_.failure_threshold;
+  probing_ = false;
+  if (fall && index_ > config_.min_index) {
+    --index_;
+    ++falls_;
+    failures_ = 0;
+  }
+}
+
+SnrAdapter::SnrAdapter(SnrConfig config, std::size_t initial_index)
+    : config_(config), index_(initial_index) {
+  HYDRA_ASSERT(config.min_index <= config.max_index);
+  HYDRA_ASSERT(config.max_index < phy::hydra_modes().size());
+  index_ = std::clamp(index_, config_.min_index, config_.max_index);
+}
+
+void SnrAdapter::on_feedback_snr(double snr_db) {
+  last_snr_db_ = snr_db;
+  // Fastest mode whose required SNR clears the feedback by the margin.
+  std::size_t best = config_.min_index;
+  for (std::size_t i = config_.min_index; i <= config_.max_index; ++i) {
+    if (phy::mode_by_index(i).required_snr_db + config_.margin_db <= snr_db) {
+      best = i;
+    }
+  }
+  index_ = best;
+}
+
+std::unique_ptr<RateAdapter> make_rate_adapter(RateAdaptationScheme scheme,
+                                               std::size_t initial_index) {
+  switch (scheme) {
+    case RateAdaptationScheme::kNone:
+      return nullptr;
+    case RateAdaptationScheme::kArf:
+      return std::make_unique<ArfAdapter>(ArfConfig{}, initial_index);
+    case RateAdaptationScheme::kSnr:
+      return std::make_unique<SnrAdapter>(SnrConfig{}, initial_index);
+  }
+  HYDRA_UNREACHABLE("bad rate adaptation scheme");
+}
+
+}  // namespace hydra::mac

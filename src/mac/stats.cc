@@ -1,0 +1,5 @@
+#include "mac/stats.h"
+
+// Currently header-only accounting; this translation unit anchors the
+// library and reserves a home for future stats serialization.
+namespace hydra::mac {}  // namespace hydra::mac

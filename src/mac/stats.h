@@ -1,0 +1,76 @@
+// Per-node MAC statistics: every quantity in the paper's Tables 2–8.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hydra::mac {
+
+// Time spent by this node's transfers, split into the categories the
+// paper's Table 4 sums into "overhead": everything except payload bits.
+struct TimeAccounting {
+  sim::Duration payload;     // L3 packet bits inside data subframes
+  sim::Duration mac_header;  // subframe headers, encapsulation, FCS, pad
+  sim::Duration phy_header;  // preamble/PLCP of data frames
+  sim::Duration control;     // RTS/CTS/ACK airtime incl. their preambles
+  sim::Duration ifs;         // DIFS + SIFS gaps of this node's sequences
+  sim::Duration backoff;     // contention slots actually waited
+
+  sim::Duration overhead() const {
+    return mac_header + phy_header + control + ifs + backoff;
+  }
+  sim::Duration total() const { return overhead() + payload; }
+  // Fraction of transfer time that is overhead (Table 4).
+  double overhead_fraction() const {
+    const auto t = total();
+    return t.is_zero() ? 0.0 : overhead() / t;
+  }
+};
+
+struct MacStats {
+  // --- transmit side ---
+  std::uint64_t data_frames_tx = 0;      // data-bearing PHY frames
+  std::uint64_t broadcast_subframes_tx = 0;
+  std::uint64_t unicast_subframes_tx = 0;
+  std::uint64_t data_bytes_tx = 0;       // MAC bytes of those frames
+  std::uint64_t mac_header_bytes_tx = 0; // header+encap+FCS+pad share
+  std::uint64_t rts_tx = 0;
+  std::uint64_t cts_tx = 0;
+  std::uint64_t ack_tx = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retry_drops = 0;   // unicast bursts dropped at retry limit
+  std::uint64_t queue_drops = 0;   // enqueue rejected, queue full
+
+  // --- receive side ---
+  std::uint64_t delivered_up = 0;       // subframes handed to L3
+  std::uint64_t dropped_not_for_us = 0; // unicast-addressed bcast subframes
+  std::uint64_t crc_failures = 0;       // subframes with bad FCS
+  std::uint64_t aggregate_discards = 0; // unicast portions discarded whole
+  std::uint64_t duplicates_suppressed = 0;  // retransmissions filtered
+  std::uint64_t acks_rx = 0;
+  std::uint64_t collisions = 0;
+
+  TimeAccounting time;
+
+  std::uint64_t subframes_tx() const {
+    return broadcast_subframes_tx + unicast_subframes_tx;
+  }
+  // Average MAC frame size (paper Tables 3, 5, 8).
+  double avg_frame_bytes() const {
+    return data_frames_tx == 0
+               ? 0.0
+               : static_cast<double>(data_bytes_tx) /
+                     static_cast<double>(data_frames_tx);
+  }
+  // Header bytes / total bytes (paper Tables 3 and 6), MAC portion. The
+  // experiment layer adds the PHY-header byte equivalent.
+  double mac_size_overhead() const {
+    return data_bytes_tx == 0
+               ? 0.0
+               : static_cast<double>(mac_header_bytes_tx) /
+                     static_cast<double>(data_bytes_tx);
+  }
+};
+
+}  // namespace hydra::mac

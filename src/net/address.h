@@ -1,0 +1,50 @@
+// Network-layer addressing: IPv4-style addresses and ports.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hydra::net {
+
+// 32-bit IPv4-style address. Strongly typed; value 0 is "unspecified".
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | d);
+  }
+  // Address of the simulated node with the given index: 10.0.0.(index+1).
+  constexpr static Ipv4Address for_node(std::uint32_t node_index) {
+    return from_octets(10, 0, 0, static_cast<std::uint8_t>(node_index + 1));
+  }
+  constexpr static Ipv4Address broadcast() {
+    return Ipv4Address(0xffffffffu);
+  }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_broadcast() const { return value_ == 0xffffffffu; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::string to_string(Ipv4Address addr);
+
+using Port = std::uint16_t;
+
+// (address, port) pair identifying a transport endpoint.
+struct Endpoint {
+  Ipv4Address address;
+  Port port = 0;
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) =
+      default;
+};
+
+}  // namespace hydra::net

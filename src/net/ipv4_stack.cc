@@ -1,0 +1,62 @@
+#include "net/ipv4_stack.h"
+
+#include "util/assert.h"
+
+namespace hydra::net {
+
+Ipv4Stack::Ipv4Stack(Ipv4Address self, mac::Mac& mac, RoutingTable& routes)
+    : self_(self), mac_(mac), routes_(routes) {
+  mac_.on_deliver = [this](PacketPtr packet, mac::MacAddress transmitter) {
+    on_mac_deliver(std::move(packet), transmitter);
+  };
+}
+
+void Ipv4Stack::transmit(const PacketPtr& packet) {
+  const auto next_hop = routes_.next_hop(packet->ip.dst);
+  mac_.enqueue(packet, mac_for(next_hop), mac_for(packet->ip.src));
+}
+
+void Ipv4Stack::send(PacketPtr packet) {
+  HYDRA_ASSERT(packet != nullptr);
+  transmit(packet);
+}
+
+void Ipv4Stack::register_protocol(std::uint8_t protocol,
+                                  ProtocolHandler handler) {
+  HYDRA_ASSERT(handler != nullptr);
+  protocol_handlers_[protocol] = std::move(handler);
+}
+
+void Ipv4Stack::on_mac_deliver(PacketPtr packet,
+                               mac::MacAddress transmitter) {
+  HYDRA_ASSERT(packet != nullptr);
+  const bool local =
+      packet->ip.dst.is_broadcast() || packet->ip.dst == self_;
+  if (local) {
+    if (const auto it = protocol_handlers_.find(packet->ip.protocol);
+        it != protocol_handlers_.end()) {
+      it->second(packet, transmitter);
+      return;
+    }
+  }
+  if (packet->ip.dst.is_broadcast()) {
+    if (on_broadcast) on_broadcast(packet);
+    return;
+  }
+  if (packet->ip.dst == self_) {
+    if (deliver_local) deliver_local(packet);
+    return;
+  }
+  // Forward: decrement TTL and re-route.
+  if (packet->ip.ttl <= 1) {
+    ++ttl_drops_;
+    return;
+  }
+  if (on_forward) on_forward(packet, transmitter);
+  auto copy = std::make_shared<Packet>(*packet);
+  copy->ip.ttl -= 1;
+  ++forwarded_;
+  transmit(copy);
+}
+
+}  // namespace hydra::net

@@ -1,0 +1,42 @@
+#include "net/node.h"
+
+namespace hydra::net {
+
+namespace {
+
+phy::PhyConfig make_phy_config(const NodeConfig& config) {
+  phy::PhyConfig pc;
+  pc.position = config.position;
+  pc.tx_power_dbm = config.tx_power_dbm;
+  return pc;
+}
+
+mac::MacConfig make_mac_config(std::uint32_t index, const NodeConfig& config) {
+  mac::MacConfig mc;
+  mc.address = mac::MacAddress::for_node(index);
+  mc.policy = config.policy;
+  mc.unicast_mode = config.unicast_mode;
+  mc.broadcast_mode = config.broadcast_mode;
+  mc.use_rts_cts = config.use_rts_cts;
+  mc.queue_limit = config.queue_limit;
+  mc.rate_adaptation = config.rate_adaptation;
+  mc.neighbors = config.neighbors;
+  return mc;
+}
+
+}  // namespace
+
+Node::Node(sim::Simulation& simulation, phy::Medium& medium,
+           std::uint32_t index, const NodeConfig& config)
+    : index_(index),
+      phy_(simulation, medium, make_phy_config(config), index),
+      mac_(simulation, phy_, make_mac_config(index, config)),
+      stack_(Ipv4Address::for_node(index), mac_, routes_),
+      mux_(simulation, Ipv4Address::for_node(index)) {
+  mux_.send_packet = [this](PacketPtr packet) { stack_.send(std::move(packet)); };
+  stack_.deliver_local = [this](const PacketPtr& packet) {
+    mux_.deliver(packet);
+  };
+}
+
+}  // namespace hydra::net

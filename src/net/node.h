@@ -1,0 +1,61 @@
+// A complete simulated node: PHY, MAC (with aggregation), IP forwarding,
+// transport mux. Construction wires every layer together.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mac/mac.h"
+#include "net/ipv4_stack.h"
+#include "net/routing.h"
+#include "phy/medium.h"
+#include "phy/phy.h"
+#include "sim/simulation.h"
+#include "transport/mux.h"
+
+namespace hydra::net {
+
+struct NodeConfig {
+  phy::Position position;
+  core::AggregationPolicy policy;
+  phy::PhyMode unicast_mode = phy::base_mode();
+  phy::PhyMode broadcast_mode = phy::base_mode();
+  bool use_rts_cts = true;
+  std::size_t queue_limit = 64;
+  double tx_power_dbm = 8.86;  // 7.7 mW
+  mac::RateAdaptationScheme rate_adaptation = mac::RateAdaptationScheme::kNone;
+  // Optional forced-topology link whitelist (see mac::MacConfig).
+  std::vector<mac::MacAddress> neighbors;
+};
+
+class Node {
+ public:
+  Node(sim::Simulation& simulation, phy::Medium& medium, std::uint32_t index,
+       const NodeConfig& config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  std::uint32_t index() const { return index_; }
+  Ipv4Address ip() const { return Ipv4Address::for_node(index_); }
+  mac::MacAddress link_address() const {
+    return mac::MacAddress::for_node(index_);
+  }
+
+  phy::Phy& phy() { return phy_; }
+  mac::Mac& mac() { return mac_; }
+  Ipv4Stack& stack() { return stack_; }
+  transport::TransportMux& transport() { return mux_; }
+  RoutingTable& routes() { return routes_; }
+  const mac::MacStats& mac_stats() const { return mac_.stats(); }
+
+ private:
+  std::uint32_t index_;
+  phy::Phy phy_;
+  mac::Mac mac_;
+  RoutingTable routes_;
+  Ipv4Stack stack_;
+  transport::TransportMux mux_;
+};
+
+}  // namespace hydra::net

@@ -1,0 +1,243 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace hydra::net {
+
+std::string to_string(Ipv4Address addr) {
+  char buf[20];
+  const auto v = addr.value();
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (v >> 24) & 0xff,
+                (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff);
+  return buf;
+}
+
+void Ipv4Header::serialize(BufferWriter& w) const {
+  w.write_u8(0x45);  // version 4, IHL 5
+  w.write_u8(0);     // DSCP/ECN
+  w.write_u16(total_length);
+  w.write_u16(0);  // identification
+  w.write_u16(0);  // flags/fragment offset
+  w.write_u8(ttl);
+  w.write_u8(protocol);
+  w.write_u16(0);  // header checksum (unused in simulation; FCS covers us)
+  w.write_u32(src.value());
+  w.write_u32(dst.value());
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(BufferReader& r) {
+  if (!r.can_read(kWireBytes)) return std::nullopt;
+  const auto version_ihl = r.read_u8();
+  if (version_ihl != 0x45) return std::nullopt;
+  r.skip(1);
+  Ipv4Header h;
+  h.total_length = r.read_u16();
+  r.skip(4);
+  h.ttl = r.read_u8();
+  h.protocol = r.read_u8();
+  r.skip(2);
+  h.src = Ipv4Address(r.read_u32());
+  h.dst = Ipv4Address(r.read_u32());
+  return h;
+}
+
+std::uint8_t TcpFlags::to_byte() const {
+  std::uint8_t b = 0;
+  if (fin) b |= 0x01;
+  if (syn) b |= 0x02;
+  if (rst) b |= 0x04;
+  if (ack) b |= 0x10;
+  return b;
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t b) {
+  TcpFlags f;
+  f.fin = (b & 0x01) != 0;
+  f.syn = (b & 0x02) != 0;
+  f.rst = (b & 0x04) != 0;
+  f.ack = (b & 0x10) != 0;
+  return f;
+}
+
+void TcpHeader::serialize(BufferWriter& w) const {
+  w.write_u16(src_port);
+  w.write_u16(dst_port);
+  w.write_u32(seq);
+  w.write_u32(ack);
+  w.write_u8(5 << 4);  // data offset 5 words
+  w.write_u8(flags.to_byte());
+  w.write_u16(window);
+  w.write_u16(0);  // checksum
+  w.write_u16(0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::parse(BufferReader& r) {
+  if (!r.can_read(kWireBytes)) return std::nullopt;
+  TcpHeader h;
+  h.src_port = r.read_u16();
+  h.dst_port = r.read_u16();
+  h.seq = r.read_u32();
+  h.ack = r.read_u32();
+  const auto offset = r.read_u8();
+  if ((offset >> 4) != 5) return std::nullopt;
+  h.flags = TcpFlags::from_byte(r.read_u8());
+  h.window = r.read_u16();
+  r.skip(4);
+  return h;
+}
+
+void UdpHeader::serialize(BufferWriter& w) const {
+  w.write_u16(src_port);
+  w.write_u16(dst_port);
+  w.write_u16(length);
+  w.write_u16(0);  // checksum
+}
+
+std::optional<UdpHeader> UdpHeader::parse(BufferReader& r) {
+  if (!r.can_read(kWireBytes)) return std::nullopt;
+  UdpHeader h;
+  h.src_port = r.read_u16();
+  h.dst_port = r.read_u16();
+  h.length = r.read_u16();
+  r.skip(2);
+  return h;
+}
+
+void DiscoveryHeader::serialize(BufferWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(kind));
+  w.write_u8(hop_count);
+  w.write_u16(request_id);
+  w.write_u32(origin.value());
+  w.write_u32(target.value());
+}
+
+std::optional<DiscoveryHeader> DiscoveryHeader::parse(BufferReader& r) {
+  if (!r.can_read(kWireBytes)) return std::nullopt;
+  DiscoveryHeader h;
+  const auto kind = r.read_u8();
+  if (kind != 1 && kind != 2) return std::nullopt;
+  h.kind = static_cast<Kind>(kind);
+  h.hop_count = r.read_u8();
+  h.request_id = r.read_u16();
+  h.origin = Ipv4Address(r.read_u32());
+  h.target = Ipv4Address(r.read_u32());
+  return h;
+}
+
+std::size_t Packet::wire_size() const {
+  std::size_t size = Ipv4Header::kWireBytes + payload_bytes;
+  if (tcp) size += TcpHeader::kWireBytes;
+  if (udp) size += UdpHeader::kWireBytes;
+  if (discovery) size += DiscoveryHeader::kWireBytes;
+  return size;
+}
+
+bool Packet::is_pure_tcp_ack() const {
+  if (!tcp) return false;
+  if (payload_bytes != 0) return false;
+  const auto& f = tcp->flags;
+  return f.ack && !f.syn && !f.fin && !f.rst;
+}
+
+Bytes Packet::serialize() const {
+  BufferWriter w(wire_size());
+  ip.serialize(w);
+  if (tcp) tcp->serialize(w);
+  if (udp) udp->serialize(w);
+  if (discovery) discovery->serialize(w);
+  w.write_zeros(payload_bytes);
+  return w.take();
+}
+
+std::optional<Packet> Packet::parse(BufferReader& r) {
+  Packet p;
+  const auto ip = Ipv4Header::parse(r);
+  if (!ip) return std::nullopt;
+  p.ip = *ip;
+  std::size_t header_bytes = Ipv4Header::kWireBytes;
+  if (p.ip.protocol == kProtoTcp) {
+    const auto tcp = TcpHeader::parse(r);
+    if (!tcp) return std::nullopt;
+    p.tcp = *tcp;
+    header_bytes += TcpHeader::kWireBytes;
+  } else if (p.ip.protocol == kProtoUdp) {
+    const auto udp = UdpHeader::parse(r);
+    if (!udp) return std::nullopt;
+    p.udp = *udp;
+    header_bytes += UdpHeader::kWireBytes;
+  } else if (p.ip.protocol == kProtoDiscovery) {
+    const auto disc = DiscoveryHeader::parse(r);
+    if (!disc) return std::nullopt;
+    p.discovery = *disc;
+    header_bytes += DiscoveryHeader::kWireBytes;
+  }
+  if (p.ip.total_length < header_bytes) return std::nullopt;
+  const std::size_t payload = p.ip.total_length - header_bytes;
+  if (!r.can_read(payload)) return std::nullopt;
+  r.skip(payload);
+  p.payload_bytes = static_cast<std::uint32_t>(payload);
+  return p;
+}
+
+namespace {
+
+Packet base_packet(Ipv4Address src, Ipv4Address dst, std::uint8_t protocol,
+                   std::uint32_t payload_bytes) {
+  Packet p;
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.ip.protocol = protocol;
+  p.payload_bytes = payload_bytes;
+  return p;
+}
+
+}  // namespace
+
+PacketPtr make_udp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,
+                          Port dst_port, std::uint32_t payload_bytes) {
+  auto p = base_packet(src, dst, kProtoUdp, payload_bytes);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length =
+      static_cast<std::uint16_t>(UdpHeader::kWireBytes + payload_bytes);
+  p.udp = udp;
+  p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
+  return std::make_shared<const Packet>(p);
+}
+
+PacketPtr make_tcp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,
+                          Port dst_port, std::uint32_t seq, std::uint32_t ack,
+                          TcpFlags flags, std::uint16_t window,
+                          std::uint32_t payload_bytes) {
+  auto p = base_packet(src, dst, kProtoTcp, payload_bytes);
+  TcpHeader tcp;
+  tcp.src_port = src_port;
+  tcp.dst_port = dst_port;
+  tcp.seq = seq;
+  tcp.ack = ack;
+  tcp.flags = flags;
+  tcp.window = window;
+  p.tcp = tcp;
+  p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
+  return std::make_shared<const Packet>(p);
+}
+
+PacketPtr make_flood_packet(Ipv4Address src, std::uint32_t payload_bytes) {
+  auto p = base_packet(src, Ipv4Address::broadcast(), kProtoFlood,
+                       payload_bytes);
+  p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
+  return std::make_shared<const Packet>(p);
+}
+
+PacketPtr make_discovery_packet(Ipv4Address src, Ipv4Address dst,
+                                const DiscoveryHeader& header,
+                                std::uint8_t ttl) {
+  auto p = base_packet(src, dst, kProtoDiscovery, 0);
+  p.discovery = header;
+  p.ip.ttl = ttl;
+  p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
+  return std::make_shared<const Packet>(p);
+}
+
+}  // namespace hydra::net

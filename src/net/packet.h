@@ -1,0 +1,136 @@
+// The L3+ packet carried through the stack.
+//
+// Headers are real, field-accurate structures that serialize to their
+// wire sizes (IPv4 20 B, TCP 20 B, UDP 8 B); payloads are synthetic byte
+// counts (the experiments transfer files and CBR streams whose *content*
+// is irrelevant, only their lengths and TCP sequence numbers matter).
+// The MAC's TCP-ACK classifier — the paper's cross-layer hook — reads
+// these headers directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/address.h"
+#include "util/buffer.h"
+
+namespace hydra::net {
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+// Raw datagrams used by the flooding generator (route-control stand-in).
+inline constexpr std::uint8_t kProtoFlood = 253;
+// Route discovery control messages (RREQ/RREP), AODV-style.
+inline constexpr std::uint8_t kProtoDiscovery = 89;
+
+struct Ipv4Header {
+  static constexpr std::size_t kWireBytes = 20;
+
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint8_t protocol = 0;
+  std::uint8_t ttl = 64;
+  // Total length of the IP datagram (header + upper layers), as on wire.
+  std::uint16_t total_length = 0;
+
+  void serialize(BufferWriter& w) const;
+  static std::optional<Ipv4Header> parse(BufferReader& r);
+};
+
+// TCP flag bits (subset the stack uses).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+
+  std::uint8_t to_byte() const;
+  static TcpFlags from_byte(std::uint8_t b);
+  friend constexpr bool operator==(TcpFlags, TcpFlags) = default;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kWireBytes = 20;
+
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+
+  void serialize(BufferWriter& w) const;
+  static std::optional<TcpHeader> parse(BufferReader& r);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kWireBytes = 8;
+
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  void serialize(BufferWriter& w) const;
+  static std::optional<UdpHeader> parse(BufferReader& r);
+};
+
+// AODV-style route-discovery message (paper §3.2's motivating traffic:
+// "dynamic source routing and ad-hoc on-demand distance vector routing
+// protocols use broadcast frames for route discovery and maintenance").
+struct DiscoveryHeader {
+  static constexpr std::size_t kWireBytes = 12;
+
+  enum class Kind : std::uint8_t { kRreq = 1, kRrep = 2 };
+
+  Kind kind = Kind::kRreq;
+  std::uint8_t hop_count = 0;
+  std::uint16_t request_id = 0;
+  Ipv4Address origin;  // the node searching for a route
+  Ipv4Address target;  // the node being searched for
+
+  void serialize(BufferWriter& w) const;
+  static std::optional<DiscoveryHeader> parse(BufferReader& r);
+};
+
+// An L3 packet: IPv4 header, optional transport header, synthetic payload.
+struct Packet {
+  Ipv4Header ip;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<DiscoveryHeader> discovery;
+  std::uint32_t payload_bytes = 0;
+
+  // Size of the packet on the wire (headers + payload).
+  std::size_t wire_size() const;
+
+  // "Pure" TCP ACK per the paper's definition (§4.2.4): a TCP segment
+  // carrying no data that is not part of connection setup or teardown.
+  bool is_pure_tcp_ack() const;
+
+  // Full byte serialization (payload rendered as zeros); parse() inverts
+  // it. Used by the wire-format tests and the MAC frame serializer.
+  Bytes serialize() const;
+  static std::optional<Packet> parse(BufferReader& r);
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+// Builds a UDP datagram packet.
+PacketPtr make_udp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,
+                          Port dst_port, std::uint32_t payload_bytes);
+// Builds a TCP segment.
+PacketPtr make_tcp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,
+                          Port dst_port, std::uint32_t seq, std::uint32_t ack,
+                          TcpFlags flags, std::uint16_t window,
+                          std::uint32_t payload_bytes);
+// Builds a broadcast flooding datagram (control-protocol stand-in).
+PacketPtr make_flood_packet(Ipv4Address src, std::uint32_t payload_bytes);
+// Builds a route-discovery message. RREQs are IP-broadcast; RREPs are
+// unicast from the responder toward the origin. `ttl` bounds the flood
+// (the hop limit travels with the packet, as in AODV).
+PacketPtr make_discovery_packet(Ipv4Address src, Ipv4Address dst,
+                                const DiscoveryHeader& header,
+                                std::uint8_t ttl = 64);
+
+}  // namespace hydra::net

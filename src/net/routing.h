@@ -1,0 +1,33 @@
+// Static routing, as in the paper's experiments ("we used static routing
+// to force the topologies"): destination address -> next-hop address.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "mac/address.h"
+#include "net/address.h"
+
+namespace hydra::net {
+
+// Maps a node's IP to its link-layer address (nodes are numbered, so the
+// mapping is algebraic — no ARP needed).
+mac::MacAddress mac_for(Ipv4Address ip);
+
+class RoutingTable {
+ public:
+  // Installs or replaces the route `dst -> next_hop`.
+  void add_route(Ipv4Address dst, Ipv4Address next_hop);
+
+  // Next hop toward `dst`: an explicit route if present, otherwise `dst`
+  // itself (direct neighbour delivery).
+  Ipv4Address next_hop(Ipv4Address dst) const;
+
+  bool has_route(Ipv4Address dst) const { return routes_.contains(dst); }
+  std::size_t size() const { return routes_.size(); }
+
+ private:
+  std::map<Ipv4Address, Ipv4Address> routes_;
+};
+
+}  // namespace hydra::net

@@ -1,0 +1,43 @@
+#include "phy/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hydra::phy {
+
+double ErrorModel::effective_snr_db(double snr_db,
+                                    sim::Duration offset_in_frame) const {
+  if (offset_in_frame <= config_.coherence_time) return snr_db;
+  const double excess_ms =
+      (offset_in_frame - config_.coherence_time).millis_f();
+  return snr_db - config_.aging_db_per_ms * excess_ms;
+}
+
+double ErrorModel::bit_error_probability(const PhyMode& mode,
+                                         double eff_snr_db) const {
+  const double margin_db = eff_snr_db - mode.required_snr_db;
+  const double ber = config_.ber_at_required_snr *
+                     std::pow(10.0, -margin_db / config_.ber_decade_per_db);
+  return std::clamp(ber, 0.0, 0.5);
+}
+
+double ErrorModel::subframe_error_probability(const PhyMode& mode,
+                                              double snr_db,
+                                              std::size_t bytes,
+                                              sim::Duration end_offset) const {
+  const double eff = effective_snr_db(snr_db, end_offset);
+  const double p_bit = bit_error_probability(mode, eff);
+  if (p_bit <= 0.0) return 0.0;
+  const double bits = static_cast<double>(bytes) * 8.0;
+  // 1 - (1 - p)^bits, computed stably via expm1/log1p.
+  return -std::expm1(bits * std::log1p(-p_bit));
+}
+
+bool ErrorModel::draw_subframe_error(sim::Rng& rng, const PhyMode& mode,
+                                     double snr_db, std::size_t bytes,
+                                     sim::Duration end_offset) const {
+  return rng.bernoulli(
+      subframe_error_probability(mode, snr_db, bytes, end_offset));
+}
+
+}  // namespace hydra::phy

@@ -1,0 +1,63 @@
+// Per-subframe error model with channel-estimate aging.
+//
+// Two effects, both observed on the paper's prototype:
+//
+// 1. SNR margin. Each mode has a required SNR; the per-bit error
+//    probability decays exponentially (in dB) with margin above it. At
+//    the paper's 25 dB operating point the 0.65–2.6 Mbps rates are
+//    quasi-error-free and the 64-QAM rates are unusable.
+//
+// 2. Channel aging. The receiver equalizes with channel estimates from
+//    the preamble; for very long (aggregated) frames the true channel
+//    drifts away from the estimate, and subframes transmitted beyond the
+//    coherence time fail with rapidly increasing probability. The paper
+//    measured this limit at ~120 Ksamples (≈62 ms at 2 Msample/s)
+//    independent of rate — the cause of Fig. 7's throughput cliff.
+#pragma once
+
+#include "phy/mode.h"
+#include "phy/timing.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace hydra::phy {
+
+struct ErrorModelConfig {
+  // Channel coherence time: subframes that finish after this offset into
+  // the frame see a degraded effective SNR. ~120 Ksamples at 2 Msps.
+  sim::Duration coherence_time = sim::Duration::micros(62'000);
+  // Effective-SNR penalty growth beyond the coherence time.
+  double aging_db_per_ms = 3.0;
+  // Per-bit error probability at exactly the required SNR.
+  double ber_at_required_snr = 1e-4;
+  // dB of margin that reduce the BER by 10x.
+  double ber_decade_per_db = 2.0;
+};
+
+class ErrorModel {
+ public:
+  explicit ErrorModel(ErrorModelConfig config = {}) : config_(config) {}
+
+  const ErrorModelConfig& config() const { return config_; }
+
+  // Effective SNR for a bit received `offset_in_frame` after frame start.
+  double effective_snr_db(double snr_db, sim::Duration offset_in_frame) const;
+
+  // Per-bit error probability at the given effective SNR for `mode`.
+  double bit_error_probability(const PhyMode& mode, double eff_snr_db) const;
+
+  // Probability that a subframe of `bytes` bytes ending at
+  // `end_offset` into the frame is received with a bad FCS.
+  double subframe_error_probability(const PhyMode& mode, double snr_db,
+                                    std::size_t bytes,
+                                    sim::Duration end_offset) const;
+
+  // Draws the error outcome for one subframe. True means corrupted.
+  bool draw_subframe_error(sim::Rng& rng, const PhyMode& mode, double snr_db,
+                           std::size_t bytes, sim::Duration end_offset) const;
+
+ private:
+  ErrorModelConfig config_;
+};
+
+}  // namespace hydra::phy

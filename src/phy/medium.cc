@@ -1,0 +1,65 @@
+#include "phy/medium.h"
+
+#include <cmath>
+
+#include "phy/phy.h"
+#include "util/assert.h"
+
+namespace hydra::phy {
+
+double distance_m(Position a, Position b) {
+  const double dx = a.x_m - b.x_m;
+  const double dy = a.y_m - b.y_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Medium::Medium(sim::Simulation& simulation, MediumConfig config,
+               ErrorModel error_model)
+    : sim_(simulation), config_(config), error_model_(error_model) {}
+
+void Medium::attach(Phy& phy) {
+  for (const auto* existing : phys_) {
+    HYDRA_ASSERT_MSG(existing != &phy, "phy attached twice");
+  }
+  phys_.push_back(&phy);
+}
+
+double Medium::rx_power_dbm(const Phy& src, const Phy& dst) const {
+  const double d =
+      std::max(1.0, distance_m(src.config().position, dst.config().position));
+  const double path_loss_db = config_.path_loss_at_1m_db +
+                              10.0 * config_.path_loss_exponent *
+                                  std::log10(d);
+  return src.config().tx_power_dbm - path_loss_db;
+}
+
+double Medium::snr_db(const Phy& src, const Phy& dst) const {
+  return rx_power_dbm(src, dst) - config_.noise_floor_dbm;
+}
+
+sim::Duration Medium::start_transmission(Phy& src, PhyFrame frame) {
+  const auto timing =
+      frame_timing(frame.broadcast, frame.unicast, src.config().timings);
+  auto tx = std::make_shared<Transmission>();
+  tx->id = next_tx_id_++;
+  tx->source = &src;
+  tx->frame = std::move(frame);
+  tx->timing = timing;
+  tx->start = sim_.now();
+
+  auto& sched = sim_.scheduler();
+  for (Phy* dst : phys_) {
+    if (dst == &src) continue;
+    const double power = rx_power_dbm(src, *dst);
+    const double dist =
+        distance_m(src.config().position, dst->config().position);
+    const auto prop = sim::Duration::nanos(static_cast<std::int64_t>(
+        dist / config_.propagation_speed_mps * 1e9));
+    sched.schedule_in(prop, [dst, tx, power] { dst->rx_start(tx, power); });
+    sched.schedule_in(prop + timing.total,
+                      [dst, tx, power] { dst->rx_end(tx, power); });
+  }
+  return timing.total;
+}
+
+}  // namespace hydra::phy

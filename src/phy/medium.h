@@ -1,0 +1,80 @@
+// The shared wireless medium: path loss, propagation, frame delivery.
+//
+// Log-distance path loss calibrated to the paper's operating point:
+// 7.7 mW transmit power and 2.5 m node spacing give 25 dB SNR over
+// a 1 MHz channel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/error_model.h"
+#include "phy/frame.h"
+#include "sim/simulation.h"
+
+namespace hydra::phy {
+
+class Phy;
+
+struct Position {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+double distance_m(Position a, Position b);
+
+struct MediumConfig {
+  double path_loss_at_1m_db = 73.0;
+  double path_loss_exponent = 3.0;
+  // Thermal noise floor over the 1 MHz channel.
+  double noise_floor_dbm = -101.0;
+  // Energy-detect threshold for clear channel assessment. Low enough
+  // that every node in the paper's topologies (max 7.5 m apart) hears
+  // every transmission.
+  double cca_threshold_dbm = -95.0;
+  double propagation_speed_mps = 3.0e8;
+};
+
+// One in-flight transmission, shared by every receiver's bookkeeping.
+struct Transmission {
+  std::uint64_t id = 0;
+  const Phy* source = nullptr;
+  PhyFrame frame;
+  FrameTiming timing;
+  sim::TimePoint start;
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulation& simulation, MediumConfig config = {},
+         ErrorModel error_model = ErrorModel{});
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  // Registers a PHY; it must outlive the medium's last event.
+  void attach(Phy& phy);
+
+  // Begins delivering `frame` from `src` to every other attached PHY.
+  // Returns the frame's on-air duration.
+  sim::Duration start_transmission(Phy& src, PhyFrame frame);
+
+  double rx_power_dbm(const Phy& src, const Phy& dst) const;
+  double snr_db(const Phy& src, const Phy& dst) const;
+
+  const MediumConfig& config() const { return config_; }
+  const ErrorModel& error_model() const { return error_model_; }
+  sim::Simulation& simulation() { return sim_; }
+
+  std::uint64_t transmissions_started() const { return next_tx_id_ - 1; }
+
+ private:
+  sim::Simulation& sim_;
+  MediumConfig config_;
+  ErrorModel error_model_;
+  std::vector<Phy*> phys_;
+  std::uint64_t next_tx_id_ = 1;
+};
+
+}  // namespace hydra::phy

@@ -1,0 +1,62 @@
+#include "phy/mode.h"
+
+#include "util/assert.h"
+
+namespace hydra::phy {
+namespace {
+
+constexpr std::array<PhyMode, 8> kModes = {{
+    {Modulation::kBpsk, {1, 2}, BitRate::mbps_x100(65), 4.0},
+    {Modulation::kQpsk, {1, 2}, BitRate::mbps_x100(130), 7.0},
+    {Modulation::kQpsk, {3, 4}, BitRate::mbps_x100(195), 9.5},
+    {Modulation::kQam16, {1, 2}, BitRate::mbps_x100(260), 13.0},
+    {Modulation::kQam16, {3, 4}, BitRate::mbps_x100(390), 17.0},
+    {Modulation::kQam64, {2, 3}, BitRate::mbps_x100(520), 25.5},
+    {Modulation::kQam64, {3, 4}, BitRate::mbps_x100(585), 27.0},
+    {Modulation::kQam64, {5, 6}, BitRate::mbps_x100(650), 28.5},
+}};
+
+}  // namespace
+
+std::span<const PhyMode> hydra_modes() { return kModes; }
+
+const PhyMode& base_mode() { return kModes[0]; }
+
+std::optional<PhyMode> mode_for_mbps_x100(std::uint64_t hundredths) {
+  for (const auto& m : kModes) {
+    if (m.rate == BitRate::mbps_x100(hundredths)) return m;
+  }
+  return std::nullopt;
+}
+
+const PhyMode& mode_by_index(std::size_t index) {
+  HYDRA_ASSERT(index < kModes.size());
+  return kModes[index];
+}
+
+std::size_t mode_index_of(const PhyMode& mode) {
+  for (std::size_t i = 0; i < kModes.size(); ++i) {
+    if (kModes[i] == mode) return i;
+  }
+  HYDRA_UNREACHABLE("mode not in the rate table");
+}
+
+std::string to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+std::string to_string(const PhyMode& mode) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s %u/%u (%.2f Mbps)",
+                to_string(mode.modulation).c_str(), mode.code_rate.num,
+                mode.code_rate.den, mode.rate.mbps());
+  return buf;
+}
+
+}  // namespace hydra::phy

@@ -1,0 +1,79 @@
+// Hydra PHY transmission modes (modulation × convolutional code rate).
+//
+// The rate table mirrors the prototype in the paper (Table 1): 802.11n
+// MCS 0–7 scaled to 1 MHz bandwidth, i.e. 0.65–6.5 Mbps SISO. The paper's
+// experiments use the first four rates; the 64-QAM rates exist but are
+// unreliable at the 25 dB operating SNR, as the paper observed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/units.h"
+
+namespace hydra::phy {
+
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+// Convolutional code rate as numerator/denominator (1/2, 2/3, 3/4, 5/6).
+struct CodeRate {
+  std::uint8_t num = 1;
+  std::uint8_t den = 2;
+
+  constexpr double value() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+  friend constexpr bool operator==(CodeRate, CodeRate) = default;
+};
+
+// One entry of the PHY rate table.
+struct PhyMode {
+  Modulation modulation = Modulation::kBpsk;
+  CodeRate code_rate;
+  BitRate rate;          // information bit rate
+  double required_snr_db = 0.0;  // SNR for quasi-error-free operation
+
+  constexpr unsigned bits_per_symbol() const {
+    switch (modulation) {
+      case Modulation::kBpsk: return 1;
+      case Modulation::kQpsk: return 2;
+      case Modulation::kQam16: return 4;
+      case Modulation::kQam64: return 6;
+    }
+    return 1;
+  }
+
+  friend constexpr bool operator==(const PhyMode& a, const PhyMode& b) {
+    return a.rate == b.rate;
+  }
+};
+
+// Hydra SISO rate table, lowest to highest (Table 1 of the paper).
+// Required-SNR values are calibrated so that at the paper's 25 dB
+// operating point all non-64-QAM rates are reliable and all 64-QAM rates
+// are not ("This SNR did not allow reliable operation of the rates that
+// required 64-QAM").
+std::span<const PhyMode> hydra_modes();
+
+// Base (most robust) mode: BPSK 1/2 at 0.65 Mbps. Control frames and PHY
+// headers use this.
+const PhyMode& base_mode();
+
+// Looks up a mode by rate in hundredths of Mbps (65 -> 0.65 Mbps).
+// Returns nullopt if the table has no such rate.
+std::optional<PhyMode> mode_for_mbps_x100(std::uint64_t hundredths);
+
+// Convenience indexed accessor (0 == base mode). Asserts on range.
+const PhyMode& mode_by_index(std::size_t index);
+
+// Index of `mode` in the rate table (matched by rate). Asserts if the
+// mode is not a table entry.
+std::size_t mode_index_of(const PhyMode& mode);
+
+std::string to_string(Modulation m);
+std::string to_string(const PhyMode& mode);
+
+}  // namespace hydra::phy

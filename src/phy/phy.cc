@@ -1,0 +1,110 @@
+#include "phy/phy.h"
+
+#include "util/assert.h"
+
+namespace hydra::phy {
+
+Phy::Phy(sim::Simulation& simulation, Medium& medium, PhyConfig config,
+         std::uint32_t id)
+    : sim_(simulation), medium_(medium), config_(config), id_(id) {
+  medium_.attach(*this);
+}
+
+void Phy::transmit(PhyFrame frame) {
+  HYDRA_ASSERT_MSG(!transmitting_, "transmit while already transmitting");
+  HYDRA_ASSERT_MSG(!frame.empty(), "empty phy frame");
+  transmitting_ = true;
+  ++frames_sent_;
+  // Receptions overlapping our own transmission are lost (half duplex).
+  for (auto& [id, rx] : incoming_) rx.doomed = true;
+  update_cca();
+
+  const auto airtime = medium_.start_transmission(*this, std::move(frame));
+  sim_.scheduler().schedule_in(airtime, [this] {
+    transmitting_ = false;
+    update_cca();
+    if (on_tx_complete) on_tx_complete();
+  });
+}
+
+bool Phy::cca_busy() const {
+  if (transmitting_) return true;
+  for (const auto& [id, rx] : incoming_) {
+    if (rx.power_dbm >= medium_.config().cca_threshold_dbm) return true;
+  }
+  return false;
+}
+
+void Phy::update_cca() {
+  const bool busy = cca_busy();
+  if (busy != last_cca_busy_) {
+    last_cca_busy_ = busy;
+    if (on_cca_change) on_cca_change(busy);
+  }
+}
+
+void Phy::rx_start(const std::shared_ptr<const Transmission>& tx,
+                   double rx_power_dbm) {
+  const bool audible = rx_power_dbm >= medium_.config().cca_threshold_dbm;
+  bool doomed = transmitting_;
+  if (audible) {
+    // Any concurrent audible reception corrupts both frames (no capture).
+    for (auto& [id, rx] : incoming_) {
+      if (rx.power_dbm >= medium_.config().cca_threshold_dbm) {
+        rx.doomed = true;
+        doomed = true;
+      }
+    }
+  }
+  incoming_.emplace(tx->id, Incoming{rx_power_dbm, doomed});
+  update_cca();
+}
+
+void Phy::rx_end(const std::shared_ptr<const Transmission>& tx,
+                 double rx_power_dbm) {
+  const auto it = incoming_.find(tx->id);
+  HYDRA_ASSERT_MSG(it != incoming_.end(), "rx_end without rx_start");
+  const bool doomed = it->second.doomed || transmitting_;
+  incoming_.erase(it);
+  update_cca();
+
+  if (rx_power_dbm < medium_.config().cca_threshold_dbm) {
+    return;  // below sensitivity: inaudible
+  }
+  if (doomed) ++collisions_;
+
+  const auto report = evaluate(*tx, rx_power_dbm, doomed);
+  ++frames_received_;
+  if (on_rx) on_rx(report);
+}
+
+RxReport Phy::evaluate(const Transmission& tx, double rx_power_dbm,
+                       bool collided) {
+  RxReport report;
+  report.frame = tx.frame;
+  report.snr_db = rx_power_dbm - medium_.config().noise_floor_dbm;
+  report.collided = collided;
+  report.broadcast_ok.resize(tx.frame.broadcast.subframe_bytes.size(), false);
+  report.unicast_ok.resize(tx.frame.unicast.subframe_bytes.size(), false);
+  if (collided) return report;
+
+  const auto& model = medium_.error_model();
+  auto& rng = sim_.rng();
+  for (std::size_t i = 0; i < report.broadcast_ok.size(); ++i) {
+    const bool err = model.draw_subframe_error(
+        rng, tx.frame.broadcast.mode, report.snr_db,
+        tx.frame.broadcast.subframe_bytes[i],
+        tx.timing.broadcast_subframe_end[i]);
+    report.broadcast_ok[i] = !err;
+  }
+  for (std::size_t i = 0; i < report.unicast_ok.size(); ++i) {
+    const bool err = model.draw_subframe_error(
+        rng, tx.frame.unicast.mode, report.snr_db,
+        tx.frame.unicast.subframe_bytes[i],
+        tx.timing.unicast_subframe_end[i]);
+    report.unicast_ok[i] = !err;
+  }
+  return report;
+}
+
+}  // namespace hydra::phy

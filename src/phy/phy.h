@@ -1,0 +1,87 @@
+// PHY device: transmit/receive state, CCA, per-subframe error draws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "phy/frame.h"
+#include "phy/medium.h"
+#include "sim/simulation.h"
+
+namespace hydra::phy {
+
+struct PhyConfig {
+  Position position;
+  // 7.7 mW, the paper's transmit power.
+  double tx_power_dbm = 8.86;
+  PhyTimings timings;
+};
+
+// Half-duplex transceiver. The MAC drives transmit() and reacts to the
+// three callbacks; the Medium drives the rx_* entry points.
+class Phy {
+ public:
+  Phy(sim::Simulation& simulation, Medium& medium, PhyConfig config,
+      std::uint32_t id);
+
+  Phy(const Phy&) = delete;
+  Phy& operator=(const Phy&) = delete;
+
+  // --- MAC-facing interface -------------------------------------------
+  // Starts transmitting; the PHY must be idle (not already transmitting).
+  // on_tx_complete fires when the frame leaves the air.
+  void transmit(PhyFrame frame);
+
+  bool transmitting() const { return transmitting_; }
+  // Clear-channel assessment: busy while transmitting or while any
+  // incoming energy exceeds the CCA threshold.
+  bool cca_busy() const;
+
+  // A decodable frame finished arriving (possibly with bad subframes).
+  std::function<void(const RxReport&)> on_rx;
+  // Our own transmission left the air.
+  std::function<void()> on_tx_complete;
+  // CCA state changed (true = busy). Fired on every edge.
+  std::function<void(bool)> on_cca_change;
+
+  // --- Medium-facing interface ----------------------------------------
+  void rx_start(const std::shared_ptr<const Transmission>& tx,
+                double rx_power_dbm);
+  void rx_end(const std::shared_ptr<const Transmission>& tx,
+              double rx_power_dbm);
+
+  const PhyConfig& config() const { return config_; }
+  std::uint32_t id() const { return id_; }
+
+  // Diagnostics.
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t collisions_seen() const { return collisions_; }
+
+ private:
+  struct Incoming {
+    double power_dbm;
+    bool doomed;  // overlapped another reception or our own transmission
+  };
+
+  void update_cca();
+  RxReport evaluate(const Transmission& tx, double rx_power_dbm,
+                    bool collided);
+
+  sim::Simulation& sim_;
+  Medium& medium_;
+  PhyConfig config_;
+  std::uint32_t id_;
+
+  bool transmitting_ = false;
+  bool last_cca_busy_ = false;
+  std::map<std::uint64_t, Incoming> incoming_;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace hydra::phy

@@ -1,0 +1,55 @@
+#include "phy/timing.h"
+
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace hydra::phy {
+
+const PhyTimings& default_timings() {
+  static const PhyTimings timings{};
+  return timings;
+}
+
+sim::Duration payload_airtime(std::size_t bytes, const PhyMode& mode) {
+  HYDRA_ASSERT(mode.rate.bits_per_second() > 0);
+  // ceil(bits * 1e9 / rate) nanoseconds.
+  const auto bits = static_cast<std::int64_t>(bytes) * 8;
+  const auto bps = static_cast<std::int64_t>(mode.rate.bits_per_second());
+  const auto ns = (bits * 1'000'000'000 + bps - 1) / bps;
+  return sim::Duration::nanos(ns);
+}
+
+std::size_t PortionSpec::total_bytes() const {
+  return std::accumulate(subframe_bytes.begin(), subframe_bytes.end(),
+                         std::size_t{0});
+}
+
+FrameTiming frame_timing(const PortionSpec& bcast, const PortionSpec& ucast,
+                         const PhyTimings& t) {
+  FrameTiming out;
+  out.header = t.preamble;
+  if (!bcast.empty()) out.header += t.broadcast_field;
+
+  sim::Duration cursor = out.header;
+  for (const auto bytes : bcast.subframe_bytes) {
+    cursor += payload_airtime(bytes, bcast.mode);
+    out.broadcast_subframe_end.push_back(cursor);
+  }
+  out.broadcast_portion = cursor - out.header;
+
+  const auto ucast_start = cursor;
+  for (const auto bytes : ucast.subframe_bytes) {
+    cursor += payload_airtime(bytes, ucast.mode);
+    out.unicast_subframe_end.push_back(cursor);
+  }
+  out.unicast_portion = cursor - ucast_start;
+  out.total = cursor;
+  return out;
+}
+
+std::int64_t samples_for(sim::Duration d, const PhyTimings& t) {
+  return d.ns() * t.sample_rate / 1'000'000'000;
+}
+
+}  // namespace hydra::phy

@@ -1,0 +1,71 @@
+// Airtime and sample accounting for Hydra PHY frames.
+//
+// A PHY frame is: [preamble+PLCP header] [broadcast portion] [unicast
+// portion]. The paper's broadcast-aggregation format adds a second
+// (rate, length) field to the PLCP header so the two portions can use
+// different modes (Fig. 2 of the paper); that field costs extra header
+// airtime only when a broadcast portion is present.
+//
+// The PHY transmits complex baseband samples at 2 Msample/s (1 MHz
+// bandwidth). "Samples" are the unit in which the paper observed its
+// fixed ~120 Ksample aggregation limit; samples_for() exposes the same
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/mode.h"
+#include "sim/time.h"
+
+namespace hydra::phy {
+
+struct PhyTimings {
+  // Training sequences + base PLCP header (rate/length for the unicast
+  // portion). 10x-scaled 802.11n-style preamble, per the prototype's
+  // 10x-slower PHY.
+  sim::Duration preamble = sim::Duration::micros(320);
+  // Additional PLCP field carrying the broadcast portion's rate/length
+  // (only present when the frame has a broadcast portion).
+  sim::Duration broadcast_field = sim::Duration::micros(40);
+  // Complex baseband sample rate (samples per second).
+  std::int64_t sample_rate = 2'000'000;
+};
+
+// Returns the shared default timings (value semantics; copy freely).
+const PhyTimings& default_timings();
+
+// Time to transmit `bytes` of MAC payload at `mode`'s information rate.
+sim::Duration payload_airtime(std::size_t bytes, const PhyMode& mode);
+
+// Description of one portion (broadcast or unicast) of a PHY frame:
+// subframe byte lengths, all sent back-to-back at one mode.
+struct PortionSpec {
+  PhyMode mode = base_mode();
+  std::vector<std::size_t> subframe_bytes;
+
+  std::size_t total_bytes() const;
+  bool empty() const { return subframe_bytes.empty(); }
+};
+
+// Airtime layout of a full PHY frame.
+struct FrameTiming {
+  sim::Duration header;            // preamble (+ broadcast field if present)
+  sim::Duration broadcast_portion; // airtime of all broadcast subframes
+  sim::Duration unicast_portion;   // airtime of all unicast subframes
+  sim::Duration total;             // sum of the above
+
+  // End offset (from frame start) of each subframe, per portion; the error
+  // model uses these to age the channel estimate across the frame.
+  std::vector<sim::Duration> broadcast_subframe_end;
+  std::vector<sim::Duration> unicast_subframe_end;
+};
+
+FrameTiming frame_timing(const PortionSpec& bcast, const PortionSpec& ucast,
+                         const PhyTimings& t = default_timings());
+
+// Number of baseband samples a transmission of duration `d` occupies.
+std::int64_t samples_for(sim::Duration d,
+                         const PhyTimings& t = default_timings());
+
+}  // namespace hydra::phy

@@ -1,0 +1,35 @@
+#include "sim/log.h"
+
+#include <cstdio>
+
+#include "sim/scheduler.h"
+
+namespace hydra::sim {
+
+LogLevel Log::level_ = LogLevel::kNone;
+const Scheduler* Log::clock_ = nullptr;
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kNone: break;
+  }
+  return "?    ";
+}
+}  // namespace
+
+void Log::write(LogLevel level, const char* component, const char* fmt, ...) {
+  const double t = clock_ ? clock_->now().seconds_f() : 0.0;
+  std::fprintf(stderr, "[%12.6f] %s %-8s ", t, level_name(level), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace hydra::sim

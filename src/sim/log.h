@@ -1,0 +1,47 @@
+// Minimal leveled logger stamped with simulation time.
+//
+// Off by default (benchmarks run millions of events); enable per-component
+// when debugging protocol traces:
+//   sim::Log::set_level(sim::LogLevel::kDebug);
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "sim/time.h"
+
+namespace hydra::sim {
+
+enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
+
+class Log {
+ public:
+  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+  static bool enabled(LogLevel level) { return level <= level_; }
+
+  // The scheduler whose clock stamps log lines (optional; 0.0 otherwise).
+  static void set_clock(const class Scheduler* sched) { clock_ = sched; }
+
+  static void write(LogLevel level, const char* component, const char* fmt,
+                    ...) __attribute__((format(printf, 3, 4)));
+
+ private:
+  static LogLevel level_;
+  static const Scheduler* clock_;
+};
+
+}  // namespace hydra::sim
+
+#define HYDRA_LOG(level, component, ...)                              \
+  do {                                                                \
+    if (::hydra::sim::Log::enabled(level))                            \
+      ::hydra::sim::Log::write(level, component, __VA_ARGS__);        \
+  } while (0)
+
+#define HYDRA_LOG_DEBUG(component, ...) \
+  HYDRA_LOG(::hydra::sim::LogLevel::kDebug, component, __VA_ARGS__)
+#define HYDRA_LOG_INFO(component, ...) \
+  HYDRA_LOG(::hydra::sim::LogLevel::kInfo, component, __VA_ARGS__)
+#define HYDRA_LOG_TRACE(component, ...) \
+  HYDRA_LOG(::hydra::sim::LogLevel::kTrace, component, __VA_ARGS__)

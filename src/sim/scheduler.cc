@@ -1,0 +1,62 @@
+#include "sim/scheduler.h"
+
+#include "util/assert.h"
+
+namespace hydra::sim {
+
+EventId Scheduler::schedule_at(TimePoint at, Callback cb) {
+  HYDRA_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  HYDRA_ASSERT(cb != nullptr);
+  const auto seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  return EventId(seq);
+}
+
+EventId Scheduler::schedule_in(Duration delay, Callback cb) {
+  HYDRA_ASSERT_MSG(!delay.is_negative(), "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid() || id.id_ >= next_seq_) return false;
+  // Lazy deletion: record the id; the heap entry is dropped when popped.
+  return cancelled_.insert(id.id_).second;
+}
+
+void Scheduler::pop_and_run() {
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  if (const auto it = cancelled_.find(entry.seq); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  HYDRA_ASSERT(entry.at >= now_);
+  now_ = entry.at;
+  ++executed_;
+  entry.cb();
+}
+
+std::size_t Scheduler::run() {
+  const auto before = executed_;
+  while (!heap_.empty()) pop_and_run();
+  return executed_ - before;
+}
+
+std::size_t Scheduler::run_until(TimePoint deadline) {
+  const auto before = executed_;
+  while (!heap_.empty() && heap_.top().at <= deadline) pop_and_run();
+  if (now_ < deadline) now_ = deadline;
+  return executed_ - before;
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    const auto before = executed_;
+    pop_and_run();
+    // pop_and_run may have dropped a cancelled entry without executing.
+    if (executed_ > before) return true;
+  }
+  return false;
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,81 @@
+// Discrete-event scheduler: a stable min-heap of (time, sequence) events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hydra::sim {
+
+// Opaque handle for cancelling a scheduled event. Id 0 is "invalid".
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return id_ != 0; }
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+
+ private:
+  friend class Scheduler;
+  constexpr explicit EventId(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+// Single-threaded event loop. Events scheduled for the same instant run in
+// scheduling order (FIFO), which keeps protocol traces deterministic.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `at` (must not be in the past).
+  EventId schedule_at(TimePoint at, Callback cb);
+  // Schedules `cb` to run `delay` from now.
+  EventId schedule_in(Duration delay, Callback cb);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  // Runs events until the queue is empty. Returns the number executed.
+  std::size_t run();
+  // Runs events with time <= deadline; leaves later events queued and
+  // advances now() to the deadline. Returns the number executed.
+  std::size_t run_until(TimePoint deadline);
+  // Executes at most one event. Returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace hydra::sim

@@ -1,0 +1,123 @@
+// Simulation time: integer nanoseconds, strong Duration/TimePoint types.
+//
+// Integer arithmetic keeps event ordering exact — two events scheduled the
+// same computed interval apart always compare equal, with no floating-point
+// drift across a multi-second simulation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hydra::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(std::int64_t v) { return Duration(v); }
+  static constexpr Duration micros(std::int64_t v) {
+    return Duration(v * 1'000);
+  }
+  static constexpr Duration millis(std::int64_t v) {
+    return Duration(v * 1'000'000);
+  }
+  static constexpr Duration seconds(std::int64_t v) {
+    return Duration(v * 1'000'000'000);
+  }
+  // From fractional seconds; rounds to the nearest nanosecond. Used at
+  // configuration boundaries (e.g. "flood interval 0.5 s"), never in the
+  // event loop.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration infinite() {
+    return Duration(INT64_MAX);
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double micros_f() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.ns_ + b.ns_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.ns_ - b.ns_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.ns_ * k);
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return a * k;
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.ns_ / k);
+  }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// Absolute simulation time (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint(); }
+  static constexpr TimePoint at(Duration since_origin) {
+    return TimePoint() + since_origin;
+  }
+
+  constexpr Duration since_origin() const {
+    return Duration::nanos(ns_);
+  }
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    TimePoint out;
+    out.ns_ = t.ns_ + d.ns();
+    return out;
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// "12.345678 s" style rendering for logs and table output.
+inline std::string to_string(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f s", d.seconds_f());
+  return buf;
+}
+inline std::string to_string(TimePoint t) {
+  return to_string(t.since_origin());
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,30 @@
+#include "stats/metrics.h"
+
+namespace hydra::stats {
+
+double phy_header_byte_equivalent(const phy::PhyMode& mode,
+                                  const phy::PhyTimings& timings) {
+  const double seconds = timings.preamble.seconds_f();
+  return seconds * static_cast<double>(mode.rate.bits_per_second()) / 8.0;
+}
+
+double size_overhead(const mac::MacStats& stats, const phy::PhyMode& mode,
+                     const phy::PhyTimings& timings) {
+  if (stats.data_bytes_tx == 0) return 0.0;
+  const double phy_bytes =
+      phy_header_byte_equivalent(mode, timings) *
+      static_cast<double>(stats.data_frames_tx);
+  const double header_bytes =
+      static_cast<double>(stats.mac_header_bytes_tx) + phy_bytes;
+  return header_bytes /
+         (static_cast<double>(stats.data_bytes_tx) + phy_bytes);
+}
+
+double tx_percentage(const mac::MacStats& stats,
+                     const mac::MacStats& baseline) {
+  if (baseline.data_frames_tx == 0) return 0.0;
+  return static_cast<double>(stats.data_frames_tx) /
+         static_cast<double>(baseline.data_frames_tx);
+}
+
+}  // namespace hydra::stats

@@ -1,0 +1,32 @@
+// Derived metrics matching the paper's reporting conventions.
+#pragma once
+
+#include "mac/stats.h"
+#include "phy/mode.h"
+#include "phy/timing.h"
+
+namespace hydra::stats {
+
+// Byte-equivalent of the PHY header at a given data mode: the paper's
+// "size overhead" (Tables 3 and 6) counts PHY headers in bytes at the
+// frame's rate.
+double phy_header_byte_equivalent(const phy::PhyMode& mode,
+                                  const phy::PhyTimings& timings =
+                                      phy::default_timings());
+
+// Size overhead of a node's data transmissions: (MAC header bytes + PHY
+// header byte equivalent) / total bytes — Tables 3 and 6.
+double size_overhead(const mac::MacStats& stats, const phy::PhyMode& mode,
+                     const phy::PhyTimings& timings = phy::default_timings());
+
+// Average frame size including the node's share of padding (Tables 3, 5,
+// 8 report plain MAC bytes per data frame).
+inline double avg_frame_bytes(const mac::MacStats& stats) {
+  return stats.avg_frame_bytes();
+}
+
+// Transmission count relative to a baseline run (Tables 3 and 7).
+double tx_percentage(const mac::MacStats& stats,
+                     const mac::MacStats& baseline);
+
+}  // namespace hydra::stats

@@ -1,0 +1,69 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace hydra::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  HYDRA_ASSERT_MSG(cells.size() == headers_.size(),
+                   "row width != header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::bytes(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0fB", v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += (c == 0 ? "| " : " | ");
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    out += " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += (c == 0 ? "|-" : "-|-");
+    out.append(widths[c], '-');
+  }
+  out += "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print(std::FILE* out) const {
+  const auto s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace hydra::stats

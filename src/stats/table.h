@@ -1,0 +1,31 @@
+// Plain-text table renderer for the benchmark harness: each bench binary
+// prints the same rows the paper's tables and figure series report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hydra::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Formatting helpers for cells.
+  static std::string num(double v, int decimals = 3);
+  static std::string percent(double fraction, int decimals = 1);
+  static std::string bytes(double v);
+
+  // Renders with aligned columns to `out` (defaults to stdout).
+  void print(std::FILE* out = stdout) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hydra::stats

@@ -1,0 +1,50 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/assert.h"
+
+namespace hydra::stats {
+
+void ThroughputTimeline::record(sim::TimePoint t, std::uint64_t bytes) {
+  HYDRA_ASSERT(bin_width_.ns() > 0);
+  const auto bin = static_cast<std::size_t>(t.ns() / bin_width_.ns());
+  if (bin >= bytes_per_bin_.size()) bytes_per_bin_.resize(bin + 1, 0);
+  bytes_per_bin_[bin] += bytes;
+  total_ += bytes;
+}
+
+double ThroughputTimeline::mbps_in_bin(std::size_t i) const {
+  if (i >= bytes_per_bin_.size()) return 0.0;
+  return static_cast<double>(bytes_per_bin_[i]) * 8.0 /
+         bin_width_.seconds_f() / 1e6;
+}
+
+std::vector<double> ThroughputTimeline::mbps_series() const {
+  std::size_t last = bytes_per_bin_.size();
+  while (last > 0 && bytes_per_bin_[last - 1] == 0) --last;
+  std::vector<double> out(last);
+  for (std::size_t i = 0; i < last; ++i) out[i] = mbps_in_bin(i);
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& series) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series.empty()) return "";
+  const double peak = *std::max_element(series.begin(), series.end());
+  std::string out;
+  for (const double v : series) {
+    if (peak <= 0.0) {
+      out += kLevels[0];
+      continue;
+    }
+    const auto level = std::min<std::size_t>(
+        7, static_cast<std::size_t>(v / peak * 7.999));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace hydra::stats

@@ -1,0 +1,46 @@
+// Windowed time series: throughput-over-time for flows and airtime
+// shares for nodes. Used by examples and benches to show *when* a scheme
+// wins, not just by how much on average.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hydra::stats {
+
+// Accumulates (time, value) samples into fixed-width bins; report() turns
+// byte counts into per-bin Mbps.
+class ThroughputTimeline {
+ public:
+  explicit ThroughputTimeline(sim::Duration bin_width)
+      : bin_width_(bin_width) {}
+
+  // Records `bytes` delivered at `t`.
+  void record(sim::TimePoint t, std::uint64_t bytes);
+
+  sim::Duration bin_width() const { return bin_width_; }
+  std::size_t bins() const { return bytes_per_bin_.size(); }
+  std::uint64_t bytes_in_bin(std::size_t i) const {
+    return i < bytes_per_bin_.size() ? bytes_per_bin_[i] : 0;
+  }
+  std::uint64_t total_bytes() const { return total_; }
+
+  // Mean goodput of bin `i` in Mbps.
+  double mbps_in_bin(std::size_t i) const;
+  // All bins as Mbps, trailing empty bins trimmed.
+  std::vector<double> mbps_series() const;
+
+ private:
+  sim::Duration bin_width_;
+  std::vector<std::uint64_t> bytes_per_bin_;
+  std::uint64_t total_ = 0;
+};
+
+// Renders a compact ASCII sparkline of a series ("▁▂▅▇...") scaled to the
+// series maximum; empty input renders an empty string.
+std::string sparkline(const std::vector<double>& series);
+
+}  // namespace hydra::stats

@@ -1,0 +1,101 @@
+// Shared experiment harness: builds the paper's topologies (Figs. 5, 6),
+// installs static routes, attaches workloads and runs to completion.
+// Every bench binary, example and integration test drives experiments
+// through this API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "mac/rate_adaptation.h"
+#include "mac/stats.h"
+#include "phy/mode.h"
+#include "sim/time.h"
+#include "transport/tcp.h"
+
+namespace hydra::topo {
+
+enum class Topology {
+  kOneHop,    // 2 nodes (aggregation-size study, Fig. 7)
+  kTwoHop,    // 3 nodes in a line (Fig. 5 with N = 3)
+  kThreeHop,  // 4 nodes in a line (Fig. 5 with N = 4)
+  kStar,      // 4 nodes: two senders -> center -> one receiver (Fig. 6)
+};
+
+enum class TrafficKind {
+  kUdp,
+  kTcp,
+  // Two simultaneous file transfers in opposite directions along the
+  // chain (extension; the natural showcase for bi-directional
+  // aggregation, and the paper's §7 plan to mix traffic kinds).
+  kTcpBidirectional,
+};
+
+struct ExperimentConfig {
+  Topology topology = Topology::kTwoHop;
+  // Applied to every node. For delayed aggregation the paper delays only
+  // relay nodes; when `delay_min_subframes > 0` the endpoints run the
+  // same policy with the delay removed.
+  core::AggregationPolicy policy = core::AggregationPolicy::ba();
+  phy::PhyMode unicast_mode = phy::base_mode();
+  phy::PhyMode broadcast_mode = phy::base_mode();
+  bool use_rts_cts = true;
+  std::size_t queue_limit = 64;
+  // Optional link rate adaptation (extension; the paper pins rates).
+  mac::RateAdaptationScheme rate_adaptation = mac::RateAdaptationScheme::kNone;
+  // Transmit-power offset applied to every node (dB); the extension
+  // benches use it to sweep the operating SNR away from the paper's
+  // 25 dB point.
+  double tx_power_delta_db = 0.0;
+
+  TrafficKind traffic = TrafficKind::kTcp;
+
+  // TCP workload (paper §5): one-way 0.2 MB file transfer.
+  std::uint64_t tcp_file_bytes = 200'000;
+  transport::TcpConfig tcp;
+
+  // UDP workload.
+  std::uint32_t udp_payload_bytes = 1048;  // 1140 B MAC frames
+  sim::Duration udp_interval = sim::Duration::millis(100);
+  std::uint32_t udp_packets_per_tick = 4;
+  sim::Duration udp_duration = sim::Duration::seconds(20);
+
+  // Flooding load (Fig. 9): every node broadcasts at this interval.
+  bool flooding = false;
+  sim::Duration flood_interval = sim::Duration::seconds(1);
+  std::uint32_t flood_payload_bytes = 40;
+
+  std::uint64_t seed = 1;
+  sim::Duration max_sim_time = sim::Duration::seconds(600);
+};
+
+struct FlowResult {
+  double throughput_mbps = 0.0;
+  std::uint64_t bytes = 0;
+  sim::Duration elapsed;
+  bool completed = false;
+};
+
+struct ExperimentResult {
+  std::vector<FlowResult> flows;
+  std::vector<mac::MacStats> node_stats;
+  std::vector<std::uint32_t> relay_indices;
+  sim::Duration sim_time;
+
+  // Slowest session (the paper reports worst-case for the star).
+  double worst_throughput_mbps() const;
+  double total_throughput_mbps() const;
+  const mac::MacStats& relay_stats() const;  // first relay
+};
+
+// Runs one experiment configuration to completion.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// Number of nodes a topology instantiates.
+std::size_t node_count(Topology t);
+// Indices of relay (interior) nodes.
+std::vector<std::uint32_t> relay_indices(Topology t);
+
+}  // namespace hydra::topo

@@ -1,0 +1,84 @@
+#include "transport/mux.h"
+
+#include "util/assert.h"
+
+namespace hydra::transport {
+
+TransportMux::TransportMux(sim::Simulation& simulation,
+                           net::Ipv4Address local_ip)
+    : sim_(simulation), local_ip_(local_ip) {}
+
+UdpSocket& TransportMux::open_udp(net::Port local_port) {
+  HYDRA_ASSERT_MSG(!udp_.contains(local_port), "udp port in use");
+  auto socket = std::make_unique<UdpSocket>(
+      local_ip_, local_port,
+      [this](net::PacketPtr pkt) { send_packet(std::move(pkt)); });
+  auto& ref = *socket;
+  udp_.emplace(local_port, std::move(socket));
+  return ref;
+}
+
+TcpConnection& TransportMux::create_connection(net::Port local_port,
+                                               net::Endpoint remote,
+                                               const TcpConfig& config) {
+  auto conn = std::make_unique<TcpConnection>(
+      sim_, config, net::Endpoint{local_ip_, local_port}, remote,
+      [this](net::PacketPtr pkt) { send_packet(std::move(pkt)); });
+  auto& ref = *conn;
+  const auto [it, inserted] =
+      connections_.emplace(ConnKey{local_port, remote}, std::move(conn));
+  HYDRA_ASSERT_MSG(inserted, "duplicate tcp connection");
+  (void)it;
+  return ref;
+}
+
+TcpConnection& TransportMux::tcp_connect(net::Endpoint remote,
+                                         TcpConfig config) {
+  const auto port = next_ephemeral_++;
+  auto& conn = create_connection(port, remote, config);
+  conn.connect();
+  return conn;
+}
+
+void TransportMux::tcp_listen(net::Port port, TcpConfig config,
+                              std::function<void(TcpConnection&)> on_accept) {
+  HYDRA_ASSERT_MSG(!listeners_.contains(port), "port already listening");
+  listeners_.emplace(port, Listener{config, std::move(on_accept)});
+}
+
+void TransportMux::deliver(const net::PacketPtr& packet) {
+  HYDRA_ASSERT(packet != nullptr);
+  if (packet->udp) {
+    const auto it = udp_.find(packet->udp->dst_port);
+    if (it == udp_.end()) {
+      ++unmatched_;
+      return;
+    }
+    it->second->deliver(*packet);
+    return;
+  }
+  if (packet->tcp) {
+    const auto& h = *packet->tcp;
+    const ConnKey key{h.dst_port, {packet->ip.src, h.src_port}};
+    if (const auto it = connections_.find(key); it != connections_.end()) {
+      it->second->segment_arrived(*packet);
+      return;
+    }
+    // New connection: a SYN for a listening port.
+    if (h.flags.syn && !h.flags.ack) {
+      if (const auto lit = listeners_.find(h.dst_port);
+          lit != listeners_.end()) {
+        auto& conn = create_connection(h.dst_port, key.remote,
+                                       lit->second.config);
+        conn.accept(h);
+        if (lit->second.on_accept) lit->second.on_accept(conn);
+        return;
+      }
+    }
+    ++unmatched_;
+    return;
+  }
+  ++unmatched_;
+}
+
+}  // namespace hydra::transport

@@ -1,0 +1,24 @@
+// 32-bit TCP sequence-number arithmetic (wraparound-safe comparisons).
+#pragma once
+
+#include <cstdint>
+
+namespace hydra::transport {
+
+inline constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) {
+  return seq_lt(b, a);
+}
+inline constexpr bool seq_geq(std::uint32_t a, std::uint32_t b) {
+  return seq_leq(b, a);
+}
+inline constexpr std::uint32_t seq_diff(std::uint32_t a, std::uint32_t b) {
+  return a - b;  // modular distance from b to a
+}
+
+}  // namespace hydra::transport

@@ -1,0 +1,25 @@
+#include "transport/udp.h"
+
+#include "util/assert.h"
+
+namespace hydra::transport {
+
+UdpSocket::UdpSocket(net::Ipv4Address local_ip, net::Port local_port,
+                     SendPacket send)
+    : local_ip_(local_ip), local_port_(local_port), send_(std::move(send)) {
+  HYDRA_ASSERT(send_ != nullptr);
+}
+
+void UdpSocket::send_to(net::Endpoint dst, std::uint32_t payload_bytes) {
+  ++sent_;
+  send_(net::make_udp_packet(local_ip_, dst.address, local_port_, dst.port,
+                             payload_bytes));
+}
+
+void UdpSocket::deliver(const net::Packet& packet) {
+  ++received_;
+  bytes_received_ += packet.payload_bytes;
+  if (on_receive) on_receive(packet);
+}
+
+}  // namespace hydra::transport

@@ -1,0 +1,40 @@
+// Minimal UDP socket: datagram in, datagram out, no state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+
+namespace hydra::transport {
+
+class UdpSocket {
+ public:
+  using SendPacket = std::function<void(net::PacketPtr)>;
+
+  UdpSocket(net::Ipv4Address local_ip, net::Port local_port, SendPacket send);
+
+  // Sends a datagram with a synthetic payload of `payload_bytes`.
+  void send_to(net::Endpoint dst, std::uint32_t payload_bytes);
+
+  // Incoming datagram addressed to this socket.
+  std::function<void(const net::Packet&)> on_receive;
+
+  net::Port local_port() const { return local_port_; }
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t datagrams_received() const { return received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+  // Called by the mux.
+  void deliver(const net::Packet& packet);
+
+ private:
+  net::Ipv4Address local_ip_;
+  net::Port local_port_;
+  SendPacket send_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace hydra::transport

@@ -1,0 +1,38 @@
+// Lightweight always-on assertion macros.
+//
+// Simulation correctness depends on internal invariants (queue discipline,
+// state-machine transitions, wire-format bounds). These are cheap relative
+// to event processing, so they stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hydra::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "hydra: assertion failed: %s (%s:%d)%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hydra::detail
+
+// Assert that `expr` holds; aborts with a diagnostic otherwise.
+#define HYDRA_ASSERT(expr)                                               \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::hydra::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);  \
+  } while (0)
+
+// Assert with an explanatory message.
+#define HYDRA_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::hydra::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+// Marks a code path that must never execute.
+#define HYDRA_UNREACHABLE(msg) \
+  ::hydra::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

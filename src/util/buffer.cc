@@ -1,0 +1,76 @@
+#include "util/buffer.h"
+
+#include <array>
+
+namespace hydra {
+
+void BufferWriter::write_u16(std::uint16_t v) {
+  write_u8(static_cast<std::uint8_t>(v & 0xff));
+  write_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BufferWriter::write_u32(std::uint32_t v) {
+  write_u16(static_cast<std::uint16_t>(v & 0xffff));
+  write_u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void BufferWriter::write_u64(std::uint64_t v) {
+  write_u32(static_cast<std::uint32_t>(v & 0xffffffff));
+  write_u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BufferWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+std::uint8_t BufferReader::read_u8() {
+  HYDRA_ASSERT_MSG(can_read(1), "buffer underrun");
+  return data_[pos_++];
+}
+
+std::uint16_t BufferReader::read_u16() {
+  const auto lo = read_u8();
+  const auto hi = read_u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t BufferReader::read_u32() {
+  const std::uint32_t lo = read_u16();
+  const std::uint32_t hi = read_u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t BufferReader::read_u64() {
+  const std::uint64_t lo = read_u32();
+  const std::uint64_t hi = read_u32();
+  return lo | (hi << 32);
+}
+
+Bytes BufferReader::read_bytes(std::size_t n) {
+  HYDRA_ASSERT_MSG(can_read(n), "buffer underrun");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void BufferReader::skip(std::size_t n) {
+  HYDRA_ASSERT_MSG(can_read(n), "buffer underrun");
+  pos_ += n;
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr std::array<char, 16> kDigits = {
+      '0', '1', '2', '3', '4', '5', '6', '7',
+      '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kDigits[bytes[i] >> 4]);
+    out.push_back(kDigits[bytes[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace hydra

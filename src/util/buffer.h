@@ -1,0 +1,80 @@
+// Byte buffer with little-endian primitive encode/decode.
+//
+// 802.11 wire formats are little-endian; all MAC frames and the aggregate
+// layout are serialized through these helpers so tests can exercise real
+// byte-level round-trips and corruption.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hydra {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Append-only writer over an owned byte vector.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(std::size_t reserve) { data_.reserve(reserve); }
+
+  void write_u8(std::uint8_t v) { data_.push_back(v); }
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_bytes(std::span<const std::uint8_t> bytes);
+  // Appends `n` zero bytes (padding / synthetic payload).
+  void write_zeros(std::size_t n) { data_.insert(data_.end(), n, 0); }
+
+  std::size_t size() const { return data_.size(); }
+  std::span<const std::uint8_t> view() const { return data_; }
+  Bytes take() { return std::move(data_); }
+
+ private:
+  Bytes data_;
+};
+
+// Sequential reader over a borrowed byte span. The caller keeps the
+// underlying storage alive for the reader's lifetime.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  // Reads `n` bytes into a fresh vector.
+  Bytes read_bytes(std::size_t n);
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+  // True if at least `n` bytes remain; parse code uses this to fail
+  // gracefully on truncated frames instead of asserting.
+  bool can_read(std::size_t n) const { return remaining() >= n; }
+
+  // Borrowed view of `len` bytes starting at absolute position `pos`;
+  // does not move the cursor. Used by parsers to recompute checksums over
+  // already-consumed regions.
+  std::span<const std::uint8_t> slice(std::size_t pos, std::size_t len) const {
+    HYDRA_ASSERT(pos + len <= data_.size());
+    return data_.subspan(pos, len);
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Hex dump of a byte span, for diagnostics ("0a 1b ...").
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace hydra

@@ -1,0 +1,37 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace hydra {
+namespace {
+
+// Table for the reflected IEEE polynomial 0xEDB88320, built once.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) {
+  for (const auto byte : data) {
+    state = kTable[(state ^ byte) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_finalize(crc32_update(kCrc32Init, data));
+}
+
+}  // namespace hydra

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — the FCS used by 802.11.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hydra {
+
+// Computes the CRC-32 of `data` (init 0xffffffff, final xor 0xffffffff),
+// i.e. the value carried in an 802.11 frame check sequence field.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Incremental variant: feed `data` into a running CRC state. Start with
+// `kCrc32Init`, finish with `crc32_finalize`.
+inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data);
+inline std::uint32_t crc32_finalize(std::uint32_t state) {
+  return state ^ 0xffffffffu;
+}
+
+}  // namespace hydra

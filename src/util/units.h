@@ -1,0 +1,45 @@
+// Strong types for bit rates and byte counts used throughout the stack.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hydra {
+
+// A physical-layer data rate in bits per second. Strongly typed so a rate
+// is never confused with a byte count or a duration.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  constexpr explicit BitRate(std::uint64_t bits_per_second)
+      : bps_(bits_per_second) {}
+
+  static constexpr BitRate bps(std::uint64_t v) { return BitRate(v); }
+  static constexpr BitRate kbps(std::uint64_t v) { return BitRate(v * 1000); }
+  // Fractional Mbps appear throughout the paper (0.65, 1.3, ...); take
+  // kilobits to stay exact: BitRate::mbps_x100(65) == 0.65 Mbps.
+  static constexpr BitRate mbps_x100(std::uint64_t hundredths) {
+    return BitRate(hundredths * 10'000);
+  }
+
+  constexpr std::uint64_t bits_per_second() const { return bps_; }
+  constexpr double mbps() const { return static_cast<double>(bps_) / 1e6; }
+  constexpr bool is_zero() const { return bps_ == 0; }
+
+  friend constexpr auto operator<=>(BitRate, BitRate) = default;
+
+ private:
+  std::uint64_t bps_ = 0;
+};
+
+inline std::string to_string(BitRate r) {
+  const double mbps = r.mbps();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f Mbps", mbps);
+  return buf;
+}
+
+inline constexpr std::size_t kKiB = 1024;
+
+}  // namespace hydra

@@ -1,0 +1,229 @@
+// Full-system integration tests: end-to-end experiments over every
+// topology/policy combination the paper evaluates, with correctness and
+// trend assertions.
+#include <gtest/gtest.h>
+
+#include "topo/experiment.h"
+
+namespace hydra::topo {
+namespace {
+
+ExperimentConfig base_tcp(Topology t, core::AggregationPolicy policy,
+                          std::uint64_t file = 100'000) {
+  ExperimentConfig c;
+  c.topology = t;
+  c.policy = policy;
+  c.traffic = TrafficKind::kTcp;
+  c.tcp_file_bytes = file;
+  return c;
+}
+
+TEST(Integration, TwoHopTcpCompletesUnderEveryPolicy) {
+  for (const auto& policy :
+       {core::AggregationPolicy::na(), core::AggregationPolicy::ua(),
+        core::AggregationPolicy::ba(), core::AggregationPolicy::dba()}) {
+    const auto r = run_experiment(base_tcp(Topology::kTwoHop, policy));
+    ASSERT_EQ(r.flows.size(), 1u);
+    EXPECT_TRUE(r.flows[0].completed);
+    EXPECT_GT(r.flows[0].throughput_mbps, 0.05);
+  }
+}
+
+TEST(Integration, AggregationImprovesTcpThroughput) {
+  // The paper's headline trend (Fig. 11): BA > UA > NA, all at 1.3 Mbps.
+  auto cfg_na = base_tcp(Topology::kTwoHop, core::AggregationPolicy::na());
+  auto cfg_ua = base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua());
+  auto cfg_ba = base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba());
+  for (auto* cfg : {&cfg_na, &cfg_ua, &cfg_ba}) {
+    cfg->unicast_mode = phy::mode_by_index(1);
+    cfg->broadcast_mode = phy::mode_by_index(1);
+  }
+  const auto na = run_experiment(cfg_na);
+  const auto ua = run_experiment(cfg_ua);
+  const auto ba = run_experiment(cfg_ba);
+
+  EXPECT_GT(ua.flows[0].throughput_mbps, na.flows[0].throughput_mbps);
+  EXPECT_GT(ba.flows[0].throughput_mbps,
+            ua.flows[0].throughput_mbps * 0.99);
+}
+
+TEST(Integration, RelayAggregatesWithUa) {
+  auto cfg = base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua());
+  const auto r = run_experiment(cfg);
+  // The paper's Table 3: UA relay frames average far above a single
+  // maximum TCP segment because ~3 data frames share each aggregate.
+  EXPECT_GT(r.relay_stats().avg_frame_bytes(), 1700.0);
+  // Fewer floor acquisitions than subframes sent.
+  EXPECT_LT(r.relay_stats().data_frames_tx,
+            r.relay_stats().subframes_tx());
+}
+
+TEST(Integration, BaClassifiesAcksAtEveryHop) {
+  const auto r =
+      run_experiment(base_tcp(Topology::kTwoHop,
+                              core::AggregationPolicy::ba()));
+  // Relay and client both push pure ACKs through the broadcast portion.
+  EXPECT_GT(r.node_stats[1].broadcast_subframes_tx, 0u);
+  EXPECT_GT(r.node_stats[2].broadcast_subframes_tx, 0u);
+  // Under BA the client never link-acknowledges TCP ACK frames it relays.
+  EXPECT_GT(r.node_stats[1].dropped_not_for_us +
+                r.node_stats[0].dropped_not_for_us,
+            0u);
+}
+
+TEST(Integration, UaSendsNoBroadcastSubframes) {
+  const auto r =
+      run_experiment(base_tcp(Topology::kTwoHop,
+                              core::AggregationPolicy::ua()));
+  for (const auto& s : r.node_stats) {
+    EXPECT_EQ(s.broadcast_subframes_tx, 0u);
+  }
+}
+
+TEST(Integration, TransmissionCountShrinksWithAggregation) {
+  const auto na = run_experiment(
+      base_tcp(Topology::kTwoHop, core::AggregationPolicy::na()));
+  const auto ua = run_experiment(
+      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua()));
+  const auto ba = run_experiment(
+      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba()));
+
+  // Paper Table 3: UA ~33.7%, BA ~26.7% of NA transmissions.
+  const double ua_pct =
+      static_cast<double>(ua.relay_stats().data_frames_tx) /
+      static_cast<double>(na.relay_stats().data_frames_tx);
+  const double ba_pct =
+      static_cast<double>(ba.relay_stats().data_frames_tx) /
+      static_cast<double>(na.relay_stats().data_frames_tx);
+  EXPECT_LT(ua_pct, 0.6);
+  EXPECT_LT(ba_pct, ua_pct * 1.05);
+}
+
+TEST(Integration, ThreeHopCompletesAndIsSlowerThanTwoHop) {
+  const auto two = run_experiment(
+      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba()));
+  const auto three = run_experiment(
+      base_tcp(Topology::kThreeHop, core::AggregationPolicy::ba()));
+  EXPECT_TRUE(three.flows[0].completed);
+  EXPECT_LT(three.flows[0].throughput_mbps, two.flows[0].throughput_mbps);
+}
+
+TEST(Integration, StarTopologyBothSessionsComplete) {
+  auto cfg = base_tcp(Topology::kStar, core::AggregationPolicy::ba(),
+                      60'000);
+  const auto r = run_experiment(cfg);
+  ASSERT_EQ(r.flows.size(), 2u);
+  EXPECT_TRUE(r.flows[0].completed);
+  EXPECT_TRUE(r.flows[1].completed);
+  EXPECT_GT(r.worst_throughput_mbps(), 0.02);
+  // The centre node relays everything.
+  EXPECT_GT(r.relay_stats().data_frames_tx, 0u);
+}
+
+TEST(Integration, DelayedAggregationAppliesOnlyToRelays) {
+  auto cfg = base_tcp(Topology::kTwoHop, core::AggregationPolicy::dba(3),
+                      60'000);
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.flows[0].completed);
+  // DBA should aggregate at least as much as plain BA at the relay.
+  const auto ba = run_experiment(
+      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 60'000));
+  EXPECT_GE(r.relay_stats().avg_frame_bytes(),
+            ba.relay_stats().avg_frame_bytes() * 0.9);
+}
+
+TEST(Integration, UdpTwoHopThroughputPositive) {
+  ExperimentConfig cfg;
+  cfg.topology = Topology::kTwoHop;
+  cfg.traffic = TrafficKind::kUdp;
+  cfg.policy = core::AggregationPolicy::ua();
+  cfg.udp_duration = sim::Duration::seconds(10);
+  const auto r = run_experiment(cfg);
+  ASSERT_EQ(r.flows.size(), 1u);
+  EXPECT_GT(r.flows[0].throughput_mbps, 0.1);
+  // Saturated 0.65 Mbps channel over 2 hops cannot beat ~0.33 Mbps.
+  EXPECT_LT(r.flows[0].throughput_mbps, 0.65);
+}
+
+TEST(Integration, FloodingHurtsNoAggregationMore) {
+  // Fig. 9's trend: with aggressive flooding, aggregation keeps more
+  // UDP throughput than no aggregation.
+  ExperimentConfig agg;
+  agg.topology = Topology::kTwoHop;
+  agg.traffic = TrafficKind::kUdp;
+  agg.policy = core::AggregationPolicy::ba();
+  agg.flooding = true;
+  agg.flood_interval = sim::Duration::millis(500);
+  agg.udp_duration = sim::Duration::seconds(10);
+
+  ExperimentConfig na = agg;
+  na.policy = core::AggregationPolicy::na();
+
+  const auto r_agg = run_experiment(agg);
+  const auto r_na = run_experiment(na);
+  EXPECT_GT(r_agg.flows[0].throughput_mbps, r_na.flows[0].throughput_mbps);
+}
+
+TEST(Integration, ForwardAggregationAblation) {
+  // Fig. 14: BA with forward aggregation disabled still beats NA but
+  // loses to full BA at high rate.
+  auto full = base_tcp(Topology::kThreeHop, core::AggregationPolicy::ba(),
+                       60'000);
+  full.unicast_mode = phy::mode_by_index(3);
+  full.broadcast_mode = phy::mode_by_index(3);
+
+  auto backward_only = full;
+  backward_only.policy.forward_aggregation = false;
+
+  auto na = full;
+  na.policy = core::AggregationPolicy::na();
+
+  const auto r_full = run_experiment(full);
+  const auto r_back = run_experiment(backward_only);
+  const auto r_na = run_experiment(na);
+
+  EXPECT_GT(r_full.flows[0].throughput_mbps,
+            r_back.flows[0].throughput_mbps);
+  EXPECT_GT(r_back.flows[0].throughput_mbps, r_na.flows[0].throughput_mbps);
+}
+
+TEST(Integration, HigherRateRaisesThroughputButAlsoOverheadShare) {
+  auto slow = base_tcp(Topology::kTwoHop, core::AggregationPolicy::na(),
+                       60'000);
+  auto fast = slow;
+  fast.unicast_mode = phy::mode_by_index(3);
+  fast.broadcast_mode = phy::mode_by_index(3);
+
+  const auto r_slow = run_experiment(slow);
+  const auto r_fast = run_experiment(fast);
+  EXPECT_GT(r_fast.flows[0].throughput_mbps,
+            r_slow.flows[0].throughput_mbps);
+  // Table 4's key observation: overhead fraction grows with rate.
+  EXPECT_GT(r_fast.relay_stats().time.overhead_fraction(),
+            r_slow.relay_stats().time.overhead_fraction());
+}
+
+TEST(Integration, DeterministicForFixedSeed) {
+  const auto a = run_experiment(
+      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 40'000));
+  const auto b = run_experiment(
+      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 40'000));
+  EXPECT_EQ(a.flows[0].elapsed.ns(), b.flows[0].elapsed.ns());
+  EXPECT_EQ(a.relay_stats().data_frames_tx, b.relay_stats().data_frames_tx);
+}
+
+TEST(Integration, NoDuplicateDeliveryToTcp) {
+  // The §3.3 hazard: a TCP ACK heard by multiple nodes must reach the
+  // stack only at its addressed hop. If duplication happened, delivered
+  // bytes would overshoot; equality is exact.
+  for (const auto topo : {Topology::kTwoHop, Topology::kThreeHop}) {
+    const auto r =
+        run_experiment(base_tcp(topo, core::AggregationPolicy::ba(),
+                                80'000));
+    EXPECT_TRUE(r.flows[0].completed);
+    EXPECT_EQ(r.flows[0].bytes, 80'000u);
+  }
+}
+
+}  // namespace
+}  // namespace hydra::topo

@@ -1,0 +1,272 @@
+// Parameterized property tests: invariants that must hold across the
+// whole configuration space (policy × rate × topology × seed).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/aggregator.h"
+#include "mac/frames.h"
+#include "phy/error_model.h"
+#include "topo/experiment.h"
+
+namespace hydra {
+namespace {
+
+// ---------------------------------------------------------------------
+// TCP transfer correctness across the configuration space
+// ---------------------------------------------------------------------
+
+struct PolicyCase {
+  const char* name;
+  core::AggregationPolicy policy;
+};
+
+using TransferParam = std::tuple<int /*policy*/, int /*mode idx*/,
+                                 int /*seed*/>;
+using TopoParam = std::tuple<int /*policy*/, int /*topology*/>;
+
+const PolicyCase kPolicies[] = {
+    {"NA", core::AggregationPolicy::na()},
+    {"UA", core::AggregationPolicy::ua()},
+    {"BA", core::AggregationPolicy::ba()},
+    {"DBA", core::AggregationPolicy::dba()},
+};
+
+class TcpTransferProperty : public ::testing::TestWithParam<TransferParam> {};
+
+TEST_P(TcpTransferProperty, FileAlwaysDeliveredExactly) {
+  const auto [policy_idx, mode_idx, seed] = GetParam();
+  topo::ExperimentConfig cfg;
+  cfg.topology = topo::Topology::kTwoHop;
+  cfg.policy = kPolicies[policy_idx].policy;
+  cfg.unicast_mode = phy::mode_by_index(mode_idx);
+  cfg.broadcast_mode = phy::mode_by_index(mode_idx);
+  cfg.tcp_file_bytes = 60'000;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+
+  const auto r = run_experiment(cfg);
+  ASSERT_EQ(r.flows.size(), 1u);
+  EXPECT_TRUE(r.flows[0].completed)
+      << kPolicies[policy_idx].name << " mode " << mode_idx << " seed "
+      << seed;
+  EXPECT_GT(r.flows[0].throughput_mbps, 0.0);
+}
+
+std::string transfer_param_name(
+    const ::testing::TestParamInfo<TransferParam>& info) {
+  return std::string(kPolicies[std::get<0>(info.param)].name) + "_mode" +
+         std::to_string(std::get<1>(info.param)) + "_seed" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyRateSeedSweep, TcpTransferProperty,
+    ::testing::Combine(::testing::Range(0, 4),   // NA, UA, BA, DBA
+                       ::testing::Values(0, 1, 3),  // 0.65, 1.3, 2.6 Mbps
+                       ::testing::Values(1, 7)),
+    transfer_param_name);
+
+// ---------------------------------------------------------------------
+// Every policy on every topology delivers exactly, including the
+// bidirectional workload.
+// ---------------------------------------------------------------------
+
+class TopologyPolicyProperty : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(TopologyPolicyProperty, AllFlowsCompleteExactly) {
+  const auto [policy_idx, topo_idx] = GetParam();
+  const topo::Topology topologies[] = {topo::Topology::kTwoHop,
+                                       topo::Topology::kThreeHop,
+                                       topo::Topology::kStar};
+  topo::ExperimentConfig cfg;
+  cfg.topology = topologies[topo_idx];
+  cfg.policy = kPolicies[policy_idx].policy;
+  cfg.tcp_file_bytes = 50'000;
+  cfg.unicast_mode = phy::mode_by_index(1);
+  cfg.broadcast_mode = phy::mode_by_index(1);
+
+  const auto r = run_experiment(cfg);
+  for (const auto& flow : r.flows) {
+    EXPECT_TRUE(flow.completed)
+        << kPolicies[policy_idx].name << " topo " << topo_idx;
+    EXPECT_EQ(flow.bytes, 50'000u);
+  }
+  // Conservation at the MAC: every node delivered at least as many
+  // subframes up as it duplicated away.
+  for (const auto& s : r.node_stats) {
+    EXPECT_EQ(s.retry_drops, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PolicyTopoSweep, TopologyPolicyProperty,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 3)));
+
+class BidirectionalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BidirectionalProperty, OpposingTransfersBothComplete) {
+  topo::ExperimentConfig cfg;
+  cfg.topology = topo::Topology::kTwoHop;
+  cfg.policy = (GetParam() % 2 == 0) ? core::AggregationPolicy::ba()
+                                     : core::AggregationPolicy::ua();
+  cfg.traffic = topo::TrafficKind::kTcpBidirectional;
+  cfg.tcp_file_bytes = 40'000;
+  cfg.seed = static_cast<std::uint64_t>(GetParam() + 1);
+  const auto r = run_experiment(cfg);
+  ASSERT_EQ(r.flows.size(), 2u);
+  EXPECT_TRUE(r.flows[0].completed);
+  EXPECT_TRUE(r.flows[1].completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BidirectionalProperty,
+                         ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------
+// Aggregate assembly invariants across sizes and shapes
+// ---------------------------------------------------------------------
+
+class AggregatorSizeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AggregatorSizeProperty, NeverExceedsLimitUnlessSingleton) {
+  const auto [max_kb, n_frames] = GetParam();
+  auto policy = core::AggregationPolicy::ba();
+  policy.max_aggregate_bytes = static_cast<std::size_t>(max_kb) * 1024;
+  core::Aggregator agg(policy);
+  core::DualQueue q(128);
+
+  for (int i = 0; i < n_frames; ++i) {
+    mac::MacSubframe sf;
+    sf.receiver = mac::MacAddress(1);
+    sf.packet = net::make_tcp_packet(net::Ipv4Address::for_node(0),
+                                     net::Ipv4Address::for_node(1), 1, 2, 0,
+                                     0, {.ack = true}, 100, 1357);
+    q.unicast().push(sf, {});
+    mac::MacSubframe ack;
+    ack.receiver = mac::MacAddress(2);
+    ack.packet = net::make_tcp_packet(net::Ipv4Address::for_node(1),
+                                      net::Ipv4Address::for_node(0), 2, 1, 0,
+                                      0, {.ack = true}, 100, 0);
+    q.broadcast().push(ack, {});
+  }
+
+  while (!q.empty()) {
+    const auto frame = agg.build(q);
+    ASSERT_FALSE(frame.empty());
+    if (frame.subframe_count() > 1) {
+      EXPECT_LE(frame.total_wire_bytes(), policy.max_aggregate_bytes);
+    }
+    // Layout invariant: broadcast subframes precede unicast ones, and
+    // unicast subframes share one receiver.
+    for (std::size_t i = 1; i < frame.unicast.size(); ++i) {
+      EXPECT_EQ(frame.unicast[i].receiver, frame.unicast[0].receiver);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, AggregatorSizeProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 11,
+                                                              15),
+                                            ::testing::Values(1, 3, 8, 20)));
+
+// ---------------------------------------------------------------------
+// Subframe wire-size properties
+// ---------------------------------------------------------------------
+
+class SubframeSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubframeSizeProperty, AlignedBoundedAndRoundTrips) {
+  const auto payload = static_cast<std::uint32_t>(GetParam());
+  const auto pkt = net::make_udp_packet(net::Ipv4Address::for_node(0),
+                                        net::Ipv4Address::for_node(1), 1, 2,
+                                        payload);
+  mac::MacSubframe sf;
+  sf.receiver = mac::MacAddress(1);
+  sf.transmitter = mac::MacAddress(2);
+  sf.source = mac::MacAddress(2);
+  sf.packet = pkt;
+
+  const auto wire = sf.wire_bytes();
+  EXPECT_EQ(wire % mac::kSubframeAlign, 0u);
+  EXPECT_GE(wire, mac::kMinSubframeBytes);
+
+  const auto bytes = sf.serialize();
+  ASSERT_EQ(bytes.size(), wire);
+  BufferReader r(bytes);
+  const auto parsed = mac::MacSubframe::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->packet->payload_bytes, payload);
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSweep, SubframeSizeProperty,
+                         ::testing::Values(0, 1, 3, 50, 99, 128, 500, 1000,
+                                           1357, 1472));
+
+// ---------------------------------------------------------------------
+// Error-model monotonicity
+// ---------------------------------------------------------------------
+
+class ErrorModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErrorModelProperty, ErrorNeverDecreasesWithFrameOffset) {
+  const auto mode_idx = static_cast<std::size_t>(GetParam());
+  const phy::ErrorModel model;
+  const auto& mode = phy::mode_by_index(mode_idx);
+  double prev = -1.0;
+  for (std::int64_t ms = 0; ms <= 120; ms += 5) {
+    const auto p = model.subframe_error_probability(
+        mode, 25.0, 1464, sim::Duration::millis(ms));
+    EXPECT_GE(p, prev - 1e-12) << "offset " << ms << " ms";
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST_P(ErrorModelProperty, ErrorDecreasesWithSnr) {
+  const auto mode_idx = static_cast<std::size_t>(GetParam());
+  const phy::ErrorModel model;
+  const auto& mode = phy::mode_by_index(mode_idx);
+  double prev = 2.0;
+  for (double snr = 0; snr <= 40; snr += 2.5) {
+    const auto p = model.subframe_error_probability(
+        mode, snr, 1000, sim::Duration::millis(10));
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ErrorModelProperty,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Conservation across UDP experiments
+// ---------------------------------------------------------------------
+
+class UdpConservationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UdpConservationProperty, SinkNeverExceedsSource) {
+  topo::ExperimentConfig cfg;
+  cfg.topology = topo::Topology::kTwoHop;
+  cfg.policy = (GetParam() % 2 == 0) ? core::AggregationPolicy::ba()
+                                     : core::AggregationPolicy::na();
+  cfg.traffic = topo::TrafficKind::kUdp;
+  cfg.udp_duration = sim::Duration::seconds(5);
+  cfg.udp_packets_per_tick = static_cast<std::uint32_t>(1 + GetParam());
+  cfg.seed = static_cast<std::uint64_t>(GetParam() + 1);
+
+  const auto r = run_experiment(cfg);
+  ASSERT_EQ(r.flows.size(), 1u);
+  // Delivered payload cannot exceed offered load.
+  const double offered_packets =
+      (cfg.udp_duration / cfg.udp_interval + 1) * cfg.udp_packets_per_tick;
+  EXPECT_LE(static_cast<double>(r.flows[0].bytes),
+            offered_packets * cfg.udp_payload_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, UdpConservationProperty,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,155 @@
+// Rate adaptation: ARF and SNR-feedback adapters, plus end-to-end
+// behaviour over links of varying quality.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/udp_sink.h"
+#include "mac/rate_adaptation.h"
+#include "net/node.h"
+#include "phy/medium.h"
+#include "sim/simulation.h"
+
+namespace hydra::mac {
+namespace {
+
+TEST(Arf, ClimbsAfterSuccessRun) {
+  ArfAdapter arf({.success_threshold = 10}, 0);
+  for (int i = 0; i < 9; ++i) arf.on_tx_result(true);
+  EXPECT_EQ(arf.mode_index(), 0u);
+  arf.on_tx_result(true);  // 10th
+  EXPECT_EQ(arf.mode_index(), 1u);
+  EXPECT_EQ(arf.raises(), 1u);
+}
+
+TEST(Arf, FallsAfterConsecutiveFailures) {
+  ArfAdapter arf({.failure_threshold = 2}, 3);
+  arf.on_tx_result(false);
+  EXPECT_EQ(arf.mode_index(), 3u);  // one failure: hold
+  arf.on_tx_result(false);
+  EXPECT_EQ(arf.mode_index(), 2u);
+  EXPECT_EQ(arf.falls(), 1u);
+}
+
+TEST(Arf, SuccessResetsFailureCount) {
+  ArfAdapter arf({.failure_threshold = 2}, 3);
+  arf.on_tx_result(false);
+  arf.on_tx_result(true);
+  arf.on_tx_result(false);
+  EXPECT_EQ(arf.mode_index(), 3u);  // never two in a row
+}
+
+TEST(Arf, ProbeFailureFallsBackImmediately) {
+  ArfAdapter arf({.success_threshold = 2, .failure_threshold = 2}, 0);
+  arf.on_tx_result(true);
+  arf.on_tx_result(true);  // raise to 1, probing
+  ASSERT_EQ(arf.mode_index(), 1u);
+  arf.on_tx_result(false);  // single probe failure is enough
+  EXPECT_EQ(arf.mode_index(), 0u);
+}
+
+TEST(Arf, RespectsBounds) {
+  ArfAdapter arf({.success_threshold = 1, .failure_threshold = 1,
+                  .min_index = 1, .max_index = 2},
+                 1);
+  arf.on_tx_result(false);
+  EXPECT_EQ(arf.mode_index(), 1u);  // already at min
+  arf.on_tx_result(true);
+  arf.on_tx_result(true);
+  EXPECT_EQ(arf.mode_index(), 2u);
+  arf.on_tx_result(true);
+  EXPECT_EQ(arf.mode_index(), 2u);  // capped at max
+}
+
+TEST(Snr, PicksFastestClearingMode) {
+  SnrAdapter snr({.margin_db = 2.0}, 0);
+  // 25 dB clears everything except the 64-QAM rates (required 25.5+).
+  snr.on_feedback_snr(25.0);
+  EXPECT_EQ(snr.mode_index(), 4u);  // 16-QAM 3/4 (req 17 + 2 <= 25)
+  // Weak link: only BPSK 1/2 (req 4 + 2 <= 7).
+  snr.on_feedback_snr(7.0);
+  EXPECT_EQ(snr.mode_index(), 0u);
+  // Very strong link: top of the table.
+  snr.on_feedback_snr(40.0);
+  EXPECT_EQ(snr.mode_index(), 7u);
+}
+
+TEST(Snr, HonoursMaxIndex) {
+  SnrAdapter snr({.margin_db = 2.0, .max_index = 3}, 0);
+  snr.on_feedback_snr(40.0);
+  EXPECT_EQ(snr.mode_index(), 3u);
+}
+
+TEST(Factory, SchemeSelection) {
+  EXPECT_EQ(make_rate_adapter(RateAdaptationScheme::kNone, 0), nullptr);
+  auto arf = make_rate_adapter(RateAdaptationScheme::kArf, 2);
+  ASSERT_NE(arf, nullptr);
+  EXPECT_EQ(arf->mode_index(), 2u);
+  auto snr = make_rate_adapter(RateAdaptationScheme::kSnr, 1);
+  ASSERT_NE(snr, nullptr);
+  EXPECT_EQ(snr->mode_index(), 1u);
+}
+
+// --- end-to-end ------------------------------------------------------------
+
+struct Link {
+  sim::Simulation sim{3};
+  phy::Medium medium{sim};
+  std::unique_ptr<net::Node> a;
+  std::unique_ptr<net::Node> b;
+
+  Link(double distance_m, mac::RateAdaptationScheme scheme,
+       std::size_t initial_mode) {
+    net::NodeConfig nc;
+    nc.policy = core::AggregationPolicy::ua();
+    nc.rate_adaptation = scheme;
+    nc.unicast_mode = phy::mode_by_index(initial_mode);
+    nc.position = {0, 0};
+    a = std::make_unique<net::Node>(sim, medium, 0, nc);
+    nc.position = {distance_m, 0};
+    b = std::make_unique<net::Node>(sim, medium, 1, nc);
+  }
+};
+
+TEST(RateAdaptationE2E, SnrAdapterSettlesBelow64QamAtPaperSnr) {
+  // At 2.5 m (25 dB) the 64-QAM rates are unusable; the SNR adapter must
+  // settle on a non-64-QAM mode even when started at the top rate.
+  Link link(2.5, mac::RateAdaptationScheme::kSnr, 7);
+  app::UdpSinkApp sink(link.sim, *link.b, 9001);
+  auto& socket = link.a->transport().open_udp(9000);
+  for (int i = 0; i < 30; ++i) socket.send_to({link.b->ip(), 9001}, 1048);
+  link.sim.run_for(sim::Duration::seconds(10));
+
+  EXPECT_EQ(sink.packets(), 30u);
+  ASSERT_NE(link.a->mac().rate_adapter(), nullptr);
+  EXPECT_LE(link.a->mac().rate_adapter()->mode_index(), 4u);
+}
+
+TEST(RateAdaptationE2E, ArfEscapesAHopelessStartingRate) {
+  // Start at 64-QAAM 5/6 on a 25 dB link: every aggregate fails; ARF must
+  // walk down until traffic flows.
+  Link link(2.5, mac::RateAdaptationScheme::kArf, 7);
+  app::UdpSinkApp sink(link.sim, *link.b, 9001);
+  auto& socket = link.a->transport().open_udp(9000);
+  for (int i = 0; i < 10; ++i) socket.send_to({link.b->ip(), 9001}, 1048);
+  link.sim.run_for(sim::Duration::seconds(30));
+
+  EXPECT_EQ(sink.packets(), 10u);
+  EXPECT_LT(link.a->mac().rate_adapter()->mode_index(), 7u);
+}
+
+TEST(RateAdaptationE2E, WeakLinkForcesRobustModes) {
+  // ~10 m: SNR drops to ~7 dB; only the most robust rates work. The SNR
+  // adapter should land at BPSK 1/2 and still deliver.
+  Link link(10.0, mac::RateAdaptationScheme::kSnr, 4);
+  app::UdpSinkApp sink(link.sim, *link.b, 9001);
+  auto& socket = link.a->transport().open_udp(9000);
+  for (int i = 0; i < 10; ++i) socket.send_to({link.b->ip(), 9001}, 1048);
+  link.sim.run_for(sim::Duration::seconds(60));
+
+  EXPECT_GE(sink.packets(), 8u);  // the odd residual loss is acceptable
+  EXPECT_LE(link.a->mac().rate_adapter()->mode_index(), 1u);
+}
+
+}  // namespace
+}  // namespace hydra::mac

@@ -1,0 +1,231 @@
+// Robustness & fuzz tests: randomized scheduler workloads checked
+// against a reference model, TCP under random bidirectional loss,
+// airtime-capped aggregation invariants, and time-series accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/simulation.h"
+#include "stats/timeseries.h"
+#include "transport/mux.h"
+
+namespace hydra {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scheduler fuzz: random schedule/cancel interleavings must execute in
+// exact (time, insertion) order and never run cancelled events.
+// ---------------------------------------------------------------------
+
+class SchedulerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerFuzz, MatchesReferenceModel) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  sim::Scheduler sched;
+
+  struct Ref {
+    std::int64_t at_ns;
+    std::uint64_t seq;
+    bool cancelled = false;
+  };
+  std::vector<Ref> reference;
+  std::vector<sim::EventId> ids;
+  std::vector<std::uint64_t> executed;
+
+  for (int i = 0; i < 400; ++i) {
+    const auto at = sim::Duration::micros(
+        static_cast<std::int64_t>(rng.uniform_int(0, 10'000)));
+    const auto seq = static_cast<std::uint64_t>(i);
+    ids.push_back(sched.schedule_at(sim::TimePoint::at(at), [&executed, seq] {
+      executed.push_back(seq);
+    }));
+    reference.push_back({at.ns(), seq});
+    // Randomly cancel an earlier (possibly already recorded) event.
+    if (rng.bernoulli(0.25)) {
+      const auto victim = rng.uniform_int(0, ids.size() - 1);
+      if (sched.cancel(ids[victim])) {
+        reference[victim].cancelled = true;
+      }
+    }
+  }
+  sched.run();
+
+  std::vector<std::uint64_t> expected;
+  std::vector<std::size_t> order(reference.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return reference[a].at_ns < reference[b].at_ns;
+                   });
+  for (const auto i : order) {
+    if (!reference[i].cancelled) expected.push_back(reference[i].seq);
+  }
+  EXPECT_EQ(executed, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------
+// TCP under random loss in both directions
+// ---------------------------------------------------------------------
+
+using LossParam = std::tuple<int /*loss pct*/, int /*seed*/>;
+
+class TcpRandomLoss : public ::testing::TestWithParam<LossParam> {};
+
+TEST_P(TcpRandomLoss, TransferIsExactDespiteLoss) {
+  const auto [loss_pct, seed] = GetParam();
+  sim::Simulation sim(static_cast<std::uint64_t>(seed));
+  sim::Rng drop_rng(static_cast<std::uint64_t>(seed) * 7919);
+
+  transport::TransportMux a(sim, net::Ipv4Address::for_node(0));
+  transport::TransportMux b(sim, net::Ipv4Address::for_node(1));
+  const double p = loss_pct / 100.0;
+  const auto pipe = [&](transport::TransportMux& dst) {
+    return [&sim, &dst, &drop_rng, p](net::PacketPtr pkt) {
+      if (drop_rng.bernoulli(p)) return;
+      sim.scheduler().schedule_in(sim::Duration::millis(5),
+                                  [&dst, pkt] { dst.deliver(pkt); });
+    };
+  };
+  a.send_packet = pipe(b);
+  b.send_packet = pipe(a);
+
+  std::uint64_t received = 0;
+  b.tcp_listen(5001, {}, [&](transport::TcpConnection& c) {
+    c.on_data = [&](std::uint64_t n) { received += n; };
+  });
+  auto& client = a.tcp_connect({net::Ipv4Address::for_node(1), 5001});
+  client.send(120'000);
+  sim.run_for(sim::Duration::seconds(600));
+
+  EXPECT_EQ(received, 120'000u)
+      << "loss " << loss_pct << "% seed " << seed;
+  if (loss_pct > 0) {
+    EXPECT_GT(client.stats().retransmits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, TcpRandomLoss,
+                         ::testing::Combine(::testing::Values(0, 2, 5, 10,
+                                                              20),
+                                            ::testing::Values(1, 2)));
+
+// ---------------------------------------------------------------------
+// Airtime-capped aggregation invariants
+// ---------------------------------------------------------------------
+
+class AirtimeCapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AirtimeCapProperty, FramesNeverExceedTheAirtimeBudget) {
+  const auto mode_idx = static_cast<std::size_t>(GetParam());
+  auto policy = core::AggregationPolicy::ba();
+  policy.max_aggregate_airtime = sim::Duration::millis(48);
+  core::Aggregator agg(policy);
+  const auto& mode = phy::mode_by_index(mode_idx);
+  agg.set_modes(mode, mode);
+
+  core::DualQueue q(256);
+  for (int i = 0; i < 80; ++i) {
+    mac::MacSubframe data;
+    data.receiver = mac::MacAddress(1);
+    data.packet = net::make_udp_packet(net::Ipv4Address::for_node(0),
+                                       net::Ipv4Address::for_node(1), 1, 2,
+                                       1048);
+    q.unicast().push(data, {});
+    mac::MacSubframe ack;
+    ack.receiver = mac::MacAddress(2);
+    ack.packet = net::make_tcp_packet(net::Ipv4Address::for_node(1),
+                                      net::Ipv4Address::for_node(0), 2, 1, 0,
+                                      0, {.ack = true}, 100, 0);
+    q.broadcast().push(ack, {});
+  }
+
+  while (!q.empty()) {
+    const auto frame = agg.build(q);
+    ASSERT_FALSE(frame.empty());
+    sim::Duration airtime = sim::Duration::zero();
+    for (const auto& sf : frame.broadcast) {
+      airtime += phy::payload_airtime(sf.wire_bytes(), mode);
+    }
+    for (const auto& sf : frame.unicast) {
+      airtime += phy::payload_airtime(sf.wire_bytes(), mode);
+    }
+    if (frame.subframe_count() > 1) {
+      EXPECT_LE(airtime, policy.max_aggregate_airtime);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AirtimeCapProperty, ::testing::Range(0, 5));
+
+TEST(AirtimeCap, AdmitsMoreAtHigherRates) {
+  auto policy = core::AggregationPolicy::ua();
+  policy.max_aggregate_airtime = sim::Duration::millis(48);
+
+  const auto frames_at = [&](std::size_t mode_idx) {
+    core::Aggregator agg(policy);
+    const auto& mode = phy::mode_by_index(mode_idx);
+    agg.set_modes(mode, mode);
+    core::DualQueue q(256);
+    for (int i = 0; i < 40; ++i) {
+      mac::MacSubframe sf;
+      sf.receiver = mac::MacAddress(1);
+      sf.packet = net::make_udp_packet(net::Ipv4Address::for_node(0),
+                                       net::Ipv4Address::for_node(1), 1, 2,
+                                       1048);
+      q.unicast().push(sf, {});
+    }
+    std::size_t frames = 0;
+    while (!q.empty()) {
+      agg.build(q);
+      ++frames;
+    }
+    return frames;
+  };
+
+  // 40 packets at 0.65 Mbps need many frames; at 2.6 Mbps a handful.
+  EXPECT_GT(frames_at(0), frames_at(3) * 2);
+}
+
+// ---------------------------------------------------------------------
+// Time-series accounting
+// ---------------------------------------------------------------------
+
+TEST(Timeline, BinsAndTotals) {
+  stats::ThroughputTimeline tl(sim::Duration::seconds(1));
+  tl.record(sim::TimePoint::at(sim::Duration::millis(100)), 125'000);
+  tl.record(sim::TimePoint::at(sim::Duration::millis(900)), 125'000);
+  tl.record(sim::TimePoint::at(sim::Duration::millis(2'500)), 250'000);
+
+  EXPECT_EQ(tl.total_bytes(), 500'000u);
+  EXPECT_EQ(tl.bins(), 3u);
+  EXPECT_EQ(tl.bytes_in_bin(0), 250'000u);
+  EXPECT_EQ(tl.bytes_in_bin(1), 0u);
+  EXPECT_EQ(tl.bytes_in_bin(2), 250'000u);
+  // 250 KB in a 1 s bin = 2 Mbps.
+  EXPECT_DOUBLE_EQ(tl.mbps_in_bin(0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.mbps_in_bin(1), 0.0);
+  EXPECT_EQ(tl.mbps_in_bin(99), 0.0);
+
+  const auto series = tl.mbps_series();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[2], 2.0);
+}
+
+TEST(Timeline, SparklineRendersRelativeLevels) {
+  EXPECT_EQ(stats::sparkline({}), "");
+  const auto flat = stats::sparkline({0.0, 0.0});
+  EXPECT_EQ(flat, "▁▁");
+  const auto ramp = stats::sparkline({0.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(ramp, "▁▂▄█");
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,95 @@
+// Tests for the metric/table helpers used by the benchmark harness.
+#include <gtest/gtest.h>
+
+#include "mac/stats.h"
+#include "stats/metrics.h"
+#include "stats/table.h"
+#include "topo/experiment.h"
+
+namespace hydra::stats {
+namespace {
+
+TEST(TableTest, AlignedRendering) {
+  Table t({"Rate", "NA", "UA"});
+  t.add_row({"0.65", "22.4%", "6.7%"});
+  t.add_row({"2.6", "52.1%", "24.8%"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| Rate | NA    | UA    |"), std::string::npos);
+  EXPECT_NE(s.find("| 0.65 | 22.4% | 6.7%  |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|------|"), std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.7, 0), "3");  // rounds
+  EXPECT_EQ(Table::percent(0.224), "22.4%");
+  EXPECT_EQ(Table::percent(0.0655, 2), "6.55%");
+  EXPECT_EQ(Table::bytes(2662.4), "2662B");
+}
+
+TEST(Metrics, PhyHeaderByteEquivalent) {
+  // 320 us of preamble at 0.65 Mbps is 26 bytes; at 2.6 Mbps, 104 bytes.
+  EXPECT_NEAR(phy_header_byte_equivalent(phy::mode_by_index(0)), 26.0, 0.5);
+  EXPECT_NEAR(phy_header_byte_equivalent(phy::mode_by_index(3)), 104.0, 1.0);
+}
+
+TEST(Metrics, SizeOverheadUsesMacAndPhyHeaders) {
+  mac::MacStats s;
+  s.data_frames_tx = 10;
+  s.data_bytes_tx = 7650;          // 765 B average frame (paper NA)
+  s.mac_header_bytes_tx = 900;     // 90 B per frame
+  const auto overhead = size_overhead(s, phy::mode_by_index(0));
+  // (900 + 10*26) / (7650 + 10*26) ≈ 14.7% — close to the paper's 15.1%.
+  EXPECT_NEAR(overhead, 0.147, 0.01);
+}
+
+TEST(Metrics, SizeOverheadZeroWhenIdle) {
+  EXPECT_EQ(size_overhead(mac::MacStats{}, phy::mode_by_index(0)), 0.0);
+}
+
+TEST(Metrics, TxPercentage) {
+  mac::MacStats na, ua;
+  na.data_frames_tx = 300;
+  ua.data_frames_tx = 101;
+  EXPECT_NEAR(tx_percentage(ua, na), 0.3367, 0.001);
+  EXPECT_EQ(tx_percentage(ua, mac::MacStats{}), 0.0);
+}
+
+TEST(Metrics, TimeAccountingOverheadFraction) {
+  mac::TimeAccounting t;
+  t.payload = sim::Duration::millis(80);
+  t.mac_header = sim::Duration::millis(5);
+  t.phy_header = sim::Duration::millis(5);
+  t.control = sim::Duration::millis(5);
+  t.ifs = sim::Duration::millis(3);
+  t.backoff = sim::Duration::millis(2);
+  EXPECT_EQ(t.overhead(), sim::Duration::millis(20));
+  EXPECT_DOUBLE_EQ(t.overhead_fraction(), 0.2);
+}
+
+TEST(Metrics, AvgFrameBytes) {
+  mac::MacStats s;
+  EXPECT_EQ(s.avg_frame_bytes(), 0.0);
+  s.data_frames_tx = 4;
+  s.data_bytes_tx = 10'000;
+  EXPECT_DOUBLE_EQ(s.avg_frame_bytes(), 2500.0);
+}
+
+TEST(Topology, NodeCountsAndRelays) {
+  using topo::Topology;
+  EXPECT_EQ(topo::node_count(Topology::kOneHop), 2u);
+  EXPECT_EQ(topo::node_count(Topology::kTwoHop), 3u);
+  EXPECT_EQ(topo::node_count(Topology::kThreeHop), 4u);
+  EXPECT_EQ(topo::node_count(Topology::kStar), 4u);
+  EXPECT_TRUE(topo::relay_indices(Topology::kOneHop).empty());
+  EXPECT_EQ(topo::relay_indices(Topology::kTwoHop),
+            (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(topo::relay_indices(Topology::kThreeHop),
+            (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(topo::relay_indices(Topology::kStar),
+            (std::vector<std::uint32_t>{1}));
+}
+
+}  // namespace
+}  // namespace hydra::stats

@@ -1,0 +1,217 @@
+// TCP edge cases: window clamping, silly-window avoidance, go-back-N
+// semantics, receiver reassembly corner cases, RTT/RTO evolution.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+#include "transport/mux.h"
+#include "transport/tcp.h"
+
+namespace hydra::transport {
+namespace {
+
+const auto kIpA = net::Ipv4Address::for_node(0);
+const auto kIpB = net::Ipv4Address::for_node(1);
+
+// Records every packet crossing the pipe for post-hoc assertions.
+struct InspectedPipe {
+  sim::Simulation sim{1};
+  TransportMux a{sim, kIpA};
+  TransportMux b{sim, kIpB};
+  std::vector<net::Packet> a_to_b;
+  std::vector<net::Packet> b_to_a;
+  std::function<bool(const net::Packet&)> drop_a_to_b = [](auto&) {
+    return false;
+  };
+
+  InspectedPipe() {
+    a.send_packet = [this](net::PacketPtr p) {
+      a_to_b.push_back(*p);
+      if (drop_a_to_b(*p)) return;
+      sim.scheduler().schedule_in(sim::Duration::millis(5),
+                                  [this, p] { b.deliver(p); });
+    };
+    b.send_packet = [this](net::PacketPtr p) {
+      b_to_a.push_back(*p);
+      sim.scheduler().schedule_in(sim::Duration::millis(5),
+                                  [this, p] { a.deliver(p); });
+    };
+  }
+};
+
+TEST(TcpEdge, FlightNeverExceedsReceiverWindow) {
+  TcpConfig cfg;
+  cfg.recv_window = 4 * cfg.mss;  // tight window
+  InspectedPipe pipe;
+  std::uint64_t received = 0;
+  pipe.b.tcp_listen(5001, cfg, [&](TcpConnection& c) {
+    c.on_data = [&](std::uint64_t n) { received += n; };
+  });
+  auto& client = pipe.a.tcp_connect({kIpB, 5001}, cfg);
+  client.send(60'000);
+
+  // Check the invariant at every event boundary.
+  std::uint64_t max_flight = 0;
+  while (pipe.sim.scheduler().pending_events() > 0) {
+    pipe.sim.scheduler().step();
+    max_flight = std::max(max_flight, client.bytes_in_flight());
+  }
+  EXPECT_EQ(received, 60'000u);
+  EXPECT_LE(max_flight, std::uint64_t{4} * cfg.mss + 1);  // +1 for the FIN
+}
+
+TEST(TcpEdge, AllMidStreamSegmentsAreFullMss) {
+  // The silly-window guard: only the final segment may be sub-MSS.
+  InspectedPipe pipe;
+  pipe.b.tcp_listen(5001, {}, [](TcpConnection&) {});
+  auto& client = pipe.a.tcp_connect({kIpB, 5001});
+  client.send(10 * 1357 + 500);
+  pipe.sim.run_for(sim::Duration::seconds(30));
+
+  std::vector<std::uint32_t> data_sizes;
+  for (const auto& p : pipe.a_to_b) {
+    if (p.payload_bytes > 0) data_sizes.push_back(p.payload_bytes);
+  }
+  ASSERT_EQ(data_sizes.size(), 11u);
+  for (std::size_t i = 0; i + 1 < data_sizes.size(); ++i) {
+    EXPECT_EQ(data_sizes[i], 1357u) << "segment " << i;
+  }
+  EXPECT_EQ(data_sizes.back(), 500u);
+}
+
+TEST(TcpEdge, PureAcksCarryNoPayloadAndCorrectFields) {
+  InspectedPipe pipe;
+  pipe.b.tcp_listen(5001, {}, [](TcpConnection&) {});
+  auto& client = pipe.a.tcp_connect({kIpB, 5001});
+  client.send(3 * 1357);
+  pipe.sim.run_for(sim::Duration::seconds(10));
+
+  int pure_acks = 0;
+  for (const auto& p : pipe.b_to_a) {
+    if (p.is_pure_tcp_ack()) {
+      ++pure_acks;
+      EXPECT_EQ(p.payload_bytes, 0u);
+      EXPECT_TRUE(p.tcp->flags.ack);
+      EXPECT_GT(p.tcp->window, 0u);
+    }
+  }
+  EXPECT_GE(pure_acks, 3);  // one per data segment (at least)
+}
+
+TEST(TcpEdge, RtoBacksOffExponentiallyDuringBlackout) {
+  InspectedPipe pipe;
+  pipe.b.tcp_listen(5001, {}, [](TcpConnection&) {});
+  auto& client = pipe.a.tcp_connect({kIpB, 5001});
+  bool blackout = false;
+  pipe.drop_a_to_b = [&](const net::Packet&) { return blackout; };
+  client.send(20 * 1357);
+  pipe.sim.scheduler().schedule_in(sim::Duration::millis(30),
+                                   [&] { blackout = true; });
+  const auto rto_before = client.current_rto();
+  pipe.sim.run_for(sim::Duration::seconds(10));
+  // Several timeouts later the RTO has grown well past its floor.
+  EXPECT_GE(client.stats().timeouts, 3u);
+  EXPECT_GT(client.current_rto().ns(), 2 * rto_before.ns());
+}
+
+TEST(TcpEdge, DuplicateDataIsAckedButNotRedelivered) {
+  InspectedPipe pipe;
+  std::uint64_t received = 0;
+  TcpConnection* server = nullptr;
+  pipe.b.tcp_listen(5001, {}, [&](TcpConnection& c) {
+    server = &c;
+    c.on_data = [&](std::uint64_t n) { received += n; };
+  });
+  auto& client = pipe.a.tcp_connect({kIpB, 5001});
+  client.send(2 * 1357);
+  pipe.sim.run_for(sim::Duration::seconds(5));
+  ASSERT_EQ(received, 2u * 1357);
+
+  // Replay the first data segment at the server.
+  net::Packet replay;
+  bool found = false;
+  for (const auto& p : pipe.a_to_b) {
+    if (p.payload_bytes > 0) {
+      replay = p;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  const auto acks_before = server->stats().acks_sent;
+  server->segment_arrived(replay);
+  EXPECT_EQ(received, 2u * 1357);  // no duplicate delivery
+  EXPECT_EQ(server->stats().acks_sent, acks_before + 1);  // but re-ACKed
+}
+
+TEST(TcpEdge, ReceiverMergesInterleavedOutOfOrderBlocks) {
+  // Feed a server segments 1,3,5,2,4 directly and verify in-order
+  // delivery with correct deltas.
+  sim::Simulation sim(1);
+  std::vector<net::PacketPtr> out;
+  TcpConnection server(sim, {}, {kIpB, 5001}, {kIpA, 40000},
+                       [&](net::PacketPtr p) { out.push_back(std::move(p)); });
+  net::TcpHeader syn;
+  syn.src_port = 40000;
+  syn.dst_port = 5001;
+  syn.seq = 1000;
+  syn.flags = {.syn = true};
+  syn.window = 65000;
+  server.accept(syn);
+
+  std::vector<std::uint64_t> deliveries;
+  server.on_data = [&](std::uint64_t n) { deliveries.push_back(n); };
+
+  // Segments must acknowledge the server's SYN-ACK (server ISS is
+  // kClientIss + 10000 = 20000) or the kSynReceived state drops them.
+  const auto seg = [&](std::uint32_t index) {
+    return net::make_tcp_packet(kIpA, kIpB, 40000, 5001,
+                                1001 + index * 100, 20'001, {.ack = true},
+                                65000, 100);
+  };
+  server.segment_arrived(*seg(0));           // in order: deliver 100
+  server.segment_arrived(*seg(2));           // hole at 1
+  server.segment_arrived(*seg(4));           // hole at 1, 3
+  server.segment_arrived(*seg(1));           // fills to end of 2: +200
+  server.segment_arrived(*seg(3));           // fills the rest: +200
+  EXPECT_EQ(deliveries,
+            (std::vector<std::uint64_t>{100, 200, 200}));
+  EXPECT_EQ(server.delivered_bytes(), 500u);
+  EXPECT_EQ(server.stats().out_of_order_segments, 2u);
+}
+
+TEST(TcpEdge, ZeroWindowPeerStallsSender) {
+  sim::Simulation sim(1);
+  std::vector<net::PacketPtr> out;
+  TcpConnection client(sim, {}, {kIpA, 40000}, {kIpB, 5001},
+                       [&](net::PacketPtr p) { out.push_back(std::move(p)); });
+  client.connect();
+  // Hand-craft a SYN-ACK advertising a zero window.
+  net::TcpHeader synack;
+  synack.src_port = 5001;
+  synack.dst_port = 40000;
+  synack.seq = 5000;
+  synack.ack = 10'001;  // client ISS + 1
+  synack.flags = {.syn = true, .ack = true};
+  synack.window = 0;
+  net::Packet pkt;
+  pkt.ip.src = kIpB;
+  pkt.ip.dst = kIpA;
+  pkt.ip.protocol = net::kProtoTcp;
+  pkt.tcp = synack;
+  client.segment_arrived(pkt);
+  ASSERT_EQ(client.state(), TcpConnection::State::kEstablished);
+
+  out.clear();
+  client.send(10 * 1357);
+  // Zero window: at most one probe-sized segment may leave.
+  std::size_t data_segments = 0;
+  for (const auto& p : out) {
+    if (p->payload_bytes > 0) ++data_segments;
+  }
+  EXPECT_LE(data_segments, 1u);
+}
+
+}  // namespace
+}  // namespace hydra::transport
