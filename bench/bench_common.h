@@ -3,7 +3,9 @@
 // configuration and formatting.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,70 @@
 #include "topo/experiment.h"
 
 namespace hydra::bench {
+
+namespace detail {
+
+// Accumulates the bench header and every table passed to emit() so the
+// process can mirror them to BENCH_<id>.json at exit (the `bench_all`
+// build target collects these). Free-form printf commentary — e.g. the
+// "Paper: ..." comparison footers — is stdout-only for now.
+struct JsonReport {
+  std::string id;
+  std::string paper_result;
+  std::string note;
+  std::vector<std::string> tables_json;
+};
+
+inline JsonReport& json_report() {
+  static JsonReport report;
+  return report;
+}
+
+inline std::string slug(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+inline void write_json_report() {
+  using stats::append_json_string;
+  const auto& report = json_report();
+  if (report.id.empty()) return;
+  std::string doc = "{\"bench\": ";
+  append_json_string(doc, report.id);
+  doc += ", \"paper_result\": ";
+  append_json_string(doc, report.paper_result);
+  doc += ", \"note\": ";
+  append_json_string(doc, report.note);
+  doc += ", \"tables\": [";
+  for (std::size_t i = 0; i < report.tables_json.size(); ++i) {
+    if (i > 0) doc += ", ";
+    doc += report.tables_json[i];
+  }
+  doc += "]}\n";
+  const std::string path = "BENCH_" + slug(report.id) + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace detail
+
+// Prints a table to stdout and records it for the JSON report.
+inline void emit(const stats::Table& table) {
+  table.print();
+  detail::json_report().tables_json.push_back(table.to_json());
+}
 
 // The four rates the paper's experiments use (§5).
 inline const std::vector<std::size_t> kPaperModeIndices = {0, 1, 2, 3};
@@ -60,6 +126,11 @@ inline void print_header(const char* id, const char* paper_result,
                          const char* note) {
   std::printf("== %s — %s ==\n", id, paper_result);
   if (note && note[0]) std::printf("%s\n", note);
+  auto& report = detail::json_report();
+  report.id = id;
+  report.paper_result = paper_result;
+  report.note = note ? note : "";
+  std::atexit(detail::write_json_report);
 }
 
 // Number of independent runs each data point is averaged over (the

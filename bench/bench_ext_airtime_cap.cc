@@ -40,7 +40,7 @@ int main() {
                                          thr_fixed),
                    stats::Table::num(cap_kb, 1)});
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected: identical at 0.65 Mbps (both caps bind near the "
               "same size); growing gains at higher rates as the airtime cap "
               "admits far larger aggregates.\n");

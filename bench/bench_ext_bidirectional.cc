@@ -34,7 +34,7 @@ int main() {
     row.push_back(stats::Table::percent((thr[2] - thr[1]) / thr[1]));
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected: BA's margin over UA exceeds the one-way case "
               "(Fig. 11) because ACK-with-data aggregation opportunities "
               "now exist at every node.\n");

@@ -27,7 +27,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected: identical below the cliff; block ACK degrades "
               "gracefully beyond it instead of collapsing to ~0.\n");
   return 0;

@@ -100,7 +100,7 @@ int main() {
     table.add_row({scheme.name, stats::Table::num(avg, 1),
                    stats::Table::num(mx, 1), stats::Table::percent(loss)});
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected: aggregation reduces queueing RTT (fewer, larger "
               "transmissions drain the queue faster); DBA gives some of "
               "that back by holding frames for aggregation.\n");

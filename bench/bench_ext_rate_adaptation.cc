@@ -57,7 +57,7 @@ int main() {
         run_at(d, mac::RateAdaptationScheme::kSnr, 1), 3));
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected: each fixed rate collapses past its SNR "
               "threshold; the adapters track the best fixed rate.\n");
   return 0;

@@ -34,6 +34,6 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   return 0;
 }

@@ -37,7 +37,7 @@ int main() {
     row.push_back(std::to_string(phy::samples_for(timing.total) / 1000));
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf(
       "\nPaper thresholds: 5 KB @0.65, 11 KB @1.3, 15 KB @1.95 "
       "(all ~120 Ksamples).\n");

@@ -28,7 +28,7 @@ int main() {
     // Reorder: the loop above produced 2NA,2UA,3NA,3UA already.
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected shape: UA > NA everywhere; the gap widens as the "
               "rate rises.\n");
   return 0;

@@ -28,7 +28,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected shape: aggregation's margin over NA grows as the "
               "interval shrinks.\n");
   return 0;

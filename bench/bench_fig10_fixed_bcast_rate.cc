@@ -31,7 +31,7 @@ int main() {
         3));
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected shape: BA(0.65) falls behind UA at high unicast "
               "rates; BA(2.6) always ahead.\n");
   return 0;

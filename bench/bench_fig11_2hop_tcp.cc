@@ -23,7 +23,7 @@ int main() {
                    stats::Table::num(t_ua, 3), stats::Table::num(t_ba, 3),
                    stats::Table::percent((t_ba - t_ua) / t_ua)});
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nPaper: BA > UA at every rate, maximum gap ~10%%.\n");
   return 0;
 }

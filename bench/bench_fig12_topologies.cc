@@ -40,7 +40,7 @@ int main() {
     row.push_back(stats::Table::percent((ba_s - ua_s) / ua_s));
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nPaper: max BA-over-UA gap 12.2%% (3-hop), 11%% (star).\n");
   return 0;
 }

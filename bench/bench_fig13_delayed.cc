@@ -29,7 +29,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nPaper: similar at low rates; DBA ahead by <=2%% (2-hop) "
               "and <=4%% (3-hop) at high rates.\n");
   return 0;

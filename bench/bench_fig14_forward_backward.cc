@@ -28,7 +28,7 @@ int main() {
                    stats::Table::num(t_b, 3), stats::Table::num(t_f, 3),
                    stats::Table::percent((t_f - t_b) / t_b)});
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nExpected shape: the full-vs-backward gap widens as the "
               "rate increases.\n");
   return 0;

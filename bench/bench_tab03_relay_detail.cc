@@ -37,7 +37,7 @@ int main() {
          stats::Table::percent(
              stats::size_overhead(relay, phy::mode_by_index(kModeIdx)), 2)});
   }
-  table.print();
+  bench::emit(table);
   std::printf("\nPaper:      765B / 2662B / 2727B / 3477B;"
               "  100 / 33.7 / 26.7 / 21.1%%;  15.1 / 6.83 / 6.55 / 5.8%%.\n");
   return 0;

@@ -31,7 +31,7 @@ int main() {
               stats::Table::bytes(uas.relay_stats().avg_frame_bytes())});
   t5.add_row({"BA", stats::Table::bytes(ba2.relay_stats().avg_frame_bytes()),
               stats::Table::bytes(bas.relay_stats().avg_frame_bytes())});
-  t5.print();
+  bench::emit(t5);
   std::printf("Paper: UA 2662B/2651B;  BA 2727B/3432B.\n");
 
   std::printf("\nTable 6: relay size overhead\n");
@@ -47,7 +47,7 @@ int main() {
        stats::Table::percent(stats::size_overhead(ba2.relay_stats(), mode), 2),
        stats::Table::percent(stats::size_overhead(bas.relay_stats(), mode),
                              2)});
-  t6.print();
+  bench::emit(t6);
   std::printf("Paper: UA 6.83%%/6.83%%;  BA 6.55%%/5.93%%.\n");
 
   std::printf("\nTable 7: relay transmissions (%% of NA)\n");
@@ -60,7 +60,7 @@ int main() {
   };
   t7.add_row({"UA", pct(ua2, na2), pct(uas, nas)});
   t7.add_row({"BA", pct(ba2, na2), pct(bas, nas)});
-  t7.print();
+  bench::emit(t7);
   std::printf("Paper: UA 33.7%%/30.7%%;  BA 26.7%%/22.5%%.\n");
   return 0;
 }

@@ -9,6 +9,7 @@ EventId Scheduler::schedule_at(TimePoint at, Callback cb) {
   HYDRA_ASSERT(cb != nullptr);
   const auto seq = next_seq_++;
   heap_.push(Entry{at, seq, std::move(cb)});
+  pending_.insert(seq);
   return EventId(seq);
 }
 
@@ -18,18 +19,19 @@ EventId Scheduler::schedule_in(Duration delay, Callback cb) {
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (!id.valid() || id.id_ >= next_seq_) return false;
+  // Events that already ran (or were already cancelled) are no longer
+  // pending; cancelling them is a no-op that must report failure.
+  if (!id.valid() || pending_.erase(id.id_) == 0) return false;
   // Lazy deletion: record the id; the heap entry is dropped when popped.
-  return cancelled_.insert(id.id_).second;
+  cancelled_.insert(id.id_);
+  return true;
 }
 
 void Scheduler::pop_and_run() {
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
-  if (const auto it = cancelled_.find(entry.seq); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return;
-  }
+  if (cancelled_.erase(entry.seq) > 0) return;
+  pending_.erase(entry.seq);
   HYDRA_ASSERT(entry.at >= now_);
   now_ = entry.at;
   ++executed_;

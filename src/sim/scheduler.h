@@ -53,7 +53,7 @@ class Scheduler {
   // Executes at most one event. Returns false if the queue is empty.
   bool step();
 
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return pending_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
@@ -75,6 +75,10 @@ class Scheduler {
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids scheduled and not yet run or cancelled. Lets cancel() distinguish
+  // "still pending" from "already ran" without searching the heap.
+  std::unordered_set<std::uint64_t> pending_;
+  // Cancelled ids whose heap entries await lazy removal.
   std::unordered_set<std::uint64_t> cancelled_;
 };
 

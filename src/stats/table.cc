@@ -61,6 +61,52 @@ std::string Table::to_string() const {
   return out;
 }
 
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void append_json_array(std::string& out, const std::vector<std::string>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, v[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::string out = "{\"headers\": ";
+  append_json_array(out, headers_);
+  out += ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ", ";
+    append_json_array(out, rows_[r]);
+  }
+  out += "]}";
+  return out;
+}
+
 void Table::print(std::FILE* out) const {
   const auto s = to_string();
   std::fwrite(s.data(), 1, s.size(), out);

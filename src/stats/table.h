@@ -8,6 +8,10 @@
 
 namespace hydra::stats {
 
+// Appends `s` to `out` as a quoted JSON string (full control-character
+// escaping). Shared by Table::to_json and the bench JSON reporter.
+void append_json_string(std::string& out, const std::string& s);
+
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
@@ -22,6 +26,8 @@ class Table {
   // Renders with aligned columns to `out` (defaults to stdout).
   void print(std::FILE* out = stdout) const;
   std::string to_string() const;
+  // Machine-readable form: {"headers": [...], "rows": [[...], ...]}.
+  std::string to_json() const;
 
  private:
   std::vector<std::string> headers_;

@@ -2,175 +2,159 @@
 // topologies, plus the MAC neighbour filter that forces them.
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <vector>
-
 #include "app/ping.h"
 #include "app/udp_sink.h"
 #include "net/discovery.h"
 #include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
+#include "support/scenario.h"
 
 namespace hydra::net {
 namespace {
 
+using test_support::Scenario;
+
 // A chain of n nodes where the MAC whitelist only admits adjacent
 // neighbours — multi-hop even though every radio hears every frame.
-struct FilteredChain {
-  sim::Simulation sim{5};
-  phy::Medium medium{sim};
-  std::vector<std::unique_ptr<Node>> nodes;
-  std::vector<std::unique_ptr<RouteDiscovery>> discovery;
-
-  explicit FilteredChain(std::size_t n, core::AggregationPolicy policy =
-                                            core::AggregationPolicy::ba()) {
-    for (std::uint32_t i = 0; i < n; ++i) {
-      NodeConfig nc;
-      nc.position = {2.5 * i, 0};
-      nc.policy = policy;
-      if (i > 0) nc.neighbors.push_back(mac::MacAddress::for_node(i - 1));
-      if (i + 1 < n) nc.neighbors.push_back(mac::MacAddress::for_node(i + 1));
-      nodes.push_back(std::make_unique<Node>(sim, medium, i, nc));
-    }
-    for (auto& node : nodes) {
-      discovery.push_back(std::make_unique<RouteDiscovery>(sim, *node));
-    }
-  }
-};
+Scenario filtered_chain(std::size_t n) {
+  test_support::ScenarioOptions opt;
+  opt.seed = 5;
+  opt.neighbor_whitelist = true;
+  opt.static_routes = false;
+  opt.route_discovery = true;
+  return Scenario::chain(n, opt);
+}
 
 TEST(NeighborFilter, NonNeighborFramesAreNotDelivered) {
-  FilteredChain chain(3);
+  auto chain = filtered_chain(3);
   // Node 0 -> node 2 directly: every radio hears it, but node 2's MAC
   // whitelist only admits node 1.
   int delivered = 0;
-  chain.nodes[2]->stack().on_broadcast = [&](const PacketPtr&) {
+  chain.node(2).stack().on_broadcast = [&](const PacketPtr&) {
     ++delivered;
   };
-  chain.nodes[0]->mac().enqueue(make_flood_packet(Ipv4Address::for_node(0),
-                                                  40),
-                                mac::MacAddress::broadcast(),
-                                mac::MacAddress::for_node(0));
-  chain.sim.run_for(sim::Duration::millis(200));
+  chain.node(0).mac().enqueue(make_flood_packet(Ipv4Address::for_node(0),
+                                                40),
+                              mac::MacAddress::broadcast(),
+                              mac::MacAddress::for_node(0));
+  chain.run_for(sim::Duration::millis(200));
   EXPECT_EQ(delivered, 0);  // two hops away: filtered
 }
 
 TEST(Discovery, FindsTwoHopRoute) {
-  FilteredChain chain(3);
+  auto chain = filtered_chain(3);
   bool found = false;
-  chain.discovery[0]->discover(Ipv4Address::for_node(2),
-                               [&](bool ok) { found = ok; });
-  chain.sim.run_for(sim::Duration::seconds(2));
+  chain.discovery(0).discover(Ipv4Address::for_node(2),
+                              [&](bool ok) { found = ok; });
+  chain.run_for(sim::Duration::seconds(2));
 
   EXPECT_TRUE(found);
   // Forward route at the origin goes via the relay.
-  EXPECT_EQ(chain.nodes[0]->routes().next_hop(Ipv4Address::for_node(2)),
+  EXPECT_EQ(chain.node(0).routes().next_hop(Ipv4Address::for_node(2)),
             Ipv4Address::for_node(1));
   // The relay learned both directions.
-  EXPECT_EQ(chain.nodes[1]->routes().next_hop(Ipv4Address::for_node(0)),
+  EXPECT_EQ(chain.node(1).routes().next_hop(Ipv4Address::for_node(0)),
             Ipv4Address::for_node(0));
   // The target learned the reverse route to the origin via the relay.
-  EXPECT_EQ(chain.nodes[2]->routes().next_hop(Ipv4Address::for_node(0)),
+  EXPECT_EQ(chain.node(2).routes().next_hop(Ipv4Address::for_node(0)),
             Ipv4Address::for_node(1));
 }
 
 TEST(Discovery, FindsThreeHopRouteAndCarriesTraffic) {
-  FilteredChain chain(4);
+  auto chain = filtered_chain(4);
   bool found = false;
-  chain.discovery[0]->discover(Ipv4Address::for_node(3),
-                               [&](bool ok) { found = ok; });
-  chain.sim.run_for(sim::Duration::seconds(3));
+  chain.discovery(0).discover(Ipv4Address::for_node(3),
+                              [&](bool ok) { found = ok; });
+  chain.run_for(sim::Duration::seconds(3));
   ASSERT_TRUE(found);
 
   // The discovered route carries real traffic end to end.
-  app::UdpSinkApp sink(chain.sim, *chain.nodes[3], 9001);
-  chain.nodes[0]->transport().open_udp(9000).send_to(
+  app::UdpSinkApp sink(chain.sim(), chain.node(3), 9001);
+  chain.node(0).transport().open_udp(9000).send_to(
       {Ipv4Address::for_node(3), 9001}, 500);
-  chain.sim.run_for(sim::Duration::seconds(2));
+  chain.run_for(sim::Duration::seconds(2));
   EXPECT_EQ(sink.packets(), 1u);
 }
 
 TEST(Discovery, DuplicateRreqsAreSuppressed) {
-  FilteredChain chain(4);
+  auto chain = filtered_chain(4);
   bool found = false;
-  chain.discovery[0]->discover(Ipv4Address::for_node(3),
-                               [&](bool ok) { found = ok; });
-  chain.sim.run_for(sim::Duration::seconds(3));
+  chain.discovery(0).discover(Ipv4Address::for_node(3),
+                              [&](bool ok) { found = ok; });
+  chain.run_for(sim::Duration::seconds(3));
   ASSERT_TRUE(found);
   // Each relay re-broadcasts a given request at most once.
-  EXPECT_LE(chain.discovery[1]->rreqs_relayed(), 1u);
-  EXPECT_LE(chain.discovery[2]->rreqs_relayed(), 1u);
+  EXPECT_LE(chain.discovery(1).rreqs_relayed(), 1u);
+  EXPECT_LE(chain.discovery(2).rreqs_relayed(), 1u);
   // The relays heard the origin's flood back from their own relays and
   // suppressed it.
-  EXPECT_GT(chain.discovery[1]->rreqs_suppressed() +
-                chain.discovery[2]->rreqs_suppressed(),
+  EXPECT_GT(chain.discovery(1).rreqs_suppressed() +
+                chain.discovery(2).rreqs_suppressed(),
             0u);
 }
 
 TEST(Discovery, UnreachableTargetFailsAfterRetries) {
-  FilteredChain chain(3);
+  auto chain = filtered_chain(3);
   bool done = false, found = true;
   // 10.0.0.99 does not exist.
-  chain.discovery[0]->discover(Ipv4Address::from_octets(10, 0, 0, 99),
-                               [&](bool ok) {
-                                 done = true;
-                                 found = ok;
-                               });
-  chain.sim.run_for(sim::Duration::seconds(5));
+  chain.discovery(0).discover(Ipv4Address::from_octets(10, 0, 0, 99),
+                              [&](bool ok) {
+                                done = true;
+                                found = ok;
+                              });
+  chain.run_for(sim::Duration::seconds(5));
   EXPECT_TRUE(done);
   EXPECT_FALSE(found);
   // Initial attempt + 2 retries.
-  EXPECT_EQ(chain.discovery[0]->rreqs_sent(), 3u);
+  EXPECT_EQ(chain.discovery(0).rreqs_sent(), 3u);
 }
 
 TEST(Discovery, ExistingRouteResolvesImmediately) {
-  FilteredChain chain(3);
-  chain.nodes[0]->routes().add_route(Ipv4Address::for_node(2),
-                                     Ipv4Address::for_node(1));
+  auto chain = filtered_chain(3);
+  chain.node(0).routes().add_route(Ipv4Address::for_node(2),
+                                   Ipv4Address::for_node(1));
   bool found = false;
-  chain.discovery[0]->discover(Ipv4Address::for_node(2),
-                               [&](bool ok) { found = ok; });
+  chain.discovery(0).discover(Ipv4Address::for_node(2),
+                              [&](bool ok) { found = ok; });
   EXPECT_TRUE(found);  // synchronous: no flood needed
-  EXPECT_EQ(chain.discovery[0]->rreqs_sent(), 0u);
+  EXPECT_EQ(chain.discovery(0).rreqs_sent(), 0u);
 }
 
 TEST(Discovery, HopLimitBoundsTheFlood) {
-  FilteredChain chain(4);
+  auto chain = filtered_chain(4);
   // Give node 0 a discovery engine with a 1-hop cap: the RREQ can reach
   // node 1 but will not be relayed further.
   DiscoveryConfig dc;
   dc.max_hops = 1;
   dc.request_timeout = sim::Duration::millis(300);
   dc.max_retries = 0;
-  Node& origin = *chain.nodes[0];
-  RouteDiscovery limited(chain.sim, origin, dc);
+  RouteDiscovery limited(chain.sim(), chain.node(0), dc);
   // (Replaces the default engine's handler on this node.)
   bool done = false, found = true;
   limited.discover(Ipv4Address::for_node(3), [&](bool ok) {
     done = true;
     found = ok;
   });
-  chain.sim.run_for(sim::Duration::seconds(2));
+  chain.run_for(sim::Duration::seconds(2));
   EXPECT_TRUE(done);
   EXPECT_FALSE(found);
 }
 
 TEST(Ping, RoundTripAcrossRelay) {
-  FilteredChain chain(3);
+  auto chain = filtered_chain(3);
   // Static routes (discovery tested elsewhere).
-  chain.nodes[0]->routes().add_route(Ipv4Address::for_node(2),
-                                     Ipv4Address::for_node(1));
-  chain.nodes[2]->routes().add_route(Ipv4Address::for_node(0),
-                                     Ipv4Address::for_node(1));
+  chain.node(0).routes().add_route(Ipv4Address::for_node(2),
+                                   Ipv4Address::for_node(1));
+  chain.node(2).routes().add_route(Ipv4Address::for_node(0),
+                                   Ipv4Address::for_node(1));
 
-  app::PingResponderApp responder(*chain.nodes[2], 9200);
+  app::PingResponderApp responder(chain.node(2), 9200);
   app::PingConfig pc;
   pc.destination = {Ipv4Address::for_node(2), 9200};
   pc.count = 5;
   pc.interval = sim::Duration::millis(50);
-  app::PingApp ping(chain.sim, *chain.nodes[0], pc);
+  app::PingApp ping(chain.sim(), chain.node(0), pc);
   ping.start();
-  chain.sim.run_for(sim::Duration::seconds(5));
+  chain.run_for(sim::Duration::seconds(5));
 
   EXPECT_EQ(ping.sent(), 5u);
   EXPECT_EQ(ping.received(), 5u);
@@ -184,7 +168,7 @@ TEST(Ping, RoundTripAcrossRelay) {
 }
 
 TEST(Ping, TimeoutCountsLostProbes) {
-  FilteredChain chain(3);
+  auto chain = filtered_chain(3);
   // No routes installed: probes die at node 0's next-hop lookup (sent to
   // the "direct" fallback, which the whitelist filters).
   app::PingConfig pc;
@@ -192,9 +176,9 @@ TEST(Ping, TimeoutCountsLostProbes) {
   pc.count = 3;
   pc.timeout = sim::Duration::millis(100);
   pc.interval = sim::Duration::millis(50);
-  app::PingApp ping(chain.sim, *chain.nodes[0], pc);
+  app::PingApp ping(chain.sim(), chain.node(0), pc);
   ping.start();
-  chain.sim.run_for(sim::Duration::seconds(2));
+  chain.run_for(sim::Duration::seconds(2));
 
   EXPECT_EQ(ping.sent(), 3u);
   EXPECT_EQ(ping.received(), 0u);

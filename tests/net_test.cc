@@ -1,18 +1,16 @@
 // Network-layer tests: routing, forwarding, TTL, full-stack multi-hop UDP.
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <vector>
-
 #include "app/udp_cbr.h"
 #include "app/udp_sink.h"
 #include "net/node.h"
 #include "net/routing.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
+#include "support/scenario.h"
 
 namespace hydra::net {
 namespace {
+
+using test_support::Scenario;
 
 TEST(Routing, MacForIpMapping) {
   EXPECT_EQ(mac_for(Ipv4Address::for_node(0)), mac::MacAddress::for_node(0));
@@ -35,117 +33,95 @@ TEST(Routing, ExplicitRoutesAndDirectFallback) {
   EXPECT_EQ(rt.size(), 1u);
 }
 
-struct Chain {
-  sim::Simulation sim{1};
-  phy::Medium medium{sim};
-  std::vector<std::unique_ptr<Node>> nodes;
-
-  explicit Chain(std::size_t n, core::AggregationPolicy policy =
-                                    core::AggregationPolicy::ba()) {
-    for (std::uint32_t i = 0; i < n; ++i) {
-      NodeConfig nc;
-      nc.position = {2.5 * i, 0};
-      nc.policy = policy;
-      nodes.push_back(std::make_unique<Node>(sim, medium, i, nc));
-    }
-    // Hop-by-hop linear routes.
-    for (std::uint32_t i = 0; i < n; ++i) {
-      for (std::uint32_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const std::uint32_t next = j > i ? i + 1 : i - 1;
-        nodes[i]->routes().add_route(Ipv4Address::for_node(j),
-                                     Ipv4Address::for_node(next));
-      }
-    }
-  }
-};
+// A chain with hop-by-hop static routes (the fixture default).
+Scenario routed_chain(std::size_t n) { return Scenario::chain(n); }
 
 TEST(FullStack, TwoHopUdpForwarding) {
-  Chain chain(3);
-  app::UdpSinkApp sink(chain.sim, *chain.nodes[2], 9001);
-  auto& socket = chain.nodes[0]->transport().open_udp(9000);
+  auto chain = routed_chain(3);
+  app::UdpSinkApp sink(chain.sim(), chain.node(2), 9001);
+  auto& socket = chain.node(0).transport().open_udp(9000);
   socket.send_to({Ipv4Address::for_node(2), 9001}, 1048);
   socket.send_to({Ipv4Address::for_node(2), 9001}, 1048);
-  chain.sim.run_for(sim::Duration::seconds(2));
+  chain.run_for(sim::Duration::seconds(2));
 
   EXPECT_EQ(sink.packets(), 2u);
   EXPECT_EQ(sink.payload_bytes(), 2096u);
-  EXPECT_EQ(chain.nodes[1]->stack().forwarded(), 2u);
+  EXPECT_EQ(chain.node(1).stack().forwarded(), 2u);
   // The relay transmitted data frames; the destination none.
-  EXPECT_GT(chain.nodes[1]->mac_stats().data_frames_tx, 0u);
-  EXPECT_EQ(chain.nodes[2]->mac_stats().data_frames_tx, 0u);
+  EXPECT_GT(chain.node(1).mac_stats().data_frames_tx, 0u);
+  EXPECT_EQ(chain.node(2).mac_stats().data_frames_tx, 0u);
 }
 
 TEST(FullStack, ThreeHopDelivery) {
-  Chain chain(4);
-  app::UdpSinkApp sink(chain.sim, *chain.nodes[3], 9001);
-  auto& socket = chain.nodes[0]->transport().open_udp(9000);
+  auto chain = routed_chain(4);
+  app::UdpSinkApp sink(chain.sim(), chain.node(3), 9001);
+  auto& socket = chain.node(0).transport().open_udp(9000);
   socket.send_to({Ipv4Address::for_node(3), 9001}, 500);
-  chain.sim.run_for(sim::Duration::seconds(2));
+  chain.run_for(sim::Duration::seconds(2));
 
   EXPECT_EQ(sink.packets(), 1u);
-  EXPECT_EQ(chain.nodes[1]->stack().forwarded(), 1u);
-  EXPECT_EQ(chain.nodes[2]->stack().forwarded(), 1u);
+  EXPECT_EQ(chain.node(1).stack().forwarded(), 1u);
+  EXPECT_EQ(chain.node(2).stack().forwarded(), 1u);
 }
 
 TEST(FullStack, BroadcastReachesNeighboursWithoutReflooding) {
-  Chain chain(3);
+  auto chain = routed_chain(3);
   int rx1 = 0, rx2 = 0;
-  chain.nodes[1]->stack().on_broadcast = [&](const PacketPtr&) { ++rx1; };
-  chain.nodes[2]->stack().on_broadcast = [&](const PacketPtr&) { ++rx2; };
+  chain.node(1).stack().on_broadcast = [&](const PacketPtr&) { ++rx1; };
+  chain.node(2).stack().on_broadcast = [&](const PacketPtr&) { ++rx2; };
 
-  chain.nodes[0]->stack().send(
+  chain.node(0).stack().send(
       make_flood_packet(Ipv4Address::for_node(0), 40));
-  chain.sim.run_for(sim::Duration::seconds(1));
+  chain.run_for(sim::Duration::seconds(1));
 
   EXPECT_EQ(rx1, 1);
   EXPECT_EQ(rx2, 1);  // single radio transmission reaches both
   // Nobody forwarded the broadcast (no duplicate deliveries).
-  EXPECT_EQ(chain.nodes[1]->stack().forwarded(), 0u);
-  EXPECT_EQ(chain.nodes[2]->stack().forwarded(), 0u);
+  EXPECT_EQ(chain.node(1).stack().forwarded(), 0u);
+  EXPECT_EQ(chain.node(2).stack().forwarded(), 0u);
 }
 
 TEST(FullStack, TtlExpiresOnRoutingLoop) {
-  Chain chain(2);
+  auto chain = routed_chain(2);
   // Deliberate loop: both nodes route "node 9" at each other.
   const auto phantom = Ipv4Address::from_octets(10, 0, 0, 99);
-  chain.nodes[0]->routes().add_route(phantom, Ipv4Address::for_node(1));
-  chain.nodes[1]->routes().add_route(phantom, Ipv4Address::for_node(0));
+  chain.node(0).routes().add_route(phantom, Ipv4Address::for_node(1));
+  chain.node(1).routes().add_route(phantom, Ipv4Address::for_node(0));
 
-  chain.nodes[0]->transport().open_udp(9000).send_to({phantom, 1}, 100);
-  chain.sim.run_for(sim::Duration::seconds(30));
+  chain.node(0).transport().open_udp(9000).send_to({phantom, 1}, 100);
+  chain.run_for(sim::Duration::seconds(30));
 
-  EXPECT_EQ(chain.nodes[0]->stack().ttl_drops() +
-                chain.nodes[1]->stack().ttl_drops(),
+  EXPECT_EQ(chain.node(0).stack().ttl_drops() +
+                chain.node(1).stack().ttl_drops(),
             1u);
 }
 
 TEST(FullStack, UdpSaturationDropsAtQueueNotSilently) {
-  Chain chain(3);
-  app::UdpSinkApp sink(chain.sim, *chain.nodes[2], 9001);
+  auto chain = routed_chain(3);
+  app::UdpSinkApp sink(chain.sim(), chain.node(2), 9001);
   app::UdpCbrConfig cfg;
   cfg.destination = {Ipv4Address::for_node(2), 9001};
   cfg.interval = sim::Duration::millis(10);
   cfg.packets_per_tick = 8;  // far above channel capacity
   cfg.stop = sim::TimePoint::at(sim::Duration::seconds(5));
-  app::UdpCbrApp cbr(chain.sim, *chain.nodes[0], cfg);
+  app::UdpCbrApp cbr(chain.sim(), chain.node(0), cfg);
   cbr.start();
-  chain.sim.run_for(sim::Duration::seconds(8));
+  chain.run_for(sim::Duration::seconds(8));
 
   EXPECT_GT(cbr.packets_sent(), 100u);
   EXPECT_GT(sink.packets(), 0u);
   EXPECT_LT(sink.packets(), cbr.packets_sent());
   // The shortfall is visible as queue drops at the source and/or relay.
-  const auto drops = chain.nodes[0]->mac_stats().queue_drops +
-                     chain.nodes[1]->mac_stats().queue_drops;
+  const auto drops = chain.node(0).mac_stats().queue_drops +
+                     chain.node(1).mac_stats().queue_drops;
   EXPECT_GT(drops, 0u);
 }
 
 TEST(Node, AddressingAccessors) {
-  Chain chain(2);
-  EXPECT_EQ(chain.nodes[0]->ip(), Ipv4Address::for_node(0));
-  EXPECT_EQ(chain.nodes[1]->link_address(), mac::MacAddress::for_node(1));
-  EXPECT_EQ(chain.nodes[0]->index(), 0u);
+  auto chain = routed_chain(2);
+  EXPECT_EQ(chain.node(0).ip(), Ipv4Address::for_node(0));
+  EXPECT_EQ(chain.node(1).link_address(), mac::MacAddress::for_node(1));
+  EXPECT_EQ(chain.node(0).index(), 0u);
 }
 
 }  // namespace

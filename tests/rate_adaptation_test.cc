@@ -2,13 +2,10 @@
 // behaviour over links of varying quality.
 #include <gtest/gtest.h>
 
-#include <memory>
-
 #include "app/udp_sink.h"
 #include "mac/rate_adaptation.h"
 #include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
+#include "support/scenario.h"
 
 namespace hydra::mac {
 namespace {
@@ -92,63 +89,57 @@ TEST(Factory, SchemeSelection) {
 
 // --- end-to-end ------------------------------------------------------------
 
-struct Link {
-  sim::Simulation sim{3};
-  phy::Medium medium{sim};
-  std::unique_ptr<net::Node> a;
-  std::unique_ptr<net::Node> b;
-
-  Link(double distance_m, mac::RateAdaptationScheme scheme,
-       std::size_t initial_mode) {
-    net::NodeConfig nc;
-    nc.policy = core::AggregationPolicy::ua();
-    nc.rate_adaptation = scheme;
-    nc.unicast_mode = phy::mode_by_index(initial_mode);
-    nc.position = {0, 0};
-    a = std::make_unique<net::Node>(sim, medium, 0, nc);
-    nc.position = {distance_m, 0};
-    b = std::make_unique<net::Node>(sim, medium, 1, nc);
-  }
-};
+// A two-node link with rate adaptation, built on the shared fixture.
+test_support::Scenario make_link(double distance_m,
+                                 mac::RateAdaptationScheme scheme,
+                                 std::size_t initial_mode) {
+  test_support::ScenarioOptions opt;
+  opt.seed = 3;
+  opt.policy = core::AggregationPolicy::ua();
+  opt.rate_adaptation = scheme;
+  opt.unicast_mode = phy::mode_by_index(initial_mode);
+  opt.spacing_m = distance_m;
+  return test_support::Scenario::chain(2, opt);
+}
 
 TEST(RateAdaptationE2E, SnrAdapterSettlesBelow64QamAtPaperSnr) {
   // At 2.5 m (25 dB) the 64-QAM rates are unusable; the SNR adapter must
   // settle on a non-64-QAM mode even when started at the top rate.
-  Link link(2.5, mac::RateAdaptationScheme::kSnr, 7);
-  app::UdpSinkApp sink(link.sim, *link.b, 9001);
-  auto& socket = link.a->transport().open_udp(9000);
-  for (int i = 0; i < 30; ++i) socket.send_to({link.b->ip(), 9001}, 1048);
-  link.sim.run_for(sim::Duration::seconds(10));
+  auto link = make_link(2.5, mac::RateAdaptationScheme::kSnr, 7);
+  app::UdpSinkApp sink(link.sim(), link.node(1), 9001);
+  auto& socket = link.node(0).transport().open_udp(9000);
+  for (int i = 0; i < 30; ++i) socket.send_to({link.node(1).ip(), 9001}, 1048);
+  link.run_for(sim::Duration::seconds(10));
 
   EXPECT_EQ(sink.packets(), 30u);
-  ASSERT_NE(link.a->mac().rate_adapter(), nullptr);
-  EXPECT_LE(link.a->mac().rate_adapter()->mode_index(), 4u);
+  ASSERT_NE(link.node(0).mac().rate_adapter(), nullptr);
+  EXPECT_LE(link.node(0).mac().rate_adapter()->mode_index(), 4u);
 }
 
 TEST(RateAdaptationE2E, ArfEscapesAHopelessStartingRate) {
   // Start at 64-QAAM 5/6 on a 25 dB link: every aggregate fails; ARF must
   // walk down until traffic flows.
-  Link link(2.5, mac::RateAdaptationScheme::kArf, 7);
-  app::UdpSinkApp sink(link.sim, *link.b, 9001);
-  auto& socket = link.a->transport().open_udp(9000);
-  for (int i = 0; i < 10; ++i) socket.send_to({link.b->ip(), 9001}, 1048);
-  link.sim.run_for(sim::Duration::seconds(30));
+  auto link = make_link(2.5, mac::RateAdaptationScheme::kArf, 7);
+  app::UdpSinkApp sink(link.sim(), link.node(1), 9001);
+  auto& socket = link.node(0).transport().open_udp(9000);
+  for (int i = 0; i < 10; ++i) socket.send_to({link.node(1).ip(), 9001}, 1048);
+  link.run_for(sim::Duration::seconds(30));
 
   EXPECT_EQ(sink.packets(), 10u);
-  EXPECT_LT(link.a->mac().rate_adapter()->mode_index(), 7u);
+  EXPECT_LT(link.node(0).mac().rate_adapter()->mode_index(), 7u);
 }
 
 TEST(RateAdaptationE2E, WeakLinkForcesRobustModes) {
   // ~10 m: SNR drops to ~7 dB; only the most robust rates work. The SNR
   // adapter should land at BPSK 1/2 and still deliver.
-  Link link(10.0, mac::RateAdaptationScheme::kSnr, 4);
-  app::UdpSinkApp sink(link.sim, *link.b, 9001);
-  auto& socket = link.a->transport().open_udp(9000);
-  for (int i = 0; i < 10; ++i) socket.send_to({link.b->ip(), 9001}, 1048);
-  link.sim.run_for(sim::Duration::seconds(60));
+  auto link = make_link(10.0, mac::RateAdaptationScheme::kSnr, 4);
+  app::UdpSinkApp sink(link.sim(), link.node(1), 9001);
+  auto& socket = link.node(0).transport().open_udp(9000);
+  for (int i = 0; i < 10; ++i) socket.send_to({link.node(1).ip(), 9001}, 1048);
+  link.run_for(sim::Duration::seconds(60));
 
   EXPECT_GE(sink.packets(), 8u);  // the odd residual loss is acceptable
-  EXPECT_LE(link.a->mac().rate_adapter()->mode_index(), 1u);
+  EXPECT_LE(link.node(0).mac().rate_adapter()->mode_index(), 1u);
 }
 
 }  // namespace

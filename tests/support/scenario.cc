@@ -1,0 +1,173 @@
+#include "support/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <utility>
+
+#include "stats/metrics.h"
+#include "stats/table.h"
+#include "util/crc32.h"
+
+namespace hydra::test_support {
+
+Scenario::Scenario(const ScenarioOptions& opt)
+    : opt_(opt),
+      sim_(std::make_unique<sim::Simulation>(opt.seed)),
+      medium_(std::make_unique<phy::Medium>(*sim_)),
+      trace_(std::make_shared<std::vector<std::string>>()) {}
+
+void Scenario::add_node(std::uint32_t index, phy::Position position,
+                        std::vector<mac::MacAddress> neighbors) {
+  net::NodeConfig nc;
+  nc.position = position;
+  nc.policy = opt_.policy;
+  nc.unicast_mode = opt_.unicast_mode;
+  nc.broadcast_mode = opt_.broadcast_mode;
+  nc.rate_adaptation = opt_.rate_adaptation;
+  if (opt_.neighbor_whitelist) nc.neighbors = std::move(neighbors);
+  nodes_.push_back(std::make_unique<net::Node>(*sim_, *medium_, index, nc));
+}
+
+void Scenario::finish(bool with_discovery) {
+  if (!with_discovery) return;
+  for (auto& node : nodes_) {
+    discovery_.push_back(
+        std::make_unique<net::RouteDiscovery>(*sim_, *node));
+  }
+}
+
+Scenario Scenario::chain(std::size_t n, const ScenarioOptions& opt) {
+  Scenario s(opt);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::vector<mac::MacAddress> neighbors;
+    if (i > 0) neighbors.push_back(mac::MacAddress::for_node(i - 1));
+    if (i + 1 < n) neighbors.push_back(mac::MacAddress::for_node(i + 1));
+    s.add_node(i, {opt.spacing_m * i, 0.0}, std::move(neighbors));
+  }
+  if (opt.static_routes) {
+    // Hop-by-hop linear routes between every pair.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const std::uint32_t next = j > i ? i + 1 : i - 1;
+        s.nodes_[i]->routes().add_route(net::Ipv4Address::for_node(j),
+                                        net::Ipv4Address::for_node(next));
+      }
+    }
+  }
+  s.finish(opt.route_discovery);
+  return s;
+}
+
+Scenario Scenario::star(std::size_t leaves, const ScenarioOptions& opt) {
+  Scenario s(opt);
+  const std::size_t n = leaves + 1;
+  std::vector<mac::MacAddress> hub_neighbors;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    hub_neighbors.push_back(mac::MacAddress::for_node(i));
+  }
+  s.add_node(0, {0.0, 0.0}, std::move(hub_neighbors));
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * (i - 1) / leaves;
+    s.add_node(i,
+               {opt.spacing_m * std::cos(angle),
+                opt.spacing_m * std::sin(angle)},
+               {mac::MacAddress::for_node(0)});
+  }
+  if (opt.static_routes) {
+    // Leaf-to-leaf traffic relays through the hub.
+    for (std::uint32_t i = 1; i < n; ++i) {
+      for (std::uint32_t j = 1; j < n; ++j) {
+        if (i == j) continue;
+        s.nodes_[i]->routes().add_route(net::Ipv4Address::for_node(j),
+                                        net::Ipv4Address::for_node(0));
+      }
+    }
+  }
+  s.finish(opt.route_discovery);
+  return s;
+}
+
+Scenario Scenario::mesh(std::size_t n, const ScenarioOptions& opt) {
+  Scenario s(opt);
+  // Circle with adjacent nodes spacing_m apart: single collision domain,
+  // every link direct.
+  const double radius =
+      n > 1 ? opt.spacing_m / (2.0 * std::sin(std::numbers::pi / n)) : 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / n;
+    s.add_node(i, {radius * std::cos(angle), radius * std::sin(angle)}, {});
+  }
+  s.finish(opt.route_discovery);
+  return s;
+}
+
+namespace {
+
+void record_line(const sim::Simulation& sim, std::vector<std::string>& trace,
+                 std::size_t node, const char* kind,
+                 const net::PacketPtr& pkt) {
+  const auto bytes = pkt->serialize();
+  char line[96];
+  std::snprintf(line, sizeof line, "t=%lld n%zu %s len=%zu crc=%08x",
+                static_cast<long long>(sim.now().ns()), node, kind,
+                bytes.size(), crc32(bytes));
+  trace.emplace_back(line);
+}
+
+}  // namespace
+
+void Scenario::capture_traces() {
+  // Callbacks capture the simulation (behind its unique_ptr) and the
+  // shared trace vector — never `this` — so they survive Scenario moves.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& stack = nodes_[i]->stack();
+    stack.deliver_local =
+        [sim = sim_.get(), trace = trace_, i,
+         prev = std::move(stack.deliver_local)](const net::PacketPtr& pkt) {
+          record_line(*sim, *trace, i, "local", pkt);
+          if (prev) prev(pkt);
+        };
+    stack.on_broadcast =
+        [sim = sim_.get(), trace = trace_, i,
+         prev = std::move(stack.on_broadcast)](const net::PacketPtr& pkt) {
+          record_line(*sim, *trace, i, "bcast", pkt);
+          if (prev) prev(pkt);
+        };
+    stack.on_forward =
+        [sim = sim_.get(), trace = trace_, i,
+         prev = std::move(stack.on_forward)](const net::PacketPtr& pkt,
+                                             mac::MacAddress from) {
+          record_line(*sim, *trace, i, "fwd", pkt);
+          if (prev) prev(pkt, from);
+        };
+  }
+}
+
+std::uint32_t Scenario::trace_digest() const {
+  std::uint32_t state = kCrc32Init;
+  for (const auto& line : *trace_) {
+    state = crc32_update(
+        state, {reinterpret_cast<const std::uint8_t*>(line.data()),
+                line.size()});
+  }
+  return crc32_finalize(state);
+}
+
+std::string Scenario::metrics_summary() const {
+  stats::Table table({"node", "data frames", "subframes", "bytes",
+                      "avg frame", "size ovh", "time ovh"});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& st = nodes_[i]->mac_stats();
+    table.add_row(
+        {std::to_string(i), std::to_string(st.data_frames_tx),
+         std::to_string(st.subframes_tx()), std::to_string(st.data_bytes_tx),
+         stats::Table::num(stats::avg_frame_bytes(st), 1),
+         stats::Table::percent(stats::size_overhead(st, opt_.unicast_mode)),
+         stats::Table::percent(st.time.overhead_fraction())});
+  }
+  return table.to_string();
+}
+
+}  // namespace hydra::test_support

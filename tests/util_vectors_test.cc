@@ -1,0 +1,82 @@
+// CRC-32 against published check vectors and units round trips.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/crc32.h"
+#include "util/units.h"
+
+namespace hydra {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32Vectors, StandardCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check input.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32Vectors, PublishedVectors) {
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes_of("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+  const std::array<std::uint8_t, 4> ff = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(crc32(ff), 0xFFFFFFFFu);
+}
+
+TEST(Crc32Vectors, IncrementalMatchesOneShot) {
+  const auto whole = bytes_of("123456789");
+  for (std::size_t split = 0; split <= whole.size(); ++split) {
+    std::uint32_t state = kCrc32Init;
+    state = crc32_update(state, whole.first(split));
+    state = crc32_update(state, whole.subspan(split));
+    EXPECT_EQ(crc32_finalize(state), 0xCBF43926u) << "split at " << split;
+  }
+}
+
+TEST(Crc32Vectors, UpdateWithNothingIsIdentity) {
+  std::uint32_t state = kCrc32Init;
+  state = crc32_update(state, {});
+  EXPECT_EQ(crc32_finalize(state), crc32({}));
+}
+
+TEST(UnitsRoundTrip, BitRateConstructorsAgree) {
+  EXPECT_EQ(BitRate::bps(650'000), BitRate::kbps(650));
+  EXPECT_EQ(BitRate::kbps(650), BitRate::mbps_x100(65));
+  EXPECT_EQ(BitRate::mbps_x100(130).bits_per_second(), 1'300'000u);
+}
+
+TEST(UnitsRoundTrip, MbpsIsExactForPaperRates) {
+  // The paper's four rates survive the round trip with no drift.
+  EXPECT_DOUBLE_EQ(BitRate::mbps_x100(65).mbps(), 0.65);
+  EXPECT_DOUBLE_EQ(BitRate::mbps_x100(130).mbps(), 1.30);
+  EXPECT_DOUBLE_EQ(BitRate::mbps_x100(195).mbps(), 1.95);
+  EXPECT_DOUBLE_EQ(BitRate::mbps_x100(260).mbps(), 2.60);
+}
+
+TEST(UnitsRoundTrip, OrderingAndZero) {
+  EXPECT_TRUE(BitRate{}.is_zero());
+  EXPECT_FALSE(BitRate::bps(1).is_zero());
+  EXPECT_LT(BitRate::mbps_x100(65), BitRate::mbps_x100(130));
+  EXPECT_GT(BitRate::kbps(2), BitRate::bps(1999));
+}
+
+TEST(UnitsRoundTrip, ToStringFormatsMbps) {
+  EXPECT_EQ(to_string(BitRate::mbps_x100(65)), "0.65 Mbps");
+  EXPECT_EQ(to_string(BitRate::mbps_x100(1100)), "11.00 Mbps");
+}
+
+TEST(UnitsRoundTrip, KibConstant) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(16 * kKiB, 16384u);
+}
+
+}  // namespace
+}  // namespace hydra
