@@ -9,8 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "app/experiment.h"
 #include "core/policy.h"
-#include "phy/mode.h"
+#include "proto/mode.h"
 #include "stats/metrics.h"
 #include "stats/table.h"
 #include "topo/experiment.h"
@@ -145,7 +146,7 @@ double avg_metric(topo::ExperimentConfig cfg, F metric,
   double sum = 0.0;
   for (int seed = 1; seed <= runs; ++seed) {
     cfg.seed = static_cast<std::uint64_t>(seed);
-    sum += metric(topo::run_experiment(cfg));
+    sum += metric(app::run_experiment(cfg));
   }
   return sum / runs;
 }

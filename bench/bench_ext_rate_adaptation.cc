@@ -27,7 +27,7 @@ double run_at(double distance_m, mac::RateAdaptationScheme scheme,
     // equivalent transmit-power shift: 10*n*log10(d/2.5) dB at path-loss
     // exponent n = 3.
     cfg.tx_power_delta_db = -30.0 * std::log10(distance_m / 2.5);
-    sum += run_experiment(cfg).flows[0].throughput_mbps;
+    sum += app::run_experiment(cfg).flows[0].throughput_mbps;
   }
   return sum / 3;
 }

@@ -3,9 +3,10 @@
 // small experiment as an end-to-end figure of merit.
 #include <benchmark/benchmark.h>
 
+#include "app/experiment.h"
 #include "core/aggregator.h"
-#include "mac/frames.h"
-#include "net/packet.h"
+#include "proto/frames.h"
+#include "proto/packet.h"
 #include "sim/scheduler.h"
 #include "topo/experiment.h"
 #include "util/crc32.h"
@@ -31,6 +32,36 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000);
+
+// The timer-heavy protocol pattern (MAC retries, TCP RTO): arm, cancel
+// most before they fire, re-arm into the recycled slots, then drain.
+// Exercises the scheduler's generation-stamped slot vector.
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventId> ids(n);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = sched.schedule_in(sim::Duration::micros(static_cast<
+                                     std::int64_t>((i * 7919) % 100000)),
+                                 [&sum, i] { sum += i; });
+    }
+    for (std::size_t i = 0; i < n; i += 2) {
+      benchmark::DoNotOptimize(sched.cancel(ids[i]));
+    }
+    for (std::size_t i = 0; i < n; i += 4) {
+      sched.schedule_in(sim::Duration::micros(static_cast<std::int64_t>(
+                            (i * 104729) % 100000)),
+                        [&sum, i] { sum += i; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerCancelChurn)->Arg(1000)->Arg(10000);
 
 void BM_Crc32(benchmark::State& state) {
   Bytes data(static_cast<std::size_t>(state.range(0)));
@@ -102,7 +133,7 @@ void BM_FullExperimentTcp(benchmark::State& state) {
     cfg.topology = topo::Topology::kTwoHop;
     cfg.policy = core::AggregationPolicy::ba();
     cfg.tcp_file_bytes = 50'000;
-    benchmark::DoNotOptimize(run_experiment(cfg));
+    benchmark::DoNotOptimize(app::run_experiment(cfg));
   }
 }
 BENCHMARK(BM_FullExperimentTcp)->Unit(benchmark::kMillisecond);

@@ -26,7 +26,7 @@ int main() {
   stats::Table table({"Scheme", "Frame Size", "Total TXs", "Size overhead"});
   std::uint64_t na_frames = 0;
   for (const auto& row : rows) {
-    const auto r = run_experiment(
+    const auto r = app::run_experiment(
         bench::tcp_config(topo::Topology::kTwoHop, row.policy, kModeIdx));
     const auto& relay = r.relay_stats();
     if (na_frames == 0) na_frames = relay.data_frames_tx;

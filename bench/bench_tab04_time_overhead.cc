@@ -27,7 +27,7 @@ int main() {
   for (const auto mode_idx : bench::kPaperModeIndices) {
     std::vector<std::string> row = {bench::rate_label(mode_idx)};
     for (const auto& scheme : schemes) {
-      const auto r = run_experiment(bench::tcp_config(
+      const auto r = app::run_experiment(bench::tcp_config(
           topo::Topology::kTwoHop, scheme.policy, mode_idx));
       row.push_back(
           stats::Table::percent(r.relay_stats().time.overhead_fraction()));

@@ -14,7 +14,7 @@ int main() {
 
   constexpr std::size_t kModeIdx = 0;
   const auto run = [&](topo::Topology t, core::AggregationPolicy p) {
-    return run_experiment(bench::tcp_config(t, p, kModeIdx));
+    return app::run_experiment(bench::tcp_config(t, p, kModeIdx));
   };
 
   const auto ua2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ua());

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "app/experiment.h"
 #include "phy/timing.h"
 #include "topo/experiment.h"
 
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
     cfg.unicast_mode = *mode;
     cfg.udp_packets_per_tick = 16;
     cfg.udp_duration = sim::Duration::seconds(15);
-    const auto r = run_experiment(cfg);
+    const auto r = app::run_experiment(cfg);
 
     // Airtime of a cap-filling aggregate, in baseband samples.
     const auto airtime = phy::payload_airtime(kb * 1024, *mode) +

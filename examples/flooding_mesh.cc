@@ -15,9 +15,7 @@
 #include "app/flood.h"
 #include "app/udp_cbr.h"
 #include "app/udp_sink.h"
-#include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
+#include "topo/scenario.h"
 
 using namespace hydra;
 
@@ -31,29 +29,20 @@ struct RunResult {
 };
 
 RunResult run(core::AggregationPolicy policy, sim::Duration flood_interval) {
-  sim::Simulation simulation(7);
-  phy::Medium medium(simulation);
+  // 3-node chain with hop-by-hop static routes (the paper's 2-hop line).
+  topo::ScenarioOptions opt;
+  opt.seed = 7;
+  opt.policy = policy;
+  auto chain = topo::Scenario::chain(3, opt);
+  sim::Simulation& simulation = chain.sim();
 
-  std::vector<std::unique_ptr<net::Node>> nodes;
-  for (std::uint32_t i = 0; i < 3; ++i) {
-    net::NodeConfig nc;
-    nc.position = {2.5 * i, 0};
-    nc.policy = policy;
-    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
-  }
-  // Static 2-hop route 0 -> 1 -> 2, as in the paper.
-  nodes[0]->routes().add_route(net::Ipv4Address::for_node(2),
-                               net::Ipv4Address::for_node(1));
-  nodes[2]->routes().add_route(net::Ipv4Address::for_node(0),
-                               net::Ipv4Address::for_node(1));
-
-  app::UdpSinkApp sink(simulation, *nodes[2], 9001);
+  app::UdpSinkApp sink(simulation, chain.node(2), 9001);
   app::UdpCbrConfig cbr_cfg;
   cbr_cfg.destination = {net::Ipv4Address::for_node(2), 9001};
   cbr_cfg.interval = sim::Duration::millis(100);
   cbr_cfg.packets_per_tick = 8;  // saturate the channel
   cbr_cfg.stop = sim::TimePoint::at(sim::Duration::seconds(15));
-  app::UdpCbrApp cbr(simulation, *nodes[0], cbr_cfg);
+  app::UdpCbrApp cbr(simulation, chain.node(0), cbr_cfg);
   cbr.start();
 
   std::vector<std::unique_ptr<app::FloodApp>> flooders;
@@ -63,7 +52,7 @@ RunResult run(core::AggregationPolicy policy, sim::Duration flood_interval) {
     fc.initial_offset = sim::Duration::millis(13) * (i + 1);
     fc.stop = cbr_cfg.stop;
     flooders.push_back(
-        std::make_unique<app::FloodApp>(simulation, *nodes[i], fc));
+        std::make_unique<app::FloodApp>(simulation, chain.node(i), fc));
     flooders.back()->start();
   }
 
@@ -72,9 +61,9 @@ RunResult run(core::AggregationPolicy policy, sim::Duration flood_interval) {
   RunResult r{};
   r.goodput_mbps = sink.goodput_mbps(sim::Duration::seconds(15));
   for (const auto& f : flooders) r.flood_frames_sent += f->packets_sent();
-  for (const auto& n : nodes) {
-    r.bcast_subframes += n->mac_stats().broadcast_subframes_tx;
-    r.data_frames += n->mac_stats().data_frames_tx;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    r.bcast_subframes += chain.node(i).mac_stats().broadcast_subframes_tx;
+    r.data_frames += chain.node(i).mac_stats().data_frames_tx;
   }
   return r;
 }

@@ -3,49 +3,45 @@
 //
 //   $ ./quickstart
 //
-// This walks the core public API in ~60 lines: Simulation -> Medium ->
-// Node -> sockets -> run -> stats.
+// This walks the public API in ~50 lines: a topo::Scenario wires the
+// Simulation -> Medium -> Node stack; sockets and stats sit on top.
 #include <cstdio>
 
 #include "app/udp_sink.h"
-#include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
+#include "topo/scenario.h"
+#include "transport/host.h"
 
 using namespace hydra;
 
 int main() {
-  // 1. A simulation owns the event loop and RNG; the medium models the
-  //    shared radio channel (path loss, collisions, channel aging).
-  sim::Simulation simulation(/*seed=*/42);
-  phy::Medium medium(simulation);
+  // 1. A scenario owns the event loop, RNG and shared radio medium, and
+  //    builds the nodes: here a 2-node chain, 2.5 m apart (the paper's
+  //    spacing: 25 dB SNR), both running broadcast aggregation — the
+  //    paper's full scheme.
+  topo::ScenarioOptions opt;
+  opt.seed = 42;
+  opt.policy = core::AggregationPolicy::ba();
+  auto link = topo::Scenario::chain(2, opt);
+  net::Node& alice = link.node(0);
+  net::Node& bob = link.node(1);
 
-  // 2. Two nodes, 2.5 m apart (the paper's spacing: 25 dB SNR). Both run
-  //    broadcast aggregation — the paper's full scheme.
-  net::NodeConfig config;
-  config.policy = core::AggregationPolicy::ba();
-  config.position = {0.0, 0.0};
-  net::Node alice(simulation, medium, 0, config);
-  config.position = {2.5, 0.0};
-  net::Node bob(simulation, medium, 1, config);
-
-  // 3. A sink on bob, a socket on alice; queue a burst of datagrams.
+  // 2. A sink on bob, a socket on alice; queue a burst of datagrams.
   //    They will share one PHY frame thanks to aggregation.
-  app::UdpSinkApp sink(simulation, bob, /*port=*/9001);
-  auto& socket = alice.transport().open_udp(/*local_port=*/9000);
+  app::UdpSinkApp sink(link.sim(), bob, /*port=*/9001);
+  auto& socket = transport::mux_of(alice).open_udp(/*local_port=*/9000);
   for (int i = 0; i < 4; ++i) {
     socket.send_to({bob.ip(), 9001}, /*payload_bytes=*/1048);
   }
 
-  // 4. Run until every event has drained.
-  simulation.run();
+  // 3. Run until every event has drained.
+  link.run();
 
-  // 5. Inspect what happened on the air.
+  // 4. Inspect what happened on the air.
   const auto& mac = alice.mac_stats();
   std::printf("delivered %llu datagrams (%llu bytes) in %.1f ms\n",
               (unsigned long long)sink.packets(),
               (unsigned long long)sink.payload_bytes(),
-              simulation.now().seconds_f() * 1e3);
+              link.sim().now().seconds_f() * 1e3);
   std::printf("PHY frames sent: %llu (aggregating %llu subframes)\n",
               (unsigned long long)mac.data_frames_tx,
               (unsigned long long)mac.subframes_tx());

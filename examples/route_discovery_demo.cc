@@ -9,65 +9,53 @@
 //
 //   $ ./route_discovery_demo
 #include <cstdio>
-#include <memory>
-#include <vector>
 
 #include "app/file_transfer.h"
 #include "net/discovery.h"
-#include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
+#include "topo/scenario.h"
 
 using namespace hydra;
 
 int main() {
-  sim::Simulation simulation(11);
-  phy::Medium medium(simulation);
-
   // Chain 0 - 1 - 2 - 3: each MAC only accepts its adjacent neighbours
-  // (every radio hears every frame; the whitelist forces the topology,
-  // playing the role of the paper's static routing).
-  std::vector<std::unique_ptr<net::Node>> nodes;
-  std::vector<std::unique_ptr<net::RouteDiscovery>> discovery;
-  for (std::uint32_t i = 0; i < 4; ++i) {
-    net::NodeConfig nc;
-    nc.position = {2.5 * i, 0};
-    nc.policy = core::AggregationPolicy::ba();
-    nc.unicast_mode = phy::mode_by_index(1);  // 1.3 Mbps
-    nc.broadcast_mode = phy::mode_by_index(1);
-    if (i > 0) nc.neighbors.push_back(mac::MacAddress::for_node(i - 1));
-    if (i < 3) nc.neighbors.push_back(mac::MacAddress::for_node(i + 1));
-    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
-  }
-  for (auto& node : nodes) {
-    discovery.push_back(std::make_unique<net::RouteDiscovery>(simulation,
-                                                              *node));
-  }
+  // (every radio hears every frame; the whitelist forces the topology).
+  // No static routes — discovery has to find the path itself.
+  topo::ScenarioOptions opt;
+  opt.seed = 11;
+  opt.policy = core::AggregationPolicy::ba();
+  opt.unicast_mode = phy::mode_by_index(1);  // 1.3 Mbps
+  opt.broadcast_mode = phy::mode_by_index(1);
+  opt.neighbor_whitelist = true;
+  opt.static_routes = false;
+  opt.route_discovery = true;
+  auto chain = topo::Scenario::chain(4, opt);
+  sim::Simulation& simulation = chain.sim();
 
   // Discover node 3 from node 0.
   bool route_found = false;
   sim::TimePoint found_at;
-  discovery[0]->discover(nodes[3]->ip(), [&](bool found) {
+  chain.discovery(0).discover(chain.node(3).ip(), [&](bool found) {
     route_found = found;
     found_at = simulation.now();
   });
   simulation.run_for(sim::Duration::seconds(2));
 
   std::printf("route to %s: %s in %.1f ms\n",
-              to_string(nodes[3]->ip()).c_str(),
+              to_string(chain.node(3).ip()).c_str(),
               route_found ? "FOUND" : "not found",
               found_at.seconds_f() * 1e3);
   if (!route_found) return 1;
   for (std::uint32_t i = 0; i < 3; ++i) {
     std::printf("  node %u next hop toward node 3: %s\n", i,
-                to_string(nodes[i]->routes().next_hop(nodes[3]->ip()))
+                to_string(chain.node(i).routes().next_hop(
+                              chain.node(3).ip()))
                     .c_str());
   }
 
   // Use the discovered route: 0.2 MB over TCP with broadcast aggregation.
-  app::FileReceiverApp receiver(simulation, *nodes[3], 5001, 200'000);
-  app::FileSenderApp sender(simulation, *nodes[0],
-                            {nodes[3]->ip(), 5001}, 200'000);
+  app::FileReceiverApp receiver(simulation, chain.node(3), 5001, 200'000);
+  app::FileSenderApp sender(simulation, chain.node(0),
+                            {chain.node(3).ip(), 5001}, 200'000);
   const auto start = simulation.now();
   sender.start(start);
   while (!receiver.all_complete(1) &&
@@ -87,9 +75,9 @@ int main() {
               200'000 * 8 / elapsed.seconds_f() / 1e6);
   std::printf("RREQ floods relayed at nodes 1/2: %llu/%llu, suppressed "
               "duplicates: %llu\n",
-              (unsigned long long)discovery[1]->rreqs_relayed(),
-              (unsigned long long)discovery[2]->rreqs_relayed(),
-              (unsigned long long)(discovery[1]->rreqs_suppressed() +
-                                   discovery[2]->rreqs_suppressed()));
+              (unsigned long long)chain.discovery(1).rreqs_relayed(),
+              (unsigned long long)chain.discovery(2).rreqs_relayed(),
+              (unsigned long long)(chain.discovery(1).rreqs_suppressed() +
+                                   chain.discovery(2).rreqs_suppressed()));
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "app/experiment.h"
 #include "stats/metrics.h"
 #include "topo/experiment.h"
 
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
     cfg.unicast_mode = *mode;
     cfg.broadcast_mode = *mode;
     cfg.tcp_file_bytes = 200'000;
-    const auto result = run_experiment(cfg);
+    const auto result = app::run_experiment(cfg);
 
     const auto& relay = result.relay_stats();
     std::printf(

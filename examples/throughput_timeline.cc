@@ -3,14 +3,11 @@
 //
 //   $ ./throughput_timeline
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "app/file_transfer.h"
-#include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
 #include "stats/timeseries.h"
+#include "topo/scenario.h"
 
 using namespace hydra;
 
@@ -22,33 +19,21 @@ struct TimelineRun {
 };
 
 TimelineRun run(const core::AggregationPolicy& policy) {
-  sim::Simulation simulation(3);
-  phy::Medium medium(simulation);
-
-  std::vector<std::unique_ptr<net::Node>> nodes;
-  for (std::uint32_t i = 0; i < 3; ++i) {
-    net::NodeConfig nc;
-    nc.position = {2.5 * i, 0};
-    nc.policy = policy;
-    nc.unicast_mode = phy::mode_by_index(1);
-    nc.broadcast_mode = phy::mode_by_index(1);
-    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
-  }
-  for (std::uint32_t i = 0; i < 3; ++i) {
-    for (std::uint32_t j = 0; j < 3; ++j) {
-      if (i == j) continue;
-      nodes[i]->routes().add_route(net::Ipv4Address::for_node(j),
-                                   net::Ipv4Address::for_node(j > i ? i + 1
-                                                                    : i - 1));
-    }
-  }
+  // 2-hop chain with static hop-by-hop routes at 1.3 Mbps.
+  topo::ScenarioOptions opt;
+  opt.seed = 3;
+  opt.policy = policy;
+  opt.unicast_mode = phy::mode_by_index(1);
+  opt.broadcast_mode = phy::mode_by_index(1);
+  auto chain = topo::Scenario::chain(3, opt);
+  sim::Simulation& simulation = chain.sim();
 
   constexpr std::uint64_t kFile = 400'000;
   stats::ThroughputTimeline timeline(sim::Duration::millis(500));
-  app::FileReceiverApp receiver(simulation, *nodes[2], 5001, kFile);
+  app::FileReceiverApp receiver(simulation, chain.node(2), 5001, kFile);
   // Tap delivered bytes into the timeline via a second receiver hook:
   // FileReceiverApp already accumulates; sample it per slice instead.
-  app::FileSenderApp sender(simulation, *nodes[0],
+  app::FileSenderApp sender(simulation, chain.node(0),
                             {net::Ipv4Address::for_node(2), 5001}, kFile);
   sender.start();
 

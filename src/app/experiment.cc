@@ -1,0 +1,161 @@
+#include "app/experiment.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "app/file_transfer.h"
+#include "app/flood.h"
+#include "app/udp_cbr.h"
+#include "app/udp_sink.h"
+#include "net/node.h"
+#include "phy/medium.h"
+#include "sim/simulation.h"
+#include "util/assert.h"
+
+namespace hydra::app {
+
+namespace {
+
+constexpr net::Port kTcpPort = 5001;
+constexpr net::Port kUdpPort = 9001;
+
+}  // namespace
+
+topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
+  using topo::TrafficKind;
+
+  sim::Simulation simulation(config.seed);
+  phy::Medium medium(simulation);
+
+  auto nodes = topo::build_nodes(simulation, medium, config);
+  topo::install_static_routes(config.topology, nodes);
+
+  auto sessions = topo::sessions_for(config.topology);
+  if (config.traffic == TrafficKind::kTcpBidirectional) {
+    HYDRA_ASSERT_MSG(config.topology != topo::Topology::kStar,
+                     "bidirectional traffic is defined for chains");
+    const auto forward = sessions.front();
+    sessions = {forward, {forward.receiver, forward.sender}};
+  }
+
+  // Flooding load: every node broadcasts, with staggered phases.
+  std::vector<std::unique_ptr<FloodApp>> flooders;
+  if (config.flooding) {
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      FloodConfig fc;
+      fc.payload_bytes = config.flood_payload_bytes;
+      fc.interval = config.flood_interval;
+      fc.initial_offset = sim::Duration::millis(17) * (i + 1);
+      flooders.push_back(
+          std::make_unique<FloodApp>(simulation, *nodes[i], fc));
+      flooders.back()->start();
+    }
+  }
+
+  topo::ExperimentResult result;
+  result.relay_indices = topo::relay_indices(config.topology);
+
+  if (config.traffic != TrafficKind::kUdp) {
+    // One FileReceiver per distinct receiving node.
+    std::vector<std::unique_ptr<FileReceiverApp>> receivers(nodes.size());
+    std::vector<std::unique_ptr<FileSenderApp>> senders;
+    std::vector<std::size_t> flows_at(nodes.size(), 0);
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      const auto [src, dst] = sessions[s];
+      if (!receivers[dst]) {
+        receivers[dst] = std::make_unique<FileReceiverApp>(
+            simulation, *nodes[dst], kTcpPort, config.tcp_file_bytes,
+            config.tcp);
+      }
+      ++flows_at[dst];
+      senders.push_back(std::make_unique<FileSenderApp>(
+          simulation, *nodes[src],
+          net::Endpoint{net::Ipv4Address::for_node(dst), kTcpPort},
+          config.tcp_file_bytes, config.tcp));
+      senders.back()->start(
+          sim::TimePoint::at(sim::Duration::millis(10) * (s + 1)));
+    }
+
+    // Run in slices until every flow completes (or the time cap).
+    const auto deadline = sim::TimePoint::at(config.max_sim_time);
+    while (simulation.now() < deadline) {
+      bool all_done = true;
+      for (std::size_t d = 0; d < nodes.size(); ++d) {
+        if (receivers[d] && !receivers[d]->all_complete(flows_at[d])) {
+          all_done = false;
+        }
+      }
+      if (all_done) break;
+      simulation.run_for(sim::Duration::millis(200));
+    }
+
+    // Collect per-session results. Sessions at a shared receiver appear
+    // in accept order; map flows to senders by matching counts.
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      const auto [src, dst] = sessions[s];
+      topo::FlowResult fr;
+      fr.bytes = config.tcp_file_bytes;
+      const auto& recv = *receivers[dst];
+      // Find this sender's flow: flows at the receiver are indexed in
+      // connection-accept order, which matches the staggered start order.
+      std::size_t flow_index = 0;
+      for (std::size_t prior = 0; prior < s; ++prior) {
+        if (sessions[prior].receiver == dst) ++flow_index;
+      }
+      if (flow_index < recv.flow_count()) {
+        const auto& flow = recv.flow(flow_index);
+        fr.completed = flow.complete;
+        if (flow.complete) {
+          const auto start = senders[s]->started_at();
+          fr.elapsed = flow.completed_at - start;
+          fr.throughput_mbps = static_cast<double>(fr.bytes) * 8.0 /
+                               fr.elapsed.seconds_f() / 1e6;
+        }
+      }
+      result.flows.push_back(fr);
+    }
+  } else {
+    // UDP: CBR from each session sender to a sink at the receiver.
+    std::vector<std::unique_ptr<UdpSinkApp>> sinks(nodes.size());
+    std::vector<std::unique_ptr<UdpCbrApp>> cbrs;
+    const auto stop = sim::TimePoint::at(config.udp_duration);
+    for (const auto [src, dst] : sessions) {
+      if (!sinks[dst]) {
+        sinks[dst] =
+            std::make_unique<UdpSinkApp>(simulation, *nodes[dst], kUdpPort);
+      }
+      UdpCbrConfig uc;
+      uc.destination = {net::Ipv4Address::for_node(dst), kUdpPort};
+      uc.payload_bytes = config.udp_payload_bytes;
+      uc.interval = config.udp_interval;
+      uc.packets_per_tick = config.udp_packets_per_tick;
+      uc.stop = stop;
+      cbrs.push_back(std::make_unique<UdpCbrApp>(simulation, *nodes[src],
+                                                 uc, 9000));
+      cbrs.back()->start();
+    }
+    // Run through the send window plus a drain period.
+    simulation.run_until(stop + sim::Duration::seconds(2));
+
+    for (const auto [src, dst] : sessions) {
+      (void)src;
+      topo::FlowResult fr;
+      const auto& sink = *sinks[dst];
+      fr.bytes = sink.payload_bytes();
+      fr.elapsed = config.udp_duration;
+      fr.completed = true;
+      fr.throughput_mbps = sink.goodput_mbps(config.udp_duration);
+      result.flows.push_back(fr);
+      break;  // sinks aggregate all sessions at one receiver
+    }
+  }
+
+  result.sim_time = simulation.now().since_origin();
+  for (const auto& node : nodes) {
+    result.node_stats.push_back(node->mac_stats());
+  }
+  return result;
+}
+
+}  // namespace hydra::app

@@ -1,0 +1,17 @@
+// Runs one of the paper's experiments to completion: builds the topology
+// (topo layer), attaches the configured workload (TCP file transfers,
+// UDP CBR, flooding), runs the simulation and collects per-flow results.
+//
+// This is the app layer's composition point — the one place that knows
+// both the topologies and the applications riding on them. Every bench
+// binary, example and integration test drives experiments through it.
+#pragma once
+
+#include "topo/experiment.h"
+
+namespace hydra::app {
+
+// Runs one experiment configuration to completion.
+topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config);
+
+}  // namespace hydra::app

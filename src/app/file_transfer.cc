@@ -1,5 +1,7 @@
 #include "app/file_transfer.h"
 
+#include "transport/host.h"
+
 namespace hydra::app {
 
 FileSenderApp::FileSenderApp(sim::Simulation& simulation, net::Node& node,
@@ -20,7 +22,7 @@ void FileSenderApp::start(sim::TimePoint at) {
 
 void FileSenderApp::begin() {
   started_at_ = sim_.now();
-  connection_ = &node_.transport().tcp_connect(destination_, tcp_config_);
+  connection_ = &transport::mux_of(node_).tcp_connect(destination_, tcp_config_);
   connection_->on_send_complete = [this] {
     send_complete_ = true;
     completed_at_ = sim_.now();
@@ -33,7 +35,7 @@ FileReceiverApp::FileReceiverApp(sim::Simulation& simulation, net::Node& node,
                                  net::Port port, std::uint64_t expected_bytes,
                                  transport::TcpConfig tcp)
     : sim_(simulation), expected_bytes_(expected_bytes) {
-  node.transport().tcp_listen(
+  transport::mux_of(node).tcp_listen(
       port, tcp, [this](transport::TcpConnection& conn) {
         const auto index = flows_.size();
         flows_.emplace_back();

@@ -1,6 +1,6 @@
 #include "app/flood.h"
 
-#include "net/packet.h"
+#include "proto/packet.h"
 
 namespace hydra::app {
 

@@ -1,9 +1,11 @@
 #include "app/ping.h"
 
+#include "transport/host.h"
+
 namespace hydra::app {
 
 PingResponderApp::PingResponderApp(net::Node& node, net::Port port)
-    : socket_(node.transport().open_udp(port)) {
+    : socket_(transport::mux_of(node).open_udp(port)) {
   socket_.on_receive = [this](const net::Packet& packet) {
     ++echoed_;
     socket_.send_to({packet.ip.src, packet.udp->src_port},
@@ -15,7 +17,7 @@ PingApp::PingApp(sim::Simulation& simulation, net::Node& node,
                  PingConfig config, net::Port local_port)
     : sim_(simulation),
       config_(config),
-      socket_(node.transport().open_udp(local_port)),
+      socket_(transport::mux_of(node).open_udp(local_port)),
       interval_timer_(simulation.scheduler(), [this] { send_probe(); }),
       timeout_timer_(simulation.scheduler(), [this] { on_timeout(); }) {
   socket_.on_receive = [this](const net::Packet&) { on_reply(); };

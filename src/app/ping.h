@@ -12,6 +12,7 @@
 
 #include "net/node.h"
 #include "sim/timer.h"
+#include "transport/udp.h"
 
 namespace hydra::app {
 

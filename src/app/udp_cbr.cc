@@ -1,12 +1,14 @@
 #include "app/udp_cbr.h"
 
+#include "transport/host.h"
+
 namespace hydra::app {
 
 UdpCbrApp::UdpCbrApp(sim::Simulation& simulation, net::Node& node,
                      UdpCbrConfig config, net::Port local_port)
     : sim_(simulation),
       config_(config),
-      socket_(node.transport().open_udp(local_port)),
+      socket_(transport::mux_of(node).open_udp(local_port)),
       timer_(simulation.scheduler(), [this] { tick(); }) {}
 
 void UdpCbrApp::start() {

@@ -6,6 +6,7 @@
 
 #include "net/node.h"
 #include "sim/timer.h"
+#include "transport/udp.h"
 
 namespace hydra::app {
 

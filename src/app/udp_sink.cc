@@ -1,11 +1,13 @@
 #include "app/udp_sink.h"
 
+#include "transport/host.h"
+
 namespace hydra::app {
 
 UdpSinkApp::UdpSinkApp(sim::Simulation& simulation, net::Node& node,
                        net::Port port)
     : sim_(simulation) {
-  auto& socket = node.transport().open_udp(port);
+  auto& socket = transport::mux_of(node).open_udp(port);
   socket.on_receive = [this](const net::Packet& packet) {
     if (packets_ == 0) first_ = sim_.now();
     ++packets_;

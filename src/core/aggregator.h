@@ -17,9 +17,9 @@
 
 #include "core/policy.h"
 #include "core/queues.h"
-#include "mac/frames.h"
-#include "phy/mode.h"
 #include "phy/timing.h"
+#include "proto/frames.h"
+#include "proto/mode.h"
 
 namespace hydra::core {
 

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "net/packet.h"
+#include "proto/packet.h"
 
 namespace hydra::core {
 

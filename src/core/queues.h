@@ -6,7 +6,7 @@
 #include <deque>
 #include <optional>
 
-#include "mac/frames.h"
+#include "proto/frames.h"
 #include "sim/time.h"
 
 namespace hydra::core {

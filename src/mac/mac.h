@@ -28,8 +28,7 @@
 #include "core/classifier.h"
 #include "core/policy.h"
 #include "core/queues.h"
-#include "mac/address.h"
-#include "mac/frames.h"
+#include "mac/pdu.h"
 #include "mac/rate_adaptation.h"
 #include "mac/stats.h"
 #include "mac/timings.h"

@@ -1,0 +1,47 @@
+#include "mac/pdu.h"
+
+#include "util/assert.h"
+
+namespace hydra::mac {
+
+std::shared_ptr<const MacPdu> MacPdu::make_control(ControlFrame frame,
+                                                   MacAddress transmitter) {
+  auto pdu = std::make_shared<MacPdu>();
+  pdu->kind = Kind::kControl;
+  pdu->control = frame;
+  pdu->transmitter = transmitter;
+  return pdu;
+}
+
+std::shared_ptr<const MacPdu> MacPdu::make_aggregate(AggregateFrame frame,
+                                                     MacAddress transmitter) {
+  auto pdu = std::make_shared<MacPdu>();
+  pdu->kind = Kind::kAggregate;
+  pdu->aggregate = std::move(frame);
+  pdu->transmitter = transmitter;
+  return pdu;
+}
+
+phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
+                           const phy::PhyMode& bcast_mode,
+                           const phy::PhyMode& ucast_mode) {
+  HYDRA_ASSERT(pdu != nullptr);
+  phy::PhyFrame frame;
+  frame.payload = pdu;
+  if (pdu->kind == MacPdu::Kind::kControl) {
+    frame.unicast.mode = phy::base_mode();
+    frame.unicast.subframe_bytes.push_back(pdu->control.wire_bytes());
+    return frame;
+  }
+  frame.broadcast.mode = bcast_mode;
+  for (const auto& sf : pdu->aggregate.broadcast) {
+    frame.broadcast.subframe_bytes.push_back(sf.wire_bytes());
+  }
+  frame.unicast.mode = ucast_mode;
+  for (const auto& sf : pdu->aggregate.unicast) {
+    frame.unicast.subframe_bytes.push_back(sf.wire_bytes());
+  }
+  return frame;
+}
+
+}  // namespace hydra::mac

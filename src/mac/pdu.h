@@ -1,0 +1,36 @@
+// The bridge between the MAC's wire formats (proto/frames.h) and the
+// PHY: the opaque payload the PHY carries, and the portion-spec layout
+// it needs to time a transmission.
+#pragma once
+
+#include <memory>
+
+#include "phy/frame.h"
+#include "proto/frames.h"
+#include "proto/mode.h"
+
+namespace hydra::mac {
+
+// What travels through the PHY: either a control frame or an aggregate.
+struct MacPdu final : phy::Payload {
+  enum class Kind { kControl, kAggregate };
+  Kind kind = Kind::kControl;
+  ControlFrame control;
+  AggregateFrame aggregate;
+  MacAddress transmitter;
+
+  static std::shared_ptr<const MacPdu> make_control(ControlFrame frame,
+                                                    MacAddress transmitter);
+  static std::shared_ptr<const MacPdu> make_aggregate(AggregateFrame frame,
+                                                      MacAddress transmitter);
+};
+
+// Builds the PHY frame (portion specs + payload pointer) for a PDU.
+// Control frames always use the base mode. `bcast_mode`/`ucast_mode`
+// select the rates of the two aggregate portions (paper Fig. 2 allows
+// them to differ).
+phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
+                           const phy::PhyMode& bcast_mode,
+                           const phy::PhyMode& ucast_mode);
+
+}  // namespace hydra::mac

@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "phy/mode.h"
+#include "proto/mode.h"
 
 namespace hydra::mac {
 

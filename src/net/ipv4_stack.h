@@ -7,8 +7,8 @@
 #include <map>
 
 #include "mac/mac.h"
-#include "net/packet.h"
 #include "net/routing.h"
+#include "proto/packet.h"
 
 namespace hydra::net {
 

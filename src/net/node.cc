@@ -28,15 +28,10 @@ mac::MacConfig make_mac_config(std::uint32_t index, const NodeConfig& config) {
 
 Node::Node(sim::Simulation& simulation, phy::Medium& medium,
            std::uint32_t index, const NodeConfig& config)
-    : index_(index),
+    : sim_(simulation),
+      index_(index),
       phy_(simulation, medium, make_phy_config(config), index),
       mac_(simulation, phy_, make_mac_config(index, config)),
-      stack_(Ipv4Address::for_node(index), mac_, routes_),
-      mux_(simulation, Ipv4Address::for_node(index)) {
-  mux_.send_packet = [this](PacketPtr packet) { stack_.send(std::move(packet)); };
-  stack_.deliver_local = [this](const PacketPtr& packet) {
-    mux_.deliver(packet);
-  };
-}
+      stack_(Ipv4Address::for_node(index), mac_, routes_) {}
 
 }  // namespace hydra::net

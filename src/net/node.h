@@ -1,9 +1,13 @@
-// A complete simulated node: PHY, MAC (with aggregation), IP forwarding,
-// transport mux. Construction wires every layer together.
+// A complete simulated node: PHY, MAC (with aggregation), IP forwarding.
+// Construction wires the layers together; anything above the net layer
+// (transport mux, applications) hooks in through the stack callbacks and
+// the typed attachment slots, so this header never names upper layers.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <typeindex>
 
 #include "mac/mac.h"
 #include "net/ipv4_stack.h"
@@ -11,7 +15,6 @@
 #include "phy/medium.h"
 #include "phy/phy.h"
 #include "sim/simulation.h"
-#include "transport/mux.h"
 
 namespace hydra::net {
 
@@ -42,20 +45,34 @@ class Node {
     return mac::MacAddress::for_node(index_);
   }
 
+  sim::Simulation& simulation() { return sim_; }
   phy::Phy& phy() { return phy_; }
   mac::Mac& mac() { return mac_; }
   Ipv4Stack& stack() { return stack_; }
-  transport::TransportMux& transport() { return mux_; }
   RoutingTable& routes() { return routes_; }
   const mac::MacStats& mac_stats() const { return mac_.stats(); }
 
+  // Typed per-node slot for upper-layer state (the transport mux, say):
+  // the first call for a type T constructs it via `make` (returning a
+  // unique_ptr<T>), later calls return the same instance. Attachments
+  // share the node's lifetime. See transport::mux_of for the idiom.
+  template <typename T, typename Make>
+  T& attachment(Make&& make) {
+    auto& slot = attachments_[std::type_index(typeid(T))];
+    if (!slot) slot = std::shared_ptr<void>(make());
+    return *static_cast<T*>(slot.get());
+  }
+
  private:
+  sim::Simulation& sim_;
   std::uint32_t index_;
   phy::Phy phy_;
   mac::Mac mac_;
   RoutingTable routes_;
   Ipv4Stack stack_;
-  transport::TransportMux mux_;
+  // Declared last: attachments wire themselves into stack_ callbacks, so
+  // they must be destroyed before the layers they hook into.
+  std::map<std::type_index, std::shared_ptr<void>> attachments_;
 };
 
 }  // namespace hydra::net

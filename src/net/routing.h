@@ -5,8 +5,8 @@
 #include <map>
 #include <optional>
 
-#include "mac/address.h"
-#include "net/address.h"
+#include "proto/ip_address.h"
+#include "proto/mac_address.h"
 
 namespace hydra::net {
 

@@ -15,8 +15,8 @@
 //    independent of rate — the cause of Fig. 7's throughput cliff.
 #pragma once
 
-#include "phy/mode.h"
 #include "phy/timing.h"
+#include "proto/mode.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 

@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "phy/mode.h"
+#include "proto/mode.h"
 #include "sim/time.h"
 
 namespace hydra::phy {

@@ -1,11 +1,11 @@
-#include "mac/frames.h"
+#include "proto/frames.h"
 
 #include <numeric>
 
 #include "util/assert.h"
 #include "util/crc32.h"
 
-namespace hydra::mac {
+namespace hydra::proto {
 namespace {
 
 // Frame control encoding: low 2 bits = type, bit 2 = retry.
@@ -70,10 +70,10 @@ std::optional<MacSubframe> MacSubframe::parse(BufferReader& r) {
   const std::size_t pkt_bytes = payload_len - kEncapBytes;
   if (pkt_bytes > 0) {
     const auto pkt_start = r.position();
-    auto parsed = net::Packet::parse(r);
+    auto parsed = Packet::parse(r);
     if (!parsed) return std::nullopt;
     if (r.position() - pkt_start != pkt_bytes) return std::nullopt;
-    sf.packet = std::make_shared<const net::Packet>(*parsed);
+    sf.packet = std::make_shared<const Packet>(*parsed);
   }
 
   // Verify the FCS over header + payload, exactly the span serialize()
@@ -158,44 +158,4 @@ std::size_t AggregateFrame::total_wire_bytes() const {
          std::accumulate(unicast.begin(), unicast.end(), std::size_t{0}, sum);
 }
 
-std::shared_ptr<const MacPdu> MacPdu::make_control(ControlFrame frame,
-                                                   MacAddress transmitter) {
-  auto pdu = std::make_shared<MacPdu>();
-  pdu->kind = Kind::kControl;
-  pdu->control = frame;
-  pdu->transmitter = transmitter;
-  return pdu;
-}
-
-std::shared_ptr<const MacPdu> MacPdu::make_aggregate(AggregateFrame frame,
-                                                     MacAddress transmitter) {
-  auto pdu = std::make_shared<MacPdu>();
-  pdu->kind = Kind::kAggregate;
-  pdu->aggregate = std::move(frame);
-  pdu->transmitter = transmitter;
-  return pdu;
-}
-
-phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
-                           const phy::PhyMode& bcast_mode,
-                           const phy::PhyMode& ucast_mode) {
-  HYDRA_ASSERT(pdu != nullptr);
-  phy::PhyFrame frame;
-  frame.payload = pdu;
-  if (pdu->kind == MacPdu::Kind::kControl) {
-    frame.unicast.mode = phy::base_mode();
-    frame.unicast.subframe_bytes.push_back(pdu->control.wire_bytes());
-    return frame;
-  }
-  frame.broadcast.mode = bcast_mode;
-  for (const auto& sf : pdu->aggregate.broadcast) {
-    frame.broadcast.subframe_bytes.push_back(sf.wire_bytes());
-  }
-  frame.unicast.mode = ucast_mode;
-  for (const auto& sf : pdu->aggregate.unicast) {
-    frame.unicast.subframe_bytes.push_back(sf.wire_bytes());
-  }
-  return frame;
-}
-
-}  // namespace hydra::mac
+}  // namespace hydra::proto

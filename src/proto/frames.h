@@ -19,11 +19,10 @@
 #include <optional>
 #include <vector>
 
-#include "mac/address.h"
-#include "net/packet.h"
-#include "phy/frame.h"
+#include "proto/mac_address.h"
+#include "proto/packet.h"
 
-namespace hydra::mac {
+namespace hydra::proto {
 
 enum class FrameType : std::uint8_t { kData = 0, kRts = 1, kCts = 2, kAck = 3 };
 
@@ -68,7 +67,7 @@ struct MacSubframe {
   // Per-transmitter sequence number; retransmissions keep it, so the
   // receiver can suppress duplicates after a lost link-level ACK.
   std::uint16_t sequence = 0;
-  net::PacketPtr packet;
+  PacketPtr packet;
 
   std::size_t packet_bytes() const { return packet ? packet->wire_size() : 0; }
   std::size_t wire_bytes() const { return subframe_wire_bytes(packet_bytes()); }
@@ -114,26 +113,27 @@ struct AggregateFrame {
   std::size_t total_wire_bytes() const;
 };
 
-// What travels through the PHY: either a control frame or an aggregate.
-struct MacPdu final : phy::Payload {
-  enum class Kind { kControl, kAggregate };
-  Kind kind = Kind::kControl;
-  ControlFrame control;
-  AggregateFrame aggregate;
-  MacAddress transmitter;
+}  // namespace hydra::proto
 
-  static std::shared_ptr<const MacPdu> make_control(ControlFrame frame,
-                                                    MacAddress transmitter);
-  static std::shared_ptr<const MacPdu> make_aggregate(AggregateFrame frame,
-                                                      MacAddress transmitter);
-};
+// Compatibility spellings: the frame formats predate the proto layer.
+// The PHY-facing PDU wrapper (MacPdu, to_phy_frame) lives in mac/pdu.h.
+namespace hydra::mac {
+using proto::kAckBytes;
+using proto::kBlockAckBytes;
+using proto::kCtsBytes;
+using proto::kEncapBytes;
+using proto::kFcsBytes;
+using proto::kMacHeaderBytes;
+using proto::kMinSubframeBytes;
+using proto::kRtsBytes;
+using proto::kSubframeAlign;
 
-// Builds the PHY frame (portion specs + payload pointer) for a PDU.
-// Control frames always use the base mode. `bcast_mode`/`ucast_mode`
-// select the rates of the two aggregate portions (paper Fig. 2 allows
-// them to differ).
-phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
-                           const phy::PhyMode& bcast_mode,
-                           const phy::PhyMode& ucast_mode);
+using proto::AggregateFrame;
+using proto::ControlFrame;
+using proto::FrameType;
+using proto::MacSubframe;
 
+using proto::decode_duration_us;
+using proto::encode_duration_us;
+using proto::subframe_wire_bytes;
 }  // namespace hydra::mac

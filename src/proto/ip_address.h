@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <string>
 
-namespace hydra::net {
+namespace hydra::proto {
 
 // 32-bit IPv4-style address. Strongly typed; value 0 is "unspecified".
 class Ipv4Address {
@@ -47,4 +47,13 @@ struct Endpoint {
       default;
 };
 
+}  // namespace hydra::proto
+
+// The types predate the proto layer and most call sites still spell them
+// net::...; keep the old namespace working.
+namespace hydra::net {
+using proto::Endpoint;
+using proto::Ipv4Address;
+using proto::Port;
+using proto::to_string;
 }  // namespace hydra::net

@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <string>
 
-namespace hydra::mac {
+namespace hydra::proto {
 
 class MacAddress {
  public:
@@ -39,4 +39,10 @@ inline std::string to_string(MacAddress a) {
   return buf;
 }
 
+}  // namespace hydra::proto
+
+// Compatibility spelling: the MAC layer historically owned this type.
+namespace hydra::mac {
+using proto::MacAddress;
+using proto::to_string;
 }  // namespace hydra::mac

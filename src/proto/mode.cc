@@ -1,8 +1,8 @@
-#include "phy/mode.h"
+#include "proto/mode.h"
 
 #include "util/assert.h"
 
-namespace hydra::phy {
+namespace hydra::proto {
 namespace {
 
 constexpr std::array<PhyMode, 8> kModes = {{
@@ -59,4 +59,4 @@ std::string to_string(const PhyMode& mode) {
   return buf;
 }
 
-}  // namespace hydra::phy
+}  // namespace hydra::proto

@@ -1,8 +1,8 @@
-#include "net/packet.h"
+#include "proto/packet.h"
 
 #include <cstdio>
 
-namespace hydra::net {
+namespace hydra::proto {
 
 std::string to_string(Ipv4Address addr) {
   char buf[20];
@@ -240,4 +240,4 @@ PacketPtr make_discovery_packet(Ipv4Address src, Ipv4Address dst,
   return std::make_shared<const Packet>(p);
 }
 
-}  // namespace hydra::net
+}  // namespace hydra::proto

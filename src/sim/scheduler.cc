@@ -4,13 +4,31 @@
 
 namespace hydra::sim {
 
+namespace {
+
+constexpr std::uint64_t pack_id(std::uint32_t generation,
+                                std::uint32_t slot) {
+  return (std::uint64_t{generation} << 32) | slot;
+}
+
+}  // namespace
+
 EventId Scheduler::schedule_at(TimePoint at, Callback cb) {
   HYDRA_ASSERT_MSG(at >= now_, "cannot schedule into the past");
   HYDRA_ASSERT(cb != nullptr);
-  const auto seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(cb)});
-  pending_.insert(seq);
-  return EventId(seq);
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  slots_[slot].pending = true;
+  ++pending_count_;
+  heap_.push(Entry{at, next_seq_++, slot, std::move(cb)});
+  // generation >= 1 always, so a packed id is never 0 (the invalid id).
+  return EventId(pack_id(slots_[slot].generation, slot));
 }
 
 EventId Scheduler::schedule_in(Duration delay, Callback cb) {
@@ -19,19 +37,41 @@ EventId Scheduler::schedule_in(Duration delay, Callback cb) {
 }
 
 bool Scheduler::cancel(EventId id) {
-  // Events that already ran (or were already cancelled) are no longer
-  // pending; cancelling them is a no-op that must report failure.
-  if (!id.valid() || pending_.erase(id.id_) == 0) return false;
-  // Lazy deletion: record the id; the heap entry is dropped when popped.
-  cancelled_.insert(id.id_);
+  if (!id.valid()) return false;
+  const auto slot = static_cast<std::uint32_t>(id.id_);
+  const auto generation = static_cast<std::uint32_t>(id.id_ >> 32);
+  if (slot >= slots_.size()) return false;
+  auto& s = slots_[slot];
+  // A stale generation means the event already ran (or was already
+  // cancelled) and the slot moved on; cancelling it is a no-op that must
+  // report failure.
+  if (s.generation != generation || !s.pending) return false;
+  // Lazy deletion: clear the pending flag; the heap entry is dropped
+  // (and the slot vacated) when it surfaces.
+  s.pending = false;
+  --pending_count_;
   return true;
+}
+
+void Scheduler::vacate(std::uint32_t slot) {
+  auto& s = slots_[slot];
+  s.pending = false;
+  // Bumping the generation invalidates every id handed out for this
+  // occupancy. Wrap-around after 2^32 reuses of one slot is accepted:
+  // a handle would have to be held across four billion rearms of the
+  // same slot to alias.
+  ++s.generation;
+  if (s.generation == 0) s.generation = 1;  // keep packed ids non-zero
+  free_slots_.push_back(slot);
 }
 
 void Scheduler::pop_and_run() {
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
-  if (cancelled_.erase(entry.seq) > 0) return;
-  pending_.erase(entry.seq);
+  const bool live = slots_[entry.slot].pending;
+  vacate(entry.slot);
+  if (!live) return;  // cancelled; already discounted from pending_count_
+  --pending_count_;
   HYDRA_ASSERT(entry.at >= now_);
   now_ = entry.at;
   ++executed_;

@@ -4,14 +4,15 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace hydra::sim {
 
-// Opaque handle for cancelling a scheduled event. Id 0 is "invalid".
+// Opaque handle for cancelling a scheduled event: a slot index stamped
+// with the slot's generation, so a handle goes stale the moment its
+// event runs or is cancelled and the slot is reused. Id 0 is "invalid".
 class EventId {
  public:
   constexpr EventId() = default;
@@ -53,13 +54,14 @@ class Scheduler {
   // Executes at most one event. Returns false if the queue is empty.
   bool step();
 
-  std::size_t pending_events() const { return pending_.size(); }
+  std::size_t pending_events() const { return pending_count_; }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
   struct Entry {
     TimePoint at;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::uint64_t seq;   // tie-breaker: FIFO among same-time events
+    std::uint32_t slot;  // index into slots_
     Callback cb;
   };
   struct Later {
@@ -68,18 +70,28 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  // One live-event slot. `generation` stamps the EventId handed out for
+  // the slot's current occupant; vacating the slot bumps it, so cancel()
+  // can tell "still pending" from "already ran / already cancelled /
+  // slot reused" with two array loads instead of hash-set lookups.
+  struct Slot {
+    std::uint32_t generation = 1;
+    bool pending = false;
+  };
 
   void pop_and_run();
+  void vacate(std::uint32_t slot);
 
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t pending_count_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Ids scheduled and not yet run or cancelled. Lets cancel() distinguish
-  // "still pending" from "already ran" without searching the heap.
-  std::unordered_set<std::uint64_t> pending_;
-  // Cancelled ids whose heap entries await lazy removal.
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Slot storage grows to the high-water mark of concurrently scheduled
+  // events and is then recycled through the free list; cancelled heap
+  // entries are dropped lazily when popped.
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace hydra::sim

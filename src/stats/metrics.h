@@ -2,8 +2,8 @@
 #pragma once
 
 #include "mac/stats.h"
-#include "phy/mode.h"
 #include "phy/timing.h"
+#include "proto/mode.h"
 
 namespace hydra::stats {
 

@@ -1,31 +1,18 @@
 #include "topo/experiment.h"
 
 #include <algorithm>
-#include <memory>
 
-#include "app/file_transfer.h"
-#include "app/flood.h"
-#include "app/udp_cbr.h"
-#include "app/udp_sink.h"
-#include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
 #include "util/assert.h"
 
 namespace hydra::topo {
 
 namespace {
 
-constexpr net::Port kTcpPort = 5001;
-constexpr net::Port kUdpPort = 9001;
 constexpr double kSpacingM = 2.5;  // paper §5 node spacing
 
-struct SessionSpec {
-  std::uint32_t sender;
-  std::uint32_t receiver;
-};
+}  // namespace
 
-std::vector<SessionSpec> sessions_for(Topology t) {
+std::vector<Session> sessions_for(Topology t) {
   switch (t) {
     case Topology::kOneHop: return {{0, 1}};
     case Topology::kTwoHop: return {{0, 2}};
@@ -54,7 +41,8 @@ std::vector<phy::Position> positions_for(Topology t) {
   HYDRA_UNREACHABLE("bad topology");
 }
 
-void install_routes(Topology t, std::vector<std::unique_ptr<net::Node>>& nodes) {
+void install_static_routes(Topology t,
+                           std::span<const std::unique_ptr<net::Node>> nodes) {
   const auto ip = [](std::uint32_t i) { return net::Ipv4Address::for_node(i); };
   switch (t) {
     case Topology::kOneHop:
@@ -85,7 +73,32 @@ void install_routes(Topology t, std::vector<std::unique_ptr<net::Node>>& nodes) 
   HYDRA_UNREACHABLE("bad topology");
 }
 
-}  // namespace
+std::vector<std::unique_ptr<net::Node>> build_nodes(
+    sim::Simulation& simulation, phy::Medium& medium,
+    const ExperimentConfig& config) {
+  const auto positions = positions_for(config.topology);
+  const auto relays = relay_indices(config.topology);
+
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  nodes.reserve(positions.size());
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    net::NodeConfig nc;
+    nc.position = positions[i];
+    nc.policy = config.policy;
+    // The paper delays only relay nodes (§6.4.3).
+    const bool is_relay =
+        std::find(relays.begin(), relays.end(), i) != relays.end();
+    if (!is_relay) nc.policy.delay_min_subframes = 0;
+    nc.unicast_mode = config.unicast_mode;
+    nc.broadcast_mode = config.broadcast_mode;
+    nc.use_rts_cts = config.use_rts_cts;
+    nc.queue_limit = config.queue_limit;
+    nc.rate_adaptation = config.rate_adaptation;
+    nc.tx_power_dbm += config.tx_power_delta_db;
+    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
+  }
+  return nodes;
+}
 
 std::size_t node_count(Topology t) { return positions_for(t).size(); }
 
@@ -118,161 +131,6 @@ double ExperimentResult::total_throughput_mbps() const {
 const mac::MacStats& ExperimentResult::relay_stats() const {
   HYDRA_ASSERT(!relay_indices.empty());
   return node_stats[relay_indices.front()];
-}
-
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  sim::Simulation simulation(config.seed);
-  phy::Medium medium(simulation);
-
-  const auto positions = positions_for(config.topology);
-  const auto relays = relay_indices(config.topology);
-
-  std::vector<std::unique_ptr<net::Node>> nodes;
-  nodes.reserve(positions.size());
-  for (std::uint32_t i = 0; i < positions.size(); ++i) {
-    net::NodeConfig nc;
-    nc.position = positions[i];
-    nc.policy = config.policy;
-    // The paper delays only relay nodes (§6.4.3).
-    const bool is_relay =
-        std::find(relays.begin(), relays.end(), i) != relays.end();
-    if (!is_relay) nc.policy.delay_min_subframes = 0;
-    nc.unicast_mode = config.unicast_mode;
-    nc.broadcast_mode = config.broadcast_mode;
-    nc.use_rts_cts = config.use_rts_cts;
-    nc.queue_limit = config.queue_limit;
-    nc.rate_adaptation = config.rate_adaptation;
-    nc.tx_power_dbm += config.tx_power_delta_db;
-    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
-  }
-  install_routes(config.topology, nodes);
-
-  auto sessions = sessions_for(config.topology);
-  if (config.traffic == TrafficKind::kTcpBidirectional) {
-    HYDRA_ASSERT_MSG(config.topology != Topology::kStar,
-                     "bidirectional traffic is defined for chains");
-    const auto forward = sessions.front();
-    sessions = {forward, {forward.receiver, forward.sender}};
-  }
-
-  // Flooding load: every node broadcasts, with staggered phases.
-  std::vector<std::unique_ptr<app::FloodApp>> flooders;
-  if (config.flooding) {
-    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
-      app::FloodConfig fc;
-      fc.payload_bytes = config.flood_payload_bytes;
-      fc.interval = config.flood_interval;
-      fc.initial_offset = sim::Duration::millis(17) * (i + 1);
-      flooders.push_back(
-          std::make_unique<app::FloodApp>(simulation, *nodes[i], fc));
-      flooders.back()->start();
-    }
-  }
-
-  ExperimentResult result;
-  result.relay_indices = relays;
-
-  if (config.traffic != TrafficKind::kUdp) {
-    // One FileReceiver per distinct receiving node.
-    std::vector<std::unique_ptr<app::FileReceiverApp>> receivers(nodes.size());
-    std::vector<std::unique_ptr<app::FileSenderApp>> senders;
-    std::vector<std::size_t> flows_at(nodes.size(), 0);
-    for (std::size_t s = 0; s < sessions.size(); ++s) {
-      const auto [src, dst] = sessions[s];
-      if (!receivers[dst]) {
-        receivers[dst] = std::make_unique<app::FileReceiverApp>(
-            simulation, *nodes[dst], kTcpPort, config.tcp_file_bytes,
-            config.tcp);
-      }
-      ++flows_at[dst];
-      senders.push_back(std::make_unique<app::FileSenderApp>(
-          simulation, *nodes[src],
-          net::Endpoint{net::Ipv4Address::for_node(dst), kTcpPort},
-          config.tcp_file_bytes, config.tcp));
-      senders.back()->start(
-          sim::TimePoint::at(sim::Duration::millis(10) * (s + 1)));
-    }
-
-    // Run in slices until every flow completes (or the time cap).
-    const auto deadline = sim::TimePoint::at(config.max_sim_time);
-    while (simulation.now() < deadline) {
-      bool all_done = true;
-      for (std::size_t d = 0; d < nodes.size(); ++d) {
-        if (receivers[d] && !receivers[d]->all_complete(flows_at[d])) {
-          all_done = false;
-        }
-      }
-      if (all_done) break;
-      simulation.run_for(sim::Duration::millis(200));
-    }
-
-    // Collect per-session results. Sessions at a shared receiver appear
-    // in accept order; map flows to senders by matching counts.
-    for (std::size_t s = 0; s < sessions.size(); ++s) {
-      const auto [src, dst] = sessions[s];
-      FlowResult fr;
-      fr.bytes = config.tcp_file_bytes;
-      const auto& recv = *receivers[dst];
-      // Find this sender's flow: flows at the receiver are indexed in
-      // connection-accept order, which matches the staggered start order.
-      std::size_t flow_index = 0;
-      for (std::size_t prior = 0; prior < s; ++prior) {
-        if (sessions[prior].receiver == dst) ++flow_index;
-      }
-      if (flow_index < recv.flow_count()) {
-        const auto& flow = recv.flow(flow_index);
-        fr.completed = flow.complete;
-        if (flow.complete) {
-          const auto start = senders[s]->started_at();
-          fr.elapsed = flow.completed_at - start;
-          fr.throughput_mbps = static_cast<double>(fr.bytes) * 8.0 /
-                               fr.elapsed.seconds_f() / 1e6;
-        }
-      }
-      result.flows.push_back(fr);
-    }
-  } else {
-    // UDP: CBR from each session sender to a sink at the receiver.
-    std::vector<std::unique_ptr<app::UdpSinkApp>> sinks(nodes.size());
-    std::vector<std::unique_ptr<app::UdpCbrApp>> cbrs;
-    const auto stop = sim::TimePoint::at(config.udp_duration);
-    for (const auto [src, dst] : sessions) {
-      if (!sinks[dst]) {
-        sinks[dst] =
-            std::make_unique<app::UdpSinkApp>(simulation, *nodes[dst],
-                                              kUdpPort);
-      }
-      app::UdpCbrConfig uc;
-      uc.destination = {net::Ipv4Address::for_node(dst), kUdpPort};
-      uc.payload_bytes = config.udp_payload_bytes;
-      uc.interval = config.udp_interval;
-      uc.packets_per_tick = config.udp_packets_per_tick;
-      uc.stop = stop;
-      cbrs.push_back(std::make_unique<app::UdpCbrApp>(simulation, *nodes[src],
-                                                      uc, 9000));
-      cbrs.back()->start();
-    }
-    // Run through the send window plus a drain period.
-    simulation.run_until(stop + sim::Duration::seconds(2));
-
-    for (const auto [src, dst] : sessions) {
-      (void)src;
-      FlowResult fr;
-      const auto& sink = *sinks[dst];
-      fr.bytes = sink.payload_bytes();
-      fr.elapsed = config.udp_duration;
-      fr.completed = true;
-      fr.throughput_mbps = sink.goodput_mbps(config.udp_duration);
-      result.flows.push_back(fr);
-      break;  // sinks aggregate all sessions at one receiver
-    }
-  }
-
-  result.sim_time = simulation.now().since_origin();
-  for (const auto& node : nodes) {
-    result.node_stats.push_back(node->mac_stats());
-  }
-  return result;
 }
 
 }  // namespace hydra::topo

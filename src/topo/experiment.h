@@ -1,17 +1,21 @@
-// Shared experiment harness: builds the paper's topologies (Figs. 5, 6),
-// installs static routes, attaches workloads and runs to completion.
-// Every bench binary, example and integration test drives experiments
-// through this API.
+// Shared experiment harness: the paper's topologies (Figs. 5, 6), their
+// static routes and per-node configuration. The workload side — attaching
+// traffic and running to completion — lives one layer up in
+// app/experiment.h (app::run_experiment), so this layer never names the
+// applications it carries.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/policy.h"
 #include "mac/rate_adaptation.h"
 #include "mac/stats.h"
-#include "phy/mode.h"
+#include "net/node.h"
+#include "phy/medium.h"
+#include "proto/mode.h"
 #include "sim/time.h"
 #include "transport/tcp.h"
 
@@ -90,12 +94,28 @@ struct ExperimentResult {
   const mac::MacStats& relay_stats() const;  // first relay
 };
 
-// Runs one experiment configuration to completion.
-ExperimentResult run_experiment(const ExperimentConfig& config);
+// One traffic session the topology defines, as node indices.
+struct Session {
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+};
 
 // Number of nodes a topology instantiates.
 std::size_t node_count(Topology t);
 // Indices of relay (interior) nodes.
 std::vector<std::uint32_t> relay_indices(Topology t);
+// The paper's sessions for a topology (the star runs two, Fig. 6).
+std::vector<Session> sessions_for(Topology t);
+// Node coordinates at the paper's §5 spacing (2.5 m, the 25 dB point).
+std::vector<phy::Position> positions_for(Topology t);
+
+// Builds the topology's nodes, fully configured from `config` (relays
+// keep the delayed-aggregation holdoff, endpoints drop it, §6.4.3).
+std::vector<std::unique_ptr<net::Node>> build_nodes(
+    sim::Simulation& simulation, phy::Medium& medium,
+    const ExperimentConfig& config);
+// Installs the hop-by-hop static routes of the topology.
+void install_static_routes(Topology t,
+                           std::span<const std::unique_ptr<net::Node>> nodes);
 
 }  // namespace hydra::topo

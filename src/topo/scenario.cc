@@ -1,4 +1,4 @@
-#include "support/scenario.h"
+#include "topo/scenario.h"
 
 #include <cmath>
 #include <cstdio>
@@ -9,7 +9,7 @@
 #include "stats/table.h"
 #include "util/crc32.h"
 
-namespace hydra::test_support {
+namespace hydra::topo {
 
 Scenario::Scenario(const ScenarioOptions& opt)
     : opt_(opt),
@@ -170,4 +170,4 @@ std::string Scenario::metrics_summary() const {
   return table.to_string();
 }
 
-}  // namespace hydra::test_support
+}  // namespace hydra::topo

@@ -1,8 +1,8 @@
-// Shared scenario fixtures for the test suites: chain / star / mesh
-// topologies with deterministic RNG seeding, optional MAC neighbour
-// whitelists (forced multi-hop), static routing, AODV-style discovery
-// engines and packet-trace capture. Replaces the per-suite copies of
-// the same boilerplate (FilteredChain, Chain, Link, ...).
+// Shared scenario fixtures: chain / star / mesh topologies with
+// deterministic RNG seeding, optional MAC neighbour whitelists (forced
+// multi-hop), static routing, AODV-style discovery engines and
+// packet-trace capture. The test suites, the examples and future
+// workloads all build their topologies through this one library.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +15,10 @@
 #include "net/discovery.h"
 #include "net/node.h"
 #include "phy/medium.h"
-#include "phy/mode.h"
+#include "proto/mode.h"
 #include "sim/simulation.h"
 
-namespace hydra::test_support {
+namespace hydra::topo {
 
 struct ScenarioOptions {
   // Seed for the shared simulation RNG; fixed so every run of a fixture
@@ -94,4 +94,4 @@ class Scenario {
   std::shared_ptr<std::vector<std::string>> trace_;
 };
 
-}  // namespace hydra::test_support
+}  // namespace hydra::topo

@@ -1,0 +1,29 @@
+#include "transport/host.h"
+
+#include <memory>
+#include <utility>
+
+#include "net/node.h"
+
+namespace hydra::transport {
+
+TransportMux& mux_of(net::Node& node) {
+  return node.attachment<TransportMux>([&node] {
+    auto mux = std::make_unique<TransportMux>(node.simulation(), node.ip());
+    auto& stack = node.stack();
+    mux->send_packet = [&stack](net::PacketPtr packet) {
+      stack.send(std::move(packet));
+    };
+    // Chain rather than replace: trace capture (or another observer) may
+    // already be installed, in either order relative to this call.
+    stack.deliver_local = [mux = mux.get(),
+                           prev = std::move(stack.deliver_local)](
+                              const net::PacketPtr& packet) {
+      mux->deliver(packet);
+      if (prev) prev(packet);
+    };
+    return mux;
+  });
+}
+
+}  // namespace hydra::transport

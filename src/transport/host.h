@@ -1,0 +1,21 @@
+// Composition point between the net and transport layers.
+//
+// net::Node deliberately knows nothing about transport (the layer DAG
+// points the other way); the mux attaches to a node from above, through
+// the node's typed attachment slot and the stack's delivery callbacks.
+#pragma once
+
+#include "transport/mux.h"
+
+namespace hydra::net {
+class Node;
+}  // namespace hydra::net
+
+namespace hydra::transport {
+
+// Returns the node's TransportMux, creating it and wiring it into the IP
+// stack on first use. Every caller that opens sockets or connections on
+// a node goes through here.
+TransportMux& mux_of(net::Node& node);
+
+}  // namespace hydra::transport

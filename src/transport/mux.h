@@ -6,7 +6,7 @@
 #include <map>
 #include <memory>
 
-#include "net/packet.h"
+#include "proto/packet.h"
 #include "sim/simulation.h"
 #include "transport/tcp.h"
 #include "transport/udp.h"

@@ -18,7 +18,7 @@
 #include <functional>
 #include <vector>
 
-#include "net/packet.h"
+#include "proto/packet.h"
 #include "sim/simulation.h"
 #include "sim/timer.h"
 #include "transport/seq.h"

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "net/packet.h"
+#include "proto/packet.h"
 
 namespace hydra::transport {
 

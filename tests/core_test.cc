@@ -6,8 +6,8 @@
 #include "core/classifier.h"
 #include "core/policy.h"
 #include "core/queues.h"
-#include "mac/frames.h"
-#include "net/packet.h"
+#include "proto/frames.h"
+#include "proto/packet.h"
 
 namespace hydra::core {
 namespace {

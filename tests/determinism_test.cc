@@ -8,11 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "app/experiment.h"
 #include "app/flood.h"
 #include "app/udp_cbr.h"
 #include "app/udp_sink.h"
-#include "support/scenario.h"
 #include "topo/experiment.h"
+#include "topo/scenario.h"
 
 namespace hydra {
 namespace {
@@ -28,10 +29,10 @@ struct RunOutput {
 // (queueing, aggregation, backoff) plus background flooding from every
 // node (collisions, broadcast subframes).
 RunOutput run_chain_workload(std::uint64_t seed) {
-  test_support::ScenarioOptions opt;
+  topo::ScenarioOptions opt;
   opt.seed = seed;
   opt.policy = core::AggregationPolicy::ba();
-  auto s = test_support::Scenario::chain(3, opt);
+  auto s = topo::Scenario::chain(3, opt);
   s.capture_traces();
 
   app::UdpSinkApp sink(s.sim(), s.node(2), 9001);
@@ -84,7 +85,7 @@ TEST(DeterminismRegression, DifferentSeedsDivergeSomewhere) {
 }
 
 TEST(DeterminismRegression, ExperimentHarnessIsSeedStable) {
-  // The same property end-to-end through topo::run_experiment, which
+  // The same property end-to-end through app::run_experiment, which
   // every bench depends on.
   topo::ExperimentConfig cfg;
   cfg.topology = topo::Topology::kTwoHop;
@@ -92,8 +93,8 @@ TEST(DeterminismRegression, ExperimentHarnessIsSeedStable) {
   cfg.traffic = topo::TrafficKind::kTcp;
   cfg.tcp_file_bytes = 30'000;
   cfg.seed = 99;
-  const auto a = topo::run_experiment(cfg);
-  const auto b = topo::run_experiment(cfg);
+  const auto a = app::run_experiment(cfg);
+  const auto b = app::run_experiment(cfg);
   ASSERT_EQ(a.flows.size(), b.flows.size());
   EXPECT_EQ(a.flows[0].elapsed.ns(), b.flows[0].elapsed.ns());
   EXPECT_EQ(a.flows[0].bytes, b.flows[0].bytes);

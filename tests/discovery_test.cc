@@ -6,17 +6,18 @@
 #include "app/udp_sink.h"
 #include "net/discovery.h"
 #include "net/node.h"
-#include "support/scenario.h"
+#include "topo/scenario.h"
+#include "transport/host.h"
 
 namespace hydra::net {
 namespace {
 
-using test_support::Scenario;
+using topo::Scenario;
 
 // A chain of n nodes where the MAC whitelist only admits adjacent
 // neighbours — multi-hop even though every radio hears every frame.
 Scenario filtered_chain(std::size_t n) {
-  test_support::ScenarioOptions opt;
+  topo::ScenarioOptions opt;
   opt.seed = 5;
   opt.neighbor_whitelist = true;
   opt.static_routes = false;
@@ -69,7 +70,7 @@ TEST(Discovery, FindsThreeHopRouteAndCarriesTraffic) {
 
   // The discovered route carries real traffic end to end.
   app::UdpSinkApp sink(chain.sim(), chain.node(3), 9001);
-  chain.node(0).transport().open_udp(9000).send_to(
+  transport::mux_of(chain.node(0)).open_udp(9000).send_to(
       {Ipv4Address::for_node(3), 9001}, 500);
   chain.run_for(sim::Duration::seconds(2));
   EXPECT_EQ(sink.packets(), 1u);

@@ -2,8 +2,9 @@
 // serialization round trips, FCS protection, control frames, aggregates.
 #include <gtest/gtest.h>
 
-#include "mac/frames.h"
-#include "net/packet.h"
+#include "mac/pdu.h"
+#include "proto/frames.h"
+#include "proto/packet.h"
 
 namespace hydra::mac {
 namespace {

@@ -3,6 +3,7 @@
 // trend assertions.
 #include <gtest/gtest.h>
 
+#include "app/experiment.h"
 #include "topo/experiment.h"
 
 namespace hydra::topo {
@@ -22,7 +23,7 @@ TEST(Integration, TwoHopTcpCompletesUnderEveryPolicy) {
   for (const auto& policy :
        {core::AggregationPolicy::na(), core::AggregationPolicy::ua(),
         core::AggregationPolicy::ba(), core::AggregationPolicy::dba()}) {
-    const auto r = run_experiment(base_tcp(Topology::kTwoHop, policy));
+    const auto r = app::run_experiment(base_tcp(Topology::kTwoHop, policy));
     ASSERT_EQ(r.flows.size(), 1u);
     EXPECT_TRUE(r.flows[0].completed);
     EXPECT_GT(r.flows[0].throughput_mbps, 0.05);
@@ -38,9 +39,9 @@ TEST(Integration, AggregationImprovesTcpThroughput) {
     cfg->unicast_mode = phy::mode_by_index(1);
     cfg->broadcast_mode = phy::mode_by_index(1);
   }
-  const auto na = run_experiment(cfg_na);
-  const auto ua = run_experiment(cfg_ua);
-  const auto ba = run_experiment(cfg_ba);
+  const auto na = app::run_experiment(cfg_na);
+  const auto ua = app::run_experiment(cfg_ua);
+  const auto ba = app::run_experiment(cfg_ba);
 
   EXPECT_GT(ua.flows[0].throughput_mbps, na.flows[0].throughput_mbps);
   EXPECT_GT(ba.flows[0].throughput_mbps,
@@ -49,7 +50,7 @@ TEST(Integration, AggregationImprovesTcpThroughput) {
 
 TEST(Integration, RelayAggregatesWithUa) {
   auto cfg = base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua());
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   // The paper's Table 3: UA relay frames average far above a single
   // maximum TCP segment because ~3 data frames share each aggregate.
   EXPECT_GT(r.relay_stats().avg_frame_bytes(), 1700.0);
@@ -60,7 +61,7 @@ TEST(Integration, RelayAggregatesWithUa) {
 
 TEST(Integration, BaClassifiesAcksAtEveryHop) {
   const auto r =
-      run_experiment(base_tcp(Topology::kTwoHop,
+      app::run_experiment(base_tcp(Topology::kTwoHop,
                               core::AggregationPolicy::ba()));
   // Relay and client both push pure ACKs through the broadcast portion.
   EXPECT_GT(r.node_stats[1].broadcast_subframes_tx, 0u);
@@ -73,7 +74,7 @@ TEST(Integration, BaClassifiesAcksAtEveryHop) {
 
 TEST(Integration, UaSendsNoBroadcastSubframes) {
   const auto r =
-      run_experiment(base_tcp(Topology::kTwoHop,
+      app::run_experiment(base_tcp(Topology::kTwoHop,
                               core::AggregationPolicy::ua()));
   for (const auto& s : r.node_stats) {
     EXPECT_EQ(s.broadcast_subframes_tx, 0u);
@@ -81,11 +82,11 @@ TEST(Integration, UaSendsNoBroadcastSubframes) {
 }
 
 TEST(Integration, TransmissionCountShrinksWithAggregation) {
-  const auto na = run_experiment(
+  const auto na = app::run_experiment(
       base_tcp(Topology::kTwoHop, core::AggregationPolicy::na()));
-  const auto ua = run_experiment(
+  const auto ua = app::run_experiment(
       base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua()));
-  const auto ba = run_experiment(
+  const auto ba = app::run_experiment(
       base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba()));
 
   // Paper Table 3: UA ~33.7%, BA ~26.7% of NA transmissions.
@@ -100,9 +101,9 @@ TEST(Integration, TransmissionCountShrinksWithAggregation) {
 }
 
 TEST(Integration, ThreeHopCompletesAndIsSlowerThanTwoHop) {
-  const auto two = run_experiment(
+  const auto two = app::run_experiment(
       base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba()));
-  const auto three = run_experiment(
+  const auto three = app::run_experiment(
       base_tcp(Topology::kThreeHop, core::AggregationPolicy::ba()));
   EXPECT_TRUE(three.flows[0].completed);
   EXPECT_LT(three.flows[0].throughput_mbps, two.flows[0].throughput_mbps);
@@ -111,7 +112,7 @@ TEST(Integration, ThreeHopCompletesAndIsSlowerThanTwoHop) {
 TEST(Integration, StarTopologyBothSessionsComplete) {
   auto cfg = base_tcp(Topology::kStar, core::AggregationPolicy::ba(),
                       60'000);
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   ASSERT_EQ(r.flows.size(), 2u);
   EXPECT_TRUE(r.flows[0].completed);
   EXPECT_TRUE(r.flows[1].completed);
@@ -123,10 +124,10 @@ TEST(Integration, StarTopologyBothSessionsComplete) {
 TEST(Integration, DelayedAggregationAppliesOnlyToRelays) {
   auto cfg = base_tcp(Topology::kTwoHop, core::AggregationPolicy::dba(3),
                       60'000);
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   EXPECT_TRUE(r.flows[0].completed);
   // DBA should aggregate at least as much as plain BA at the relay.
-  const auto ba = run_experiment(
+  const auto ba = app::run_experiment(
       base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 60'000));
   EXPECT_GE(r.relay_stats().avg_frame_bytes(),
             ba.relay_stats().avg_frame_bytes() * 0.9);
@@ -138,7 +139,7 @@ TEST(Integration, UdpTwoHopThroughputPositive) {
   cfg.traffic = TrafficKind::kUdp;
   cfg.policy = core::AggregationPolicy::ua();
   cfg.udp_duration = sim::Duration::seconds(10);
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   ASSERT_EQ(r.flows.size(), 1u);
   EXPECT_GT(r.flows[0].throughput_mbps, 0.1);
   // Saturated 0.65 Mbps channel over 2 hops cannot beat ~0.33 Mbps.
@@ -159,8 +160,8 @@ TEST(Integration, FloodingHurtsNoAggregationMore) {
   ExperimentConfig na = agg;
   na.policy = core::AggregationPolicy::na();
 
-  const auto r_agg = run_experiment(agg);
-  const auto r_na = run_experiment(na);
+  const auto r_agg = app::run_experiment(agg);
+  const auto r_na = app::run_experiment(na);
   EXPECT_GT(r_agg.flows[0].throughput_mbps, r_na.flows[0].throughput_mbps);
 }
 
@@ -178,9 +179,9 @@ TEST(Integration, ForwardAggregationAblation) {
   auto na = full;
   na.policy = core::AggregationPolicy::na();
 
-  const auto r_full = run_experiment(full);
-  const auto r_back = run_experiment(backward_only);
-  const auto r_na = run_experiment(na);
+  const auto r_full = app::run_experiment(full);
+  const auto r_back = app::run_experiment(backward_only);
+  const auto r_na = app::run_experiment(na);
 
   EXPECT_GT(r_full.flows[0].throughput_mbps,
             r_back.flows[0].throughput_mbps);
@@ -194,8 +195,8 @@ TEST(Integration, HigherRateRaisesThroughputButAlsoOverheadShare) {
   fast.unicast_mode = phy::mode_by_index(3);
   fast.broadcast_mode = phy::mode_by_index(3);
 
-  const auto r_slow = run_experiment(slow);
-  const auto r_fast = run_experiment(fast);
+  const auto r_slow = app::run_experiment(slow);
+  const auto r_fast = app::run_experiment(fast);
   EXPECT_GT(r_fast.flows[0].throughput_mbps,
             r_slow.flows[0].throughput_mbps);
   // Table 4's key observation: overhead fraction grows with rate.
@@ -204,9 +205,9 @@ TEST(Integration, HigherRateRaisesThroughputButAlsoOverheadShare) {
 }
 
 TEST(Integration, DeterministicForFixedSeed) {
-  const auto a = run_experiment(
+  const auto a = app::run_experiment(
       base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 40'000));
-  const auto b = run_experiment(
+  const auto b = app::run_experiment(
       base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 40'000));
   EXPECT_EQ(a.flows[0].elapsed.ns(), b.flows[0].elapsed.ns());
   EXPECT_EQ(a.relay_stats().data_frames_tx, b.relay_stats().data_frames_tx);
@@ -218,7 +219,7 @@ TEST(Integration, NoDuplicateDeliveryToTcp) {
   // bytes would overshoot; equality is exact.
   for (const auto topo : {Topology::kTwoHop, Topology::kThreeHop}) {
     const auto r =
-        run_experiment(base_tcp(topo, core::AggregationPolicy::ba(),
+        app::run_experiment(base_tcp(topo, core::AggregationPolicy::ba(),
                                 80'000));
     EXPECT_TRUE(r.flows[0].completed);
     EXPECT_EQ(r.flows[0].bytes, 80'000u);

@@ -6,9 +6,9 @@
 #include <vector>
 
 #include "mac/mac.h"
-#include "net/packet.h"
 #include "phy/medium.h"
 #include "phy/phy.h"
+#include "proto/packet.h"
 #include "sim/simulation.h"
 
 namespace hydra::mac {

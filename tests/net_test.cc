@@ -5,12 +5,13 @@
 #include "app/udp_sink.h"
 #include "net/node.h"
 #include "net/routing.h"
-#include "support/scenario.h"
+#include "topo/scenario.h"
+#include "transport/host.h"
 
 namespace hydra::net {
 namespace {
 
-using test_support::Scenario;
+using topo::Scenario;
 
 TEST(Routing, MacForIpMapping) {
   EXPECT_EQ(mac_for(Ipv4Address::for_node(0)), mac::MacAddress::for_node(0));
@@ -39,7 +40,7 @@ Scenario routed_chain(std::size_t n) { return Scenario::chain(n); }
 TEST(FullStack, TwoHopUdpForwarding) {
   auto chain = routed_chain(3);
   app::UdpSinkApp sink(chain.sim(), chain.node(2), 9001);
-  auto& socket = chain.node(0).transport().open_udp(9000);
+  auto& socket = transport::mux_of(chain.node(0)).open_udp(9000);
   socket.send_to({Ipv4Address::for_node(2), 9001}, 1048);
   socket.send_to({Ipv4Address::for_node(2), 9001}, 1048);
   chain.run_for(sim::Duration::seconds(2));
@@ -55,7 +56,7 @@ TEST(FullStack, TwoHopUdpForwarding) {
 TEST(FullStack, ThreeHopDelivery) {
   auto chain = routed_chain(4);
   app::UdpSinkApp sink(chain.sim(), chain.node(3), 9001);
-  auto& socket = chain.node(0).transport().open_udp(9000);
+  auto& socket = transport::mux_of(chain.node(0)).open_udp(9000);
   socket.send_to({Ipv4Address::for_node(3), 9001}, 500);
   chain.run_for(sim::Duration::seconds(2));
 
@@ -88,7 +89,7 @@ TEST(FullStack, TtlExpiresOnRoutingLoop) {
   chain.node(0).routes().add_route(phantom, Ipv4Address::for_node(1));
   chain.node(1).routes().add_route(phantom, Ipv4Address::for_node(0));
 
-  chain.node(0).transport().open_udp(9000).send_to({phantom, 1}, 100);
+  transport::mux_of(chain.node(0)).open_udp(9000).send_to({phantom, 1}, 100);
   chain.run_for(sim::Duration::seconds(30));
 
   EXPECT_EQ(chain.node(0).stack().ttl_drops() +

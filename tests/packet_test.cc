@@ -1,8 +1,8 @@
 // Unit tests: L3 packet headers, serialization, pure-ACK predicate.
 #include <gtest/gtest.h>
 
-#include "net/address.h"
-#include "net/packet.h"
+#include "proto/ip_address.h"
+#include "proto/packet.h"
 
 namespace hydra::net {
 namespace {

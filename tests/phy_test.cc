@@ -7,9 +7,9 @@
 #include "phy/error_model.h"
 #include "phy/frame.h"
 #include "phy/medium.h"
-#include "phy/mode.h"
 #include "phy/phy.h"
 #include "phy/timing.h"
+#include "proto/mode.h"
 #include "sim/simulation.h"
 
 namespace hydra::phy {

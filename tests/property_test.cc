@@ -4,9 +4,10 @@
 
 #include <tuple>
 
+#include "app/experiment.h"
 #include "core/aggregator.h"
-#include "mac/frames.h"
 #include "phy/error_model.h"
+#include "proto/frames.h"
 #include "topo/experiment.h"
 
 namespace hydra {
@@ -44,7 +45,7 @@ TEST_P(TcpTransferProperty, FileAlwaysDeliveredExactly) {
   cfg.tcp_file_bytes = 60'000;
   cfg.seed = static_cast<std::uint64_t>(seed);
 
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   ASSERT_EQ(r.flows.size(), 1u);
   EXPECT_TRUE(r.flows[0].completed)
       << kPolicies[policy_idx].name << " mode " << mode_idx << " seed "
@@ -85,7 +86,7 @@ TEST_P(TopologyPolicyProperty, AllFlowsCompleteExactly) {
   cfg.unicast_mode = phy::mode_by_index(1);
   cfg.broadcast_mode = phy::mode_by_index(1);
 
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   for (const auto& flow : r.flows) {
     EXPECT_TRUE(flow.completed)
         << kPolicies[policy_idx].name << " topo " << topo_idx;
@@ -112,7 +113,7 @@ TEST_P(BidirectionalProperty, OpposingTransfersBothComplete) {
   cfg.traffic = topo::TrafficKind::kTcpBidirectional;
   cfg.tcp_file_bytes = 40'000;
   cfg.seed = static_cast<std::uint64_t>(GetParam() + 1);
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   ASSERT_EQ(r.flows.size(), 2u);
   EXPECT_TRUE(r.flows[0].completed);
   EXPECT_TRUE(r.flows[1].completed);
@@ -256,7 +257,7 @@ TEST_P(UdpConservationProperty, SinkNeverExceedsSource) {
   cfg.udp_packets_per_tick = static_cast<std::uint32_t>(1 + GetParam());
   cfg.seed = static_cast<std::uint64_t>(GetParam() + 1);
 
-  const auto r = run_experiment(cfg);
+  const auto r = app::run_experiment(cfg);
   ASSERT_EQ(r.flows.size(), 1u);
   // Delivered payload cannot exceed offered load.
   const double offered_packets =

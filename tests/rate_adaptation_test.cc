@@ -5,7 +5,8 @@
 #include "app/udp_sink.h"
 #include "mac/rate_adaptation.h"
 #include "net/node.h"
-#include "support/scenario.h"
+#include "topo/scenario.h"
+#include "transport/host.h"
 
 namespace hydra::mac {
 namespace {
@@ -90,16 +91,16 @@ TEST(Factory, SchemeSelection) {
 // --- end-to-end ------------------------------------------------------------
 
 // A two-node link with rate adaptation, built on the shared fixture.
-test_support::Scenario make_link(double distance_m,
+topo::Scenario make_link(double distance_m,
                                  mac::RateAdaptationScheme scheme,
                                  std::size_t initial_mode) {
-  test_support::ScenarioOptions opt;
+  topo::ScenarioOptions opt;
   opt.seed = 3;
   opt.policy = core::AggregationPolicy::ua();
   opt.rate_adaptation = scheme;
   opt.unicast_mode = phy::mode_by_index(initial_mode);
   opt.spacing_m = distance_m;
-  return test_support::Scenario::chain(2, opt);
+  return topo::Scenario::chain(2, opt);
 }
 
 TEST(RateAdaptationE2E, SnrAdapterSettlesBelow64QamAtPaperSnr) {
@@ -107,7 +108,7 @@ TEST(RateAdaptationE2E, SnrAdapterSettlesBelow64QamAtPaperSnr) {
   // settle on a non-64-QAM mode even when started at the top rate.
   auto link = make_link(2.5, mac::RateAdaptationScheme::kSnr, 7);
   app::UdpSinkApp sink(link.sim(), link.node(1), 9001);
-  auto& socket = link.node(0).transport().open_udp(9000);
+  auto& socket = transport::mux_of(link.node(0)).open_udp(9000);
   for (int i = 0; i < 30; ++i) socket.send_to({link.node(1).ip(), 9001}, 1048);
   link.run_for(sim::Duration::seconds(10));
 
@@ -121,7 +122,7 @@ TEST(RateAdaptationE2E, ArfEscapesAHopelessStartingRate) {
   // walk down until traffic flows.
   auto link = make_link(2.5, mac::RateAdaptationScheme::kArf, 7);
   app::UdpSinkApp sink(link.sim(), link.node(1), 9001);
-  auto& socket = link.node(0).transport().open_udp(9000);
+  auto& socket = transport::mux_of(link.node(0)).open_udp(9000);
   for (int i = 0; i < 10; ++i) socket.send_to({link.node(1).ip(), 9001}, 1048);
   link.run_for(sim::Duration::seconds(30));
 
@@ -134,7 +135,7 @@ TEST(RateAdaptationE2E, WeakLinkForcesRobustModes) {
   // adapter should land at BPSK 1/2 and still deliver.
   auto link = make_link(10.0, mac::RateAdaptationScheme::kSnr, 4);
   app::UdpSinkApp sink(link.sim(), link.node(1), 9001);
-  auto& socket = link.node(0).transport().open_udp(9000);
+  auto& socket = transport::mux_of(link.node(0)).open_udp(9000);
   for (int i = 0; i < 10; ++i) socket.send_to({link.node(1).ip(), 9001}, 1048);
   link.run_for(sim::Duration::seconds(60));
 

@@ -1,6 +1,7 @@
 // Tests for the metric/table helpers used by the benchmark harness.
 #include <gtest/gtest.h>
 
+#include "app/experiment.h"
 #include "mac/stats.h"
 #include "stats/metrics.h"
 #include "stats/table.h"

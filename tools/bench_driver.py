@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Runs every paper-reproduction bench in parallel and aggregates their
+per-bench BENCH_*.json reports into one BENCH_REPORT.json.
+
+Each bench binary mirrors its tables to BENCH_<id>.json in its working
+directory (see bench/bench_common.h); this driver gives every binary a
+private scratch directory so concurrent runs cannot collide, then folds
+the collected reports — plus run metadata (wall time, exit status) —
+into a single document, ready for figure regeneration.
+
+Usage:
+    tools/bench_driver.py [--build-dir build] [--jobs N] [--output PATH]
+
+The aggregate lands in <build-dir>/bench/BENCH_REPORT.json by default.
+bench_micro (google-benchmark) is skipped: it has no JSON report and
+measures wall-clock, which a saturated machine would distort.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SKIP = {"bench_micro"}
+
+
+def discover(bench_dir: Path) -> list[Path]:
+    benches = [
+        path
+        for path in sorted(bench_dir.glob("bench_*"))
+        if path.is_file() and os.access(path, os.X_OK) and path.name not in SKIP
+    ]
+    if not benches:
+        sys.exit(f"bench_driver: no bench binaries under {bench_dir} "
+                 "(build them first: cmake --build <build-dir>)")
+    return benches
+
+
+def run_one(binary: Path) -> dict:
+    started = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix=f"{binary.name}.") as scratch:
+        try:
+            proc = subprocess.run(
+                [str(binary)],
+                cwd=scratch,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            exit_code = proc.returncode
+            output = proc.stdout
+        except OSError as err:
+            exit_code = -1
+            output = str(err)
+        reports = []
+        for report_path in sorted(Path(scratch).glob("BENCH_*.json")):
+            try:
+                reports.append(json.loads(report_path.read_text()))
+            except json.JSONDecodeError as err:
+                exit_code = exit_code or 1
+                output += f"\nbad JSON in {report_path.name}: {err}"
+    return {
+        "binary": binary.name,
+        "exit_code": exit_code,
+        "seconds": round(time.monotonic() - started, 3),
+        "reports": reports,
+        # stdout is mostly the rendered tables (already in the JSON);
+        # keep a tail for diagnosing failures without bloating the file.
+        "output_tail": output.splitlines()[-20:] if exit_code != 0 else [],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", type=Path)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="default: <build-dir>/bench/BENCH_REPORT.json")
+    args = parser.parse_args()
+
+    bench_dir = args.build_dir / "bench"
+    benches = discover(bench_dir)
+    output = args.output or bench_dir / "BENCH_REPORT.json"
+
+    print(f"bench_driver: {len(benches)} benches, {args.jobs} in parallel")
+    started = time.monotonic()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        results = list(pool.map(run_one, benches))
+    elapsed = time.monotonic() - started
+
+    failed = [r["binary"] for r in results if r["exit_code"] != 0]
+    report = {
+        "total_seconds": round(elapsed, 3),
+        "bench_count": len(results),
+        "failed": failed,
+        "benches": results,
+    }
+    output.write_text(json.dumps(report, indent=1) + "\n")
+
+    for r in results:
+        status = "ok" if r["exit_code"] == 0 else f"FAILED ({r['exit_code']})"
+        print(f"  {r['binary']:<32} {r['seconds']:>8.1f}s  {status}")
+    print(f"bench_driver: wrote {output} in {elapsed:.1f}s")
+    if failed:
+        print(f"bench_driver: {len(failed)} bench(es) failed: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

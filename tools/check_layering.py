@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Enforces the source layer DAG.
+
+Layers, bottom to top:
+
+    util -> sim -> proto -> phy -> core -> mac -> net -> transport
+         -> stats -> topo -> app
+
+Two rules, both fatal:
+
+  1. No file under src/<layer>/ may #include a header from a layer above
+     it (tests/, bench/ and examples/ sit on top of everything and are
+     exempt).
+  2. No src/<layer>/CMakeLists.txt may link a hydra::<layer> target from
+     a layer above it.
+
+Run from anywhere: paths are resolved relative to the repo root (the
+parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LAYERS = [
+    "util",
+    "sim",
+    "proto",
+    "phy",
+    "core",
+    "mac",
+    "net",
+    "transport",
+    "stats",
+    "topo",
+    "app",
+]
+RANK = {name: i for i, name in enumerate(LAYERS)}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+LINK_RE = re.compile(r"hydra::(\w+)")
+
+
+def include_violations(src: Path) -> list[str]:
+    problems = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        layer = path.relative_to(src).parts[0]
+        if layer not in RANK:
+            problems.append(f"{path}: unknown layer directory '{layer}'")
+            continue
+        for included in INCLUDE_RE.findall(path.read_text()):
+            dep = included.split("/")[0]
+            if dep not in RANK:
+                continue  # system or third-party header
+            if RANK[dep] > RANK[layer]:
+                problems.append(
+                    f"{path.relative_to(src.parent)}: includes "
+                    f'"{included}" — {dep} is above {layer} in the DAG'
+                )
+    return problems
+
+
+def link_violations(src: Path) -> list[str]:
+    problems = []
+    for layer in LAYERS:
+        cmake = src / layer / "CMakeLists.txt"
+        if not cmake.exists():
+            problems.append(f"{cmake}: missing per-layer CMakeLists.txt")
+            continue
+        # Strip comments so prose mentioning a hydra::<layer> target does
+        # not read as a link edge.
+        code = "\n".join(
+            line.split("#", 1)[0] for line in cmake.read_text().splitlines()
+        )
+        for dep in LINK_RE.findall(code):
+            if dep not in RANK:
+                problems.append(
+                    f"{cmake.relative_to(src.parent)}: links unknown "
+                    f"target hydra::{dep}"
+                )
+            elif RANK[dep] > RANK[layer]:
+                problems.append(
+                    f"{cmake.relative_to(src.parent)}: links hydra::{dep} "
+                    f"— {dep} is above {layer} in the DAG"
+                )
+    return problems
+
+
+def main() -> int:
+    src = Path(__file__).resolve().parent.parent / "src"
+    problems = include_violations(src) + link_violations(src)
+    for problem in problems:
+        print(f"layering: {problem}", file=sys.stderr)
+    if problems:
+        print(f"layering: {len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"layering: OK ({' -> '.join(LAYERS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
