@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "app/experiment.h"
@@ -88,35 +89,35 @@ inline const std::vector<std::size_t> kPaperModeIndices = {0, 1, 2, 3};
 inline std::string rate_label(std::size_t mode_idx) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "%.2f",
-                phy::mode_by_index(mode_idx).rate.mbps());
+                proto::mode_by_index(mode_idx).rate.mbps());
   return buf;
 }
 
 // Builds a TCP experiment at one rate (broadcast rate = unicast rate).
-inline topo::ExperimentConfig tcp_config(topo::Topology topology,
+inline topo::ExperimentConfig tcp_config(topo::ScenarioSpec scenario,
                                          core::AggregationPolicy policy,
                                          std::size_t mode_idx,
                                          std::uint64_t file_bytes = 200'000) {
   topo::ExperimentConfig cfg;
-  cfg.topology = topology;
-  cfg.policy = policy;
+  cfg.scenario = std::move(scenario);
+  cfg.scenario.node.policy = policy;
   cfg.traffic = topo::TrafficKind::kTcp;
   cfg.tcp_file_bytes = file_bytes;
-  cfg.unicast_mode = phy::mode_by_index(mode_idx);
-  cfg.broadcast_mode = phy::mode_by_index(mode_idx);
+  cfg.scenario.node.unicast_mode = proto::mode_by_index(mode_idx);
+  cfg.scenario.node.broadcast_mode = proto::mode_by_index(mode_idx);
   return cfg;
 }
 
 // Builds a saturating UDP experiment at one rate.
-inline topo::ExperimentConfig udp_config(topo::Topology topology,
+inline topo::ExperimentConfig udp_config(topo::ScenarioSpec scenario,
                                          core::AggregationPolicy policy,
                                          std::size_t mode_idx) {
   topo::ExperimentConfig cfg;
-  cfg.topology = topology;
-  cfg.policy = policy;
+  cfg.scenario = std::move(scenario);
+  cfg.scenario.node.policy = policy;
   cfg.traffic = topo::TrafficKind::kUdp;
-  cfg.unicast_mode = phy::mode_by_index(mode_idx);
-  cfg.broadcast_mode = phy::mode_by_index(mode_idx);
+  cfg.scenario.node.unicast_mode = proto::mode_by_index(mode_idx);
+  cfg.scenario.node.broadcast_mode = proto::mode_by_index(mode_idx);
   cfg.udp_interval = sim::Duration::millis(100);
   cfg.udp_packets_per_tick = 8;  // saturates every paper rate
   cfg.udp_duration = sim::Duration::seconds(20);

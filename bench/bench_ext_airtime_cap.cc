@@ -20,15 +20,15 @@ int main() {
   stats::Table table({"Rate (Mbps)", "5 KB cap", "airtime cap", "gain",
                       "airtime-cap KB"});
   for (const auto mode_idx : bench::kPaperModeIndices) {
-    auto fixed = bench::udp_config(topo::Topology::kOneHop,
+    auto fixed = bench::udp_config(topo::ScenarioSpec::one_hop(),
                                    core::AggregationPolicy::ua(), mode_idx);
     fixed.udp_packets_per_tick = 64;  // ~5.4 Mbps offered: saturates 2.6
 
     auto timed = fixed;
-    timed.policy.max_aggregate_airtime = sim::Duration::millis(48);
+    timed.scenario.node.policy.max_aggregate_airtime = sim::Duration::millis(48);
     // Equivalent byte budget at this rate, for the table.
     const double cap_kb =
-        48e-3 * phy::mode_by_index(mode_idx).rate.bits_per_second() / 8.0 /
+        48e-3 * proto::mode_by_index(mode_idx).rate.bits_per_second() / 8.0 /
         1024.0;
 
     const double thr_fixed = bench::avg_throughput(fixed);

@@ -22,7 +22,7 @@ int main() {
     for (const auto& policy :
          {core::AggregationPolicy::na(), core::AggregationPolicy::ua(),
           core::AggregationPolicy::ba()}) {
-      auto cfg = bench::tcp_config(topo::Topology::kTwoHop, policy,
+      auto cfg = bench::tcp_config(topo::ScenarioSpec::two_hop(), policy,
                                    mode_idx);
       cfg.traffic = topo::TrafficKind::kTcpBidirectional;
       thr[i] = bench::avg_metric(cfg, [](const topo::ExperimentResult& r) {

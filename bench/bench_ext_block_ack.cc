@@ -18,10 +18,10 @@ int main() {
   for (const std::size_t kb : {2, 4, 5, 6, 8, 12, 16}) {
     std::vector<std::string> row = {std::to_string(kb)};
     for (const bool block_ack : {false, true}) {
-      auto cfg = bench::udp_config(topo::Topology::kOneHop,
+      auto cfg = bench::udp_config(topo::ScenarioSpec::one_hop(),
                                    core::AggregationPolicy::ua(), 0);
-      cfg.policy.max_aggregate_bytes = kb * 1024;
-      cfg.policy.block_ack = block_ack;
+      cfg.scenario.node.policy.max_aggregate_bytes = kb * 1024;
+      cfg.scenario.node.policy.block_ack = block_ack;
       cfg.udp_packets_per_tick = 16;
       row.push_back(stats::Table::num(bench::avg_throughput(cfg), 3));
     }

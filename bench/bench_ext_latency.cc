@@ -36,15 +36,15 @@ LatencyResult run(const core::AggregationPolicy& policy, std::uint64_t seed) {
     nc.policy = policy;
     // Paper applies the delay at relays only.
     if (i != 1) nc.policy.delay_min_subframes = 0;
-    nc.unicast_mode = phy::mode_by_index(1);
-    nc.broadcast_mode = phy::mode_by_index(1);
+    nc.unicast_mode = proto::mode_by_index(1);
+    nc.broadcast_mode = proto::mode_by_index(1);
     nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
   }
   for (std::uint32_t i = 0; i < 3; ++i) {
     for (std::uint32_t j = 0; j < 3; ++j) {
       if (i == j) continue;
-      nodes[i]->routes().add_route(net::Ipv4Address::for_node(j),
-                                   net::Ipv4Address::for_node(j > i ? i + 1
+      nodes[i]->routes().add_route(proto::Ipv4Address::for_node(j),
+                                   proto::Ipv4Address::for_node(j > i ? i + 1
                                                                     : i - 1));
     }
   }
@@ -52,14 +52,14 @@ LatencyResult run(const core::AggregationPolicy& policy, std::uint64_t seed) {
   // Background TCP load 0 -> 2 for the whole window.
   app::FileReceiverApp receiver(simulation, *nodes[2], 5001, 2'000'000);
   app::FileSenderApp sender(simulation, *nodes[0],
-                            {net::Ipv4Address::for_node(2), 5001},
+                            {proto::Ipv4Address::for_node(2), 5001},
                             2'000'000);
   sender.start();
 
   // Probes 0 -> 2 -> 0.
   app::PingResponderApp responder(*nodes[2], 9200);
   app::PingConfig pc;
-  pc.destination = {net::Ipv4Address::for_node(2), 9200};
+  pc.destination = {proto::Ipv4Address::for_node(2), 9200};
   pc.interval = sim::Duration::millis(150);
   app::PingApp ping(simulation, *nodes[0], pc);
   ping.start();

@@ -18,15 +18,15 @@ double run_at(double distance_m, mac::RateAdaptationScheme scheme,
               std::size_t mode_idx) {
   double sum = 0;
   for (int seed = 1; seed <= 3; ++seed) {
-    auto cfg = bench::udp_config(topo::Topology::kOneHop,
+    auto cfg = bench::udp_config(topo::ScenarioSpec::one_hop(),
                                  core::AggregationPolicy::ua(), mode_idx);
     cfg.seed = static_cast<std::uint64_t>(seed);
-    cfg.rate_adaptation = scheme;
+    cfg.scenario.node.rate_adaptation = scheme;
     cfg.udp_packets_per_tick = 64;  // saturate even the fastest rates
     // The harness places 1-hop nodes 2.5 m apart; emulate distance by an
     // equivalent transmit-power shift: 10*n*log10(d/2.5) dB at path-loss
     // exponent n = 3.
-    cfg.tx_power_delta_db = -30.0 * std::log10(distance_m / 2.5);
+    cfg.scenario.node.tx_power_delta_db = -30.0 * std::log10(distance_m / 2.5);
     sum += app::run_experiment(cfg).flows[0].throughput_mbps;
   }
   return sum / 3;

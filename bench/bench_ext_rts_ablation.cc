@@ -23,9 +23,9 @@ int main() {
       int i = 0;
       for (const auto& policy :
            {core::AggregationPolicy::na(), core::AggregationPolicy::ua()}) {
-        auto cfg = bench::tcp_config(topo::Topology::kTwoHop, policy,
+        auto cfg = bench::tcp_config(topo::ScenarioSpec::two_hop(), policy,
                                      mode_idx);
-        cfg.use_rts_cts = use_rts;
+        cfg.scenario.node.use_rts_cts = use_rts;
         const double t = bench::avg_throughput(cfg);
         thr[i++] = t;
         row.push_back(stats::Table::num(t, 3));

@@ -23,15 +23,15 @@ int main() {
   for (std::size_t kb = 1; kb <= 20; ++kb) {
     std::vector<std::string> row = {std::to_string(kb)};
     for (const auto mode_idx : modes) {
-      auto cfg = bench::udp_config(topo::Topology::kOneHop,
+      auto cfg = bench::udp_config(topo::ScenarioSpec::one_hop(),
                                    core::AggregationPolicy::ua(), mode_idx);
-      cfg.policy.max_aggregate_bytes = kb * 1024;
+      cfg.scenario.node.policy.max_aggregate_bytes = kb * 1024;
       cfg.udp_packets_per_tick = 16;  // deep queue: aggregation engages
       row.push_back(stats::Table::num(bench::avg_throughput(cfg), 3));
     }
     // Sample count of a full aggregate at the highest rate in the row.
     phy::PortionSpec spec;
-    spec.mode = phy::mode_by_index(2);
+    spec.mode = proto::mode_by_index(2);
     spec.subframe_bytes.assign(kb * 1024 / 1140, 1140);
     const auto timing = phy::frame_timing({}, spec);
     row.push_back(std::to_string(phy::samples_for(timing.total) / 1000));

@@ -15,8 +15,8 @@ int main() {
                       "3-hop UA"});
   for (const auto mode_idx : bench::kPaperModeIndices) {
     std::vector<std::string> row = {bench::rate_label(mode_idx)};
-    for (const auto topology :
-         {topo::Topology::kTwoHop, topo::Topology::kThreeHop}) {
+    for (const auto& topology :
+         {topo::ScenarioSpec::two_hop(), topo::ScenarioSpec::three_hop()}) {
       for (const auto& policy :
            {core::AggregationPolicy::na(), core::AggregationPolicy::ua()}) {
         row.push_back(stats::Table::num(

@@ -19,7 +19,7 @@ int main() {
     for (const auto mode_idx : {std::size_t{0}, std::size_t{1}}) {
       for (const auto& policy :
            {core::AggregationPolicy::ba(), core::AggregationPolicy::na()}) {
-        auto cfg = bench::udp_config(topo::Topology::kTwoHop, policy,
+        auto cfg = bench::udp_config(topo::ScenarioSpec::two_hop(), policy,
                                      mode_idx);
         cfg.flooding = true;
         cfg.flood_interval = sim::Duration::from_seconds(interval);

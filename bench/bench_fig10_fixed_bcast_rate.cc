@@ -19,14 +19,14 @@ int main() {
   for (const auto mode_idx : bench::kPaperModeIndices) {
     std::vector<std::string> row = {bench::rate_label(mode_idx)};
     for (const auto fixed : fixed_modes) {
-      auto cfg = bench::tcp_config(topo::Topology::kTwoHop,
+      auto cfg = bench::tcp_config(topo::ScenarioSpec::two_hop(),
                                    core::AggregationPolicy::ba(), mode_idx);
-      cfg.broadcast_mode = phy::mode_by_index(fixed);
+      cfg.scenario.node.broadcast_mode = proto::mode_by_index(fixed);
       row.push_back(stats::Table::num(bench::avg_throughput(cfg), 3));
     }
     row.push_back(stats::Table::num(
         bench::avg_throughput(bench::tcp_config(
-            topo::Topology::kTwoHop, core::AggregationPolicy::ua(),
+            topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ua(),
             mode_idx)),
         3));
     table.add_row(std::move(row));

@@ -13,11 +13,11 @@ int main() {
   stats::Table table({"Rate (Mbps)", "NA", "UA", "BA", "BA vs UA"});
   for (const auto mode_idx : bench::kPaperModeIndices) {
     const double t_na = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kTwoHop, core::AggregationPolicy::na(), mode_idx));
+        topo::ScenarioSpec::two_hop(), core::AggregationPolicy::na(), mode_idx));
     const double t_ua = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kTwoHop, core::AggregationPolicy::ua(), mode_idx));
+        topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ua(), mode_idx));
     const double t_ba = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kTwoHop, core::AggregationPolicy::ba(), mode_idx));
+        topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ba(), mode_idx));
     table.add_row({bench::rate_label(mode_idx),
                    stats::Table::num(t_na, 3),
                    stats::Table::num(t_ua, 3), stats::Table::num(t_ba, 3),

@@ -17,22 +17,22 @@ int main() {
     std::vector<std::string> row = {bench::rate_label(mode_idx)};
 
     const double na3 = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kThreeHop, core::AggregationPolicy::na(), mode_idx));
+        topo::ScenarioSpec::three_hop(), core::AggregationPolicy::na(), mode_idx));
     const double ua3 = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kThreeHop, core::AggregationPolicy::ua(), mode_idx));
+        topo::ScenarioSpec::three_hop(), core::AggregationPolicy::ua(), mode_idx));
     const double ba3 = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kThreeHop, core::AggregationPolicy::ba(), mode_idx));
+        topo::ScenarioSpec::three_hop(), core::AggregationPolicy::ba(), mode_idx));
     row.push_back(stats::Table::num(na3, 3));
     row.push_back(stats::Table::num(ua3, 3));
     row.push_back(stats::Table::num(ba3, 3));
     row.push_back(stats::Table::percent((ba3 - ua3) / ua3));
 
     const double ua_s = bench::avg_throughput(
-        bench::tcp_config(topo::Topology::kStar,
+        bench::tcp_config(topo::ScenarioSpec::fig6_star(),
                           core::AggregationPolicy::ua(), mode_idx),
         /*worst_case=*/true);
     const double ba_s = bench::avg_throughput(
-        bench::tcp_config(topo::Topology::kStar,
+        bench::tcp_config(topo::ScenarioSpec::fig6_star(),
                           core::AggregationPolicy::ba(), mode_idx),
         /*worst_case=*/true);
     row.push_back(stats::Table::num(ua_s, 3));

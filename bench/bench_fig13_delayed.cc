@@ -15,8 +15,8 @@ int main() {
                       "3hop BA", "3hop DBA", "3hop gap"});
   for (const auto mode_idx : bench::kPaperModeIndices) {
     std::vector<std::string> row = {bench::rate_label(mode_idx)};
-    for (const auto topology :
-         {topo::Topology::kTwoHop, topo::Topology::kThreeHop}) {
+    for (const auto& topology :
+         {topo::ScenarioSpec::two_hop(), topo::ScenarioSpec::three_hop()}) {
       const double t_ba = bench::avg_throughput(
           bench::tcp_config(topology, core::AggregationPolicy::ba(),
                             mode_idx));

@@ -16,13 +16,13 @@ int main() {
                       "full vs backward"});
   for (const auto mode_idx : bench::kPaperModeIndices) {
     const double t_na = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kThreeHop, core::AggregationPolicy::na(), mode_idx));
+        topo::ScenarioSpec::three_hop(), core::AggregationPolicy::na(), mode_idx));
     auto backward_cfg = bench::tcp_config(
-        topo::Topology::kThreeHop, core::AggregationPolicy::ba(), mode_idx);
-    backward_cfg.policy.forward_aggregation = false;
+        topo::ScenarioSpec::three_hop(), core::AggregationPolicy::ba(), mode_idx);
+    backward_cfg.scenario.node.policy.forward_aggregation = false;
     const double t_b = bench::avg_throughput(backward_cfg);
     const double t_f = bench::avg_throughput(bench::tcp_config(
-        topo::Topology::kThreeHop, core::AggregationPolicy::ba(), mode_idx));
+        topo::ScenarioSpec::three_hop(), core::AggregationPolicy::ba(), mode_idx));
     table.add_row({bench::rate_label(mode_idx),
                    stats::Table::num(t_na, 3),
                    stats::Table::num(t_b, 3), stats::Table::num(t_f, 3),

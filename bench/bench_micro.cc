@@ -76,14 +76,14 @@ void BM_Crc32(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32)->Arg(160)->Arg(1464)->Arg(5120);
 
-mac::MacSubframe make_subframe() {
-  mac::MacSubframe sf;
-  sf.receiver = mac::MacAddress(1);
-  sf.transmitter = mac::MacAddress(2);
-  sf.source = mac::MacAddress(2);
+proto::MacSubframe make_subframe() {
+  proto::MacSubframe sf;
+  sf.receiver = proto::MacAddress(1);
+  sf.transmitter = proto::MacAddress(2);
+  sf.source = proto::MacAddress(2);
   sf.sequence = 42;
-  sf.packet = net::make_tcp_packet(net::Ipv4Address::for_node(0),
-                                   net::Ipv4Address::for_node(1), 1, 2, 100,
+  sf.packet = proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                                   proto::Ipv4Address::for_node(1), 1, 2, 100,
                                    200, {.ack = true}, 21712, 1357);
   return sf;
 }
@@ -100,7 +100,7 @@ void BM_SubframeParse(benchmark::State& state) {
   const auto bytes = make_subframe().serialize();
   for (auto _ : state) {
     BufferReader r(bytes);
-    benchmark::DoNotOptimize(mac::MacSubframe::parse(r));
+    benchmark::DoNotOptimize(proto::MacSubframe::parse(r));
   }
 }
 BENCHMARK(BM_SubframeParse);
@@ -114,8 +114,8 @@ void BM_AggregatorBuild(benchmark::State& state) {
       auto sf = make_subframe();
       q.unicast().push(sf, {});
       auto ack = make_subframe();
-      ack.packet = net::make_tcp_packet(net::Ipv4Address::for_node(1),
-                                        net::Ipv4Address::for_node(0), 2, 1,
+      ack.packet = proto::make_tcp_packet(proto::Ipv4Address::for_node(1),
+                                        proto::Ipv4Address::for_node(0), 2, 1,
                                         0, 0, {.ack = true}, 21712, 0);
       q.broadcast().push(ack, {});
     }
@@ -130,8 +130,8 @@ BENCHMARK(BM_AggregatorBuild);
 void BM_FullExperimentTcp(benchmark::State& state) {
   for (auto _ : state) {
     topo::ExperimentConfig cfg;
-    cfg.topology = topo::Topology::kTwoHop;
-    cfg.policy = core::AggregationPolicy::ba();
+    cfg.scenario = topo::ScenarioSpec::two_hop();
+    cfg.scenario.node.policy = core::AggregationPolicy::ba();
     cfg.tcp_file_bytes = 50'000;
     benchmark::DoNotOptimize(app::run_experiment(cfg));
   }

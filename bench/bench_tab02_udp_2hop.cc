@@ -13,9 +13,9 @@ int main() {
                       "Difference"});
   for (const auto mode_idx : {std::size_t{0}, std::size_t{1}}) {
     const double thr_na = bench::avg_throughput(bench::udp_config(
-        topo::Topology::kTwoHop, core::AggregationPolicy::na(), mode_idx));
+        topo::ScenarioSpec::two_hop(), core::AggregationPolicy::na(), mode_idx));
     const double thr_ua = bench::avg_throughput(bench::udp_config(
-        topo::Topology::kTwoHop, core::AggregationPolicy::ua(), mode_idx));
+        topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ua(), mode_idx));
     table.add_row({bench::rate_label(mode_idx) + " Mbps",
                    stats::Table::num(thr_na, 3) + " Mbps",
                    stats::Table::num(thr_ua, 3) + " Mbps",

@@ -27,7 +27,7 @@ int main() {
   std::uint64_t na_frames = 0;
   for (const auto& row : rows) {
     const auto r = app::run_experiment(
-        bench::tcp_config(topo::Topology::kTwoHop, row.policy, kModeIdx));
+        bench::tcp_config(topo::ScenarioSpec::two_hop(), row.policy, kModeIdx));
     const auto& relay = r.relay_stats();
     if (na_frames == 0) na_frames = relay.data_frames_tx;
     table.add_row(
@@ -35,7 +35,7 @@ int main() {
          stats::Table::percent(static_cast<double>(relay.data_frames_tx) /
                                static_cast<double>(na_frames)),
          stats::Table::percent(
-             stats::size_overhead(relay, phy::mode_by_index(kModeIdx)), 2)});
+             stats::size_overhead(relay, proto::mode_by_index(kModeIdx)), 2)});
   }
   bench::emit(table);
   std::printf("\nPaper:      765B / 2662B / 2727B / 3477B;"

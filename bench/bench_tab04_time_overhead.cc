@@ -28,7 +28,7 @@ int main() {
     std::vector<std::string> row = {bench::rate_label(mode_idx)};
     for (const auto& scheme : schemes) {
       const auto r = app::run_experiment(bench::tcp_config(
-          topo::Topology::kTwoHop, scheme.policy, mode_idx));
+          topo::ScenarioSpec::two_hop(), scheme.policy, mode_idx));
       row.push_back(
           stats::Table::percent(r.relay_stats().time.overhead_fraction()));
     }

@@ -15,15 +15,15 @@ int main() {
 
   constexpr std::size_t kModeIdx = 0;
 
-  const auto run = [&](topo::Topology t, core::AggregationPolicy p) {
+  const auto run = [&](const topo::ScenarioSpec& t, core::AggregationPolicy p) {
     return app::run_experiment(bench::tcp_config(t, p, kModeIdx));
   };
-  const auto ua2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ua());
-  const auto ba2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ba());
-  const auto na2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::na());
-  const auto uas = run(topo::Topology::kStar, core::AggregationPolicy::ua());
-  const auto bas = run(topo::Topology::kStar, core::AggregationPolicy::ba());
-  const auto nas = run(topo::Topology::kStar, core::AggregationPolicy::na());
+  const auto ua2 = run(topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ua());
+  const auto ba2 = run(topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ba());
+  const auto na2 = run(topo::ScenarioSpec::two_hop(), core::AggregationPolicy::na());
+  const auto uas = run(topo::ScenarioSpec::fig6_star(), core::AggregationPolicy::ua());
+  const auto bas = run(topo::ScenarioSpec::fig6_star(), core::AggregationPolicy::ba());
+  const auto nas = run(topo::ScenarioSpec::fig6_star(), core::AggregationPolicy::na());
 
   std::printf("\nTable 5: relay frame size\n");
   stats::Table t5({"Scheme", "2-hop", "Star"});
@@ -35,7 +35,7 @@ int main() {
   std::printf("Paper: UA 2662B/2651B;  BA 2727B/3432B.\n");
 
   std::printf("\nTable 6: relay size overhead\n");
-  const auto& mode = phy::mode_by_index(kModeIdx);
+  const auto& mode = proto::mode_by_index(kModeIdx);
   stats::Table t6({"Scheme", "2-hop", "Star"});
   t6.add_row(
       {"UA",

@@ -13,16 +13,16 @@ int main() {
                       "Node 0 = TCP server (file sender); last = client.");
 
   constexpr std::size_t kModeIdx = 0;
-  const auto run = [&](topo::Topology t, core::AggregationPolicy p) {
+  const auto run = [&](const topo::ScenarioSpec& t, core::AggregationPolicy p) {
     return app::run_experiment(bench::tcp_config(t, p, kModeIdx));
   };
 
-  const auto ua2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ua());
-  const auto ba2 = run(topo::Topology::kTwoHop, core::AggregationPolicy::ba());
+  const auto ua2 = run(topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ua());
+  const auto ba2 = run(topo::ScenarioSpec::two_hop(), core::AggregationPolicy::ba());
   const auto ua3 =
-      run(topo::Topology::kThreeHop, core::AggregationPolicy::ua());
+      run(topo::ScenarioSpec::three_hop(), core::AggregationPolicy::ua());
   const auto ba3 =
-      run(topo::Topology::kThreeHop, core::AggregationPolicy::ba());
+      run(topo::ScenarioSpec::three_hop(), core::AggregationPolicy::ba());
 
   const auto size = [](const topo::ExperimentResult& r, std::size_t node) {
     return stats::Table::bytes(r.node_stats[node].avg_frame_bytes());

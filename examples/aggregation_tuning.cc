@@ -16,14 +16,14 @@ using namespace hydra;
 int main(int argc, char** argv) {
   std::uint64_t rate_x100 = 65;
   if (argc > 1) rate_x100 = std::strtoull(argv[1], nullptr, 10);
-  const auto mode = phy::mode_for_mbps_x100(rate_x100);
+  const auto mode = proto::mode_for_mbps_x100(rate_x100);
   if (!mode) {
     std::fprintf(stderr, "unknown rate; try 65, 130, 195, 260\n");
     return 1;
   }
 
   std::printf("1-hop saturated UDP at %s — sweep max aggregate size\n\n",
-              phy::to_string(*mode).c_str());
+              proto::to_string(*mode).c_str());
   std::printf("%-10s %-12s %-12s %s\n", "cap (KB)", "thr (Mbps)",
               "Ksamples", "note");
 
@@ -31,11 +31,11 @@ int main(int argc, char** argv) {
   std::size_t best_kb = 0;
   for (std::size_t kb = 1; kb <= 20; ++kb) {
     topo::ExperimentConfig cfg;
-    cfg.topology = topo::Topology::kOneHop;
-    cfg.policy = core::AggregationPolicy::ua();
-    cfg.policy.max_aggregate_bytes = kb * 1024;
+    cfg.scenario = topo::ScenarioSpec::one_hop();
+    cfg.scenario.node.policy = core::AggregationPolicy::ua();
+    cfg.scenario.node.policy.max_aggregate_bytes = kb * 1024;
     cfg.traffic = topo::TrafficKind::kUdp;
-    cfg.unicast_mode = *mode;
+    cfg.scenario.node.unicast_mode = *mode;
     cfg.udp_packets_per_tick = 16;
     cfg.udp_duration = sim::Duration::seconds(15);
     const auto r = app::run_experiment(cfg);

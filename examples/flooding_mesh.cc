@@ -30,15 +30,14 @@ struct RunResult {
 
 RunResult run(core::AggregationPolicy policy, sim::Duration flood_interval) {
   // 3-node chain with hop-by-hop static routes (the paper's 2-hop line).
-  topo::ScenarioOptions opt;
-  opt.seed = 7;
-  opt.policy = policy;
-  auto chain = topo::Scenario::chain(3, opt);
+  auto spec = topo::ScenarioSpec::chain(3);
+  spec.node.policy = policy;
+  auto chain = topo::Scenario::build(spec, /*seed=*/7);
   sim::Simulation& simulation = chain.sim();
 
   app::UdpSinkApp sink(simulation, chain.node(2), 9001);
   app::UdpCbrConfig cbr_cfg;
-  cbr_cfg.destination = {net::Ipv4Address::for_node(2), 9001};
+  cbr_cfg.destination = {proto::Ipv4Address::for_node(2), 9001};
   cbr_cfg.interval = sim::Duration::millis(100);
   cbr_cfg.packets_per_tick = 8;  // saturate the channel
   cbr_cfg.stop = sim::TimePoint::at(sim::Duration::seconds(15));

@@ -18,10 +18,9 @@ int main() {
   //    builds the nodes: here a 2-node chain, 2.5 m apart (the paper's
   //    spacing: 25 dB SNR), both running broadcast aggregation — the
   //    paper's full scheme.
-  topo::ScenarioOptions opt;
-  opt.seed = 42;
-  opt.policy = core::AggregationPolicy::ba();
-  auto link = topo::Scenario::chain(2, opt);
+  auto spec = topo::ScenarioSpec::chain(2);
+  spec.node.policy = core::AggregationPolicy::ba();
+  auto link = topo::Scenario::build(spec, /*seed=*/42);
   net::Node& alice = link.node(0);
   net::Node& bob = link.node(1);
 

@@ -20,15 +20,14 @@ int main() {
   // Chain 0 - 1 - 2 - 3: each MAC only accepts its adjacent neighbours
   // (every radio hears every frame; the whitelist forces the topology).
   // No static routes — discovery has to find the path itself.
-  topo::ScenarioOptions opt;
-  opt.seed = 11;
-  opt.policy = core::AggregationPolicy::ba();
-  opt.unicast_mode = phy::mode_by_index(1);  // 1.3 Mbps
-  opt.broadcast_mode = phy::mode_by_index(1);
-  opt.neighbor_whitelist = true;
-  opt.static_routes = false;
-  opt.route_discovery = true;
-  auto chain = topo::Scenario::chain(4, opt);
+  auto spec = topo::ScenarioSpec::chain(4);
+  spec.node.policy = core::AggregationPolicy::ba();
+  spec.node.unicast_mode = proto::mode_by_index(1);  // 1.3 Mbps
+  spec.node.broadcast_mode = proto::mode_by_index(1);
+  spec.neighbor_whitelist = true;
+  spec.static_routes = false;
+  spec.route_discovery = true;
+  auto chain = topo::Scenario::build(spec, /*seed=*/11);
   sim::Simulation& simulation = chain.sim();
 
   // Discover node 3 from node 0.

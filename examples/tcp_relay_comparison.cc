@@ -19,14 +19,14 @@ using namespace hydra;
 int main(int argc, char** argv) {
   std::uint64_t rate_x100 = 130;
   if (argc > 1) rate_x100 = std::strtoull(argv[1], nullptr, 10);
-  const auto mode = phy::mode_for_mbps_x100(rate_x100);
+  const auto mode = proto::mode_for_mbps_x100(rate_x100);
   if (!mode) {
     std::fprintf(stderr, "unknown rate; try 65, 130, 195, 260, ... 650\n");
     return 1;
   }
 
   std::printf("2-hop TCP, 0.2 MB file, %s\n\n",
-              phy::to_string(*mode).c_str());
+              proto::to_string(*mode).c_str());
 
   struct Scheme {
     const char* name;
@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
 
   for (const auto& scheme : schemes) {
     topo::ExperimentConfig cfg;
-    cfg.topology = topo::Topology::kTwoHop;
-    cfg.policy = scheme.policy;
-    cfg.unicast_mode = *mode;
-    cfg.broadcast_mode = *mode;
+    cfg.scenario = topo::ScenarioSpec::two_hop();
+    cfg.scenario.node.policy = scheme.policy;
+    cfg.scenario.node.unicast_mode = *mode;
+    cfg.scenario.node.broadcast_mode = *mode;
     cfg.tcp_file_bytes = 200'000;
     const auto result = app::run_experiment(cfg);
 

@@ -20,12 +20,11 @@ struct TimelineRun {
 
 TimelineRun run(const core::AggregationPolicy& policy) {
   // 2-hop chain with static hop-by-hop routes at 1.3 Mbps.
-  topo::ScenarioOptions opt;
-  opt.seed = 3;
-  opt.policy = policy;
-  opt.unicast_mode = phy::mode_by_index(1);
-  opt.broadcast_mode = phy::mode_by_index(1);
-  auto chain = topo::Scenario::chain(3, opt);
+  auto spec = topo::ScenarioSpec::chain(3);
+  spec.node.policy = policy;
+  spec.node.unicast_mode = proto::mode_by_index(1);
+  spec.node.broadcast_mode = proto::mode_by_index(1);
+  auto chain = topo::Scenario::build(spec, /*seed=*/3);
   sim::Simulation& simulation = chain.sim();
 
   constexpr std::uint64_t kFile = 400'000;
@@ -34,7 +33,7 @@ TimelineRun run(const core::AggregationPolicy& policy) {
   // Tap delivered bytes into the timeline via a second receiver hook:
   // FileReceiverApp already accumulates; sample it per slice instead.
   app::FileSenderApp sender(simulation, chain.node(0),
-                            {net::Ipv4Address::for_node(2), 5001}, kFile);
+                            {proto::Ipv4Address::for_node(2), 5001}, kFile);
   sender.start();
 
   std::uint64_t last_total = 0;

@@ -9,32 +9,30 @@
 #include "app/udp_cbr.h"
 #include "app/udp_sink.h"
 #include "net/node.h"
-#include "phy/medium.h"
-#include "sim/simulation.h"
 #include "util/assert.h"
 
 namespace hydra::app {
 
 namespace {
 
-constexpr net::Port kTcpPort = 5001;
-constexpr net::Port kUdpPort = 9001;
+constexpr proto::Port kTcpPort = 5001;
+constexpr proto::Port kUdpPort = 9001;
 
 }  // namespace
 
 topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
   using topo::TrafficKind;
 
-  sim::Simulation simulation(config.seed);
-  phy::Medium medium(simulation);
+  auto scenario = topo::Scenario::build(config.scenario, config.seed);
+  sim::Simulation& simulation = scenario.sim();
+  const std::size_t node_count = scenario.size();
 
-  auto nodes = topo::build_nodes(simulation, medium, config);
-  topo::install_static_routes(config.topology, nodes);
-
-  auto sessions = topo::sessions_for(config.topology);
+  auto sessions = config.scenario.sessions;
+  HYDRA_ASSERT_MSG(!sessions.empty() || config.flooding,
+                   "a scenario needs sessions or flooding traffic");
   if (config.traffic == TrafficKind::kTcpBidirectional) {
-    HYDRA_ASSERT_MSG(config.topology != topo::Topology::kStar,
-                     "bidirectional traffic is defined for chains");
+    HYDRA_ASSERT_MSG(!sessions.empty(),
+                     "bidirectional traffic reverses the first session");
     const auto forward = sessions.front();
     sessions = {forward, {forward.receiver, forward.sender}};
   }
@@ -42,36 +40,36 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
   // Flooding load: every node broadcasts, with staggered phases.
   std::vector<std::unique_ptr<FloodApp>> flooders;
   if (config.flooding) {
-    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    for (std::uint32_t i = 0; i < node_count; ++i) {
       FloodConfig fc;
       fc.payload_bytes = config.flood_payload_bytes;
       fc.interval = config.flood_interval;
       fc.initial_offset = sim::Duration::millis(17) * (i + 1);
       flooders.push_back(
-          std::make_unique<FloodApp>(simulation, *nodes[i], fc));
+          std::make_unique<FloodApp>(simulation, scenario.node(i), fc));
       flooders.back()->start();
     }
   }
 
   topo::ExperimentResult result;
-  result.relay_indices = topo::relay_indices(config.topology);
+  result.relay_indices = scenario.relay_indices();
 
-  if (config.traffic != TrafficKind::kUdp) {
+  if (config.traffic != TrafficKind::kUdp && !sessions.empty()) {
     // One FileReceiver per distinct receiving node.
-    std::vector<std::unique_ptr<FileReceiverApp>> receivers(nodes.size());
+    std::vector<std::unique_ptr<FileReceiverApp>> receivers(node_count);
     std::vector<std::unique_ptr<FileSenderApp>> senders;
-    std::vector<std::size_t> flows_at(nodes.size(), 0);
+    std::vector<std::size_t> flows_at(node_count, 0);
     for (std::size_t s = 0; s < sessions.size(); ++s) {
       const auto [src, dst] = sessions[s];
       if (!receivers[dst]) {
         receivers[dst] = std::make_unique<FileReceiverApp>(
-            simulation, *nodes[dst], kTcpPort, config.tcp_file_bytes,
+            simulation, scenario.node(dst), kTcpPort, config.tcp_file_bytes,
             config.tcp);
       }
       ++flows_at[dst];
       senders.push_back(std::make_unique<FileSenderApp>(
-          simulation, *nodes[src],
-          net::Endpoint{net::Ipv4Address::for_node(dst), kTcpPort},
+          simulation, scenario.node(src),
+          proto::Endpoint{proto::Ipv4Address::for_node(dst), kTcpPort},
           config.tcp_file_bytes, config.tcp));
       senders.back()->start(
           sim::TimePoint::at(sim::Duration::millis(10) * (s + 1)));
@@ -81,7 +79,7 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
     const auto deadline = sim::TimePoint::at(config.max_sim_time);
     while (simulation.now() < deadline) {
       bool all_done = true;
-      for (std::size_t d = 0; d < nodes.size(); ++d) {
+      for (std::size_t d = 0; d < node_count; ++d) {
         if (receivers[d] && !receivers[d]->all_complete(flows_at[d])) {
           all_done = false;
         }
@@ -115,31 +113,36 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
       }
       result.flows.push_back(fr);
     }
-  } else {
-    // UDP: CBR from each session sender to a sink at the receiver.
-    std::vector<std::unique_ptr<UdpSinkApp>> sinks(nodes.size());
+  } else if (config.traffic == TrafficKind::kUdp && !sessions.empty()) {
+    // UDP: CBR from each session sender to a sink at the receiver. A
+    // sink aggregates every session terminating at its node, so results
+    // carry one flow per distinct receiver, in session order.
+    std::vector<std::unique_ptr<UdpSinkApp>> sinks(node_count);
     std::vector<std::unique_ptr<UdpCbrApp>> cbrs;
     const auto stop = sim::TimePoint::at(config.udp_duration);
     for (const auto [src, dst] : sessions) {
       if (!sinks[dst]) {
-        sinks[dst] =
-            std::make_unique<UdpSinkApp>(simulation, *nodes[dst], kUdpPort);
+        sinks[dst] = std::make_unique<UdpSinkApp>(simulation,
+                                                  scenario.node(dst), kUdpPort);
       }
       UdpCbrConfig uc;
-      uc.destination = {net::Ipv4Address::for_node(dst), kUdpPort};
+      uc.destination = {proto::Ipv4Address::for_node(dst), kUdpPort};
       uc.payload_bytes = config.udp_payload_bytes;
       uc.interval = config.udp_interval;
       uc.packets_per_tick = config.udp_packets_per_tick;
       uc.stop = stop;
-      cbrs.push_back(std::make_unique<UdpCbrApp>(simulation, *nodes[src],
-                                                 uc, 9000));
+      cbrs.push_back(std::make_unique<UdpCbrApp>(simulation,
+                                                 scenario.node(src), uc, 9000));
       cbrs.back()->start();
     }
     // Run through the send window plus a drain period.
     simulation.run_until(stop + sim::Duration::seconds(2));
 
+    std::vector<bool> collected(node_count, false);
     for (const auto [src, dst] : sessions) {
       (void)src;
+      if (collected[dst]) continue;  // sink aggregates sessions at one node
+      collected[dst] = true;
       topo::FlowResult fr;
       const auto& sink = *sinks[dst];
       fr.bytes = sink.payload_bytes();
@@ -147,13 +150,15 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
       fr.completed = true;
       fr.throughput_mbps = sink.goodput_mbps(config.udp_duration);
       result.flows.push_back(fr);
-      break;  // sinks aggregate all sessions at one receiver
     }
+  } else {
+    // Pure flooding: run out the clock.
+    simulation.run_until(sim::TimePoint::at(config.max_sim_time));
   }
 
   result.sim_time = simulation.now().since_origin();
-  for (const auto& node : nodes) {
-    result.node_stats.push_back(node->mac_stats());
+  for (std::size_t i = 0; i < node_count; ++i) {
+    result.node_stats.push_back(scenario.node(i).mac_stats());
   }
   return result;
 }

@@ -5,7 +5,7 @@
 namespace hydra::app {
 
 FileSenderApp::FileSenderApp(sim::Simulation& simulation, net::Node& node,
-                             net::Endpoint destination,
+                             proto::Endpoint destination,
                              std::uint64_t file_bytes,
                              transport::TcpConfig tcp)
     : sim_(simulation),
@@ -32,7 +32,7 @@ void FileSenderApp::begin() {
 }
 
 FileReceiverApp::FileReceiverApp(sim::Simulation& simulation, net::Node& node,
-                                 net::Port port, std::uint64_t expected_bytes,
+                                 proto::Port port, std::uint64_t expected_bytes,
                                  transport::TcpConfig tcp)
     : sim_(simulation), expected_bytes_(expected_bytes) {
   transport::mux_of(node).tcp_listen(

@@ -14,7 +14,7 @@ namespace hydra::app {
 class FileSenderApp {
  public:
   FileSenderApp(sim::Simulation& simulation, net::Node& node,
-                net::Endpoint destination, std::uint64_t file_bytes,
+                proto::Endpoint destination, std::uint64_t file_bytes,
                 transport::TcpConfig tcp = {});
 
   // Begins the transfer at `at` (simulation time).
@@ -31,7 +31,7 @@ class FileSenderApp {
 
   sim::Simulation& sim_;
   net::Node& node_;
-  net::Endpoint destination_;
+  proto::Endpoint destination_;
   std::uint64_t file_bytes_;
   transport::TcpConfig tcp_config_;
   sim::Timer start_timer_;
@@ -54,7 +54,7 @@ class FileReceiverApp {
   };
 
   FileReceiverApp(sim::Simulation& simulation, net::Node& node,
-                  net::Port port, std::uint64_t expected_bytes,
+                  proto::Port port, std::uint64_t expected_bytes,
                   transport::TcpConfig tcp = {});
 
   std::size_t flow_count() const { return flows_.size(); }

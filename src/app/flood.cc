@@ -16,7 +16,7 @@ void FloodApp::start() { timer_.arm(config_.initial_offset); }
 void FloodApp::tick() {
   if (sim_.now() > config_.stop) return;
   node_.stack().send(
-      net::make_flood_packet(node_.ip(), config_.payload_bytes));
+      proto::make_flood_packet(node_.ip(), config_.payload_bytes));
   ++sent_;
   timer_.arm(config_.interval);
 }

@@ -4,9 +4,9 @@
 
 namespace hydra::app {
 
-PingResponderApp::PingResponderApp(net::Node& node, net::Port port)
+PingResponderApp::PingResponderApp(net::Node& node, proto::Port port)
     : socket_(transport::mux_of(node).open_udp(port)) {
-  socket_.on_receive = [this](const net::Packet& packet) {
+  socket_.on_receive = [this](const proto::Packet& packet) {
     ++echoed_;
     socket_.send_to({packet.ip.src, packet.udp->src_port},
                     packet.payload_bytes);
@@ -14,13 +14,13 @@ PingResponderApp::PingResponderApp(net::Node& node, net::Port port)
 }
 
 PingApp::PingApp(sim::Simulation& simulation, net::Node& node,
-                 PingConfig config, net::Port local_port)
+                 PingConfig config, proto::Port local_port)
     : sim_(simulation),
       config_(config),
       socket_(transport::mux_of(node).open_udp(local_port)),
       interval_timer_(simulation.scheduler(), [this] { send_probe(); }),
       timeout_timer_(simulation.scheduler(), [this] { on_timeout(); }) {
-  socket_.on_receive = [this](const net::Packet&) { on_reply(); };
+  socket_.on_receive = [this](const proto::Packet&) { on_reply(); };
 }
 
 void PingApp::start() { interval_timer_.arm(sim::Duration::zero()); }

@@ -19,7 +19,7 @@ namespace hydra::app {
 // Echoes every datagram back to its sender.
 class PingResponderApp {
  public:
-  PingResponderApp(net::Node& node, net::Port port);
+  PingResponderApp(net::Node& node, proto::Port port);
 
   std::uint64_t echoed() const { return echoed_; }
 
@@ -29,7 +29,7 @@ class PingResponderApp {
 };
 
 struct PingConfig {
-  net::Endpoint destination;
+  proto::Endpoint destination;
   std::uint32_t payload_bytes = 56;
   sim::Duration interval = sim::Duration::millis(200);
   sim::Duration timeout = sim::Duration::seconds(2);
@@ -39,7 +39,7 @@ struct PingConfig {
 class PingApp {
  public:
   PingApp(sim::Simulation& simulation, net::Node& node, PingConfig config,
-          net::Port local_port = 9100);
+          proto::Port local_port = 9100);
 
   void start();
 

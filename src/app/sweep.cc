@@ -1,0 +1,70 @@
+#include "app/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace hydra::app {
+
+std::vector<SweepPoint> expand_sweep(const SweepGrid& grid) {
+  std::vector<SweepPoint> points;
+  points.reserve(grid.scenarios.size() * grid.policies.size() *
+                 grid.rate_adaptations.size());
+  for (const auto& [scenario_label, spec] : grid.scenarios) {
+    for (const auto& [policy_label, policy] : grid.policies) {
+      for (const auto scheme : grid.rate_adaptations) {
+        SweepPoint point;
+        point.scenario_label =
+            scenario_label.empty() ? spec.label() : scenario_label;
+        point.policy_label = policy_label;
+        point.rate_adaptation = scheme;
+        point.config = grid.base;
+        point.config.scenario = spec;
+        point.config.scenario.node.policy = policy;
+        point.config.scenario.node.rate_adaptation = scheme;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
+                                            unsigned threads) {
+  auto points = expand_sweep(grid);
+  std::vector<SweepOutcome> outcomes(points.size());
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, points.size() ? points.size() : 1u);
+
+  // Work-stealing over a shared index; each slot is written by exactly
+  // one worker, so no further synchronization is needed.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < points.size();
+         i = next.fetch_add(1)) {
+      const auto started = std::chrono::steady_clock::now();
+      SweepOutcome outcome;
+      outcome.result = run_experiment(points[i].config);
+      outcome.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      outcome.point = std::move(points[i]);
+      outcomes[i] = std::move(outcome);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+    return outcomes;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return outcomes;
+}
+
+}  // namespace hydra::app

@@ -1,0 +1,57 @@
+// Parameter-sweep driver: the cartesian product of scenario specs,
+// aggregation policies and rate-adaptation schemes, each point run
+// through app::run_experiment. Every simulation is self-contained (its
+// own Simulation, Medium and RNG; no mutable globals as long as
+// sim::Log stays quiet), so points execute in parallel across a thread
+// pool and results come back in deterministic grid order regardless of
+// scheduling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/experiment.h"
+
+namespace hydra::app {
+
+// One axis combination, fully resolved into a runnable config.
+struct SweepPoint {
+  std::string scenario_label;
+  std::string policy_label;
+  mac::RateAdaptationScheme rate_adaptation = mac::RateAdaptationScheme::kNone;
+  topo::ExperimentConfig config;
+};
+
+struct SweepOutcome {
+  SweepPoint point;
+  topo::ExperimentResult result;
+  // Wall-clock cost of this point's simulation (scaling benches chart
+  // it against topology size).
+  double wall_seconds = 0.0;
+};
+
+// The sweep axes. `base` supplies the workload (traffic kind, file
+// sizes, seed, time cap); each point overwrites base.scenario with the
+// axis spec, then the spec's policy and rate adaptation with the other
+// two axes.
+struct SweepGrid {
+  std::vector<std::pair<std::string, topo::ScenarioSpec>> scenarios;
+  std::vector<std::pair<std::string, core::AggregationPolicy>> policies = {
+      {"ba", core::AggregationPolicy::ba()}};
+  std::vector<mac::RateAdaptationScheme> rate_adaptations = {
+      mac::RateAdaptationScheme::kNone};
+  topo::ExperimentConfig base;
+};
+
+// Expands the grid scenario-major (policies, then rate adaptations
+// innermost) without running anything.
+std::vector<SweepPoint> expand_sweep(const SweepGrid& grid);
+
+// Runs every point of the grid, `threads` simulations at a time
+// (0 = hardware concurrency). Outcomes are indexed like expand_sweep.
+std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
+                                            unsigned threads = 0);
+
+}  // namespace hydra::app

@@ -5,7 +5,7 @@
 namespace hydra::app {
 
 UdpCbrApp::UdpCbrApp(sim::Simulation& simulation, net::Node& node,
-                     UdpCbrConfig config, net::Port local_port)
+                     UdpCbrConfig config, proto::Port local_port)
     : sim_(simulation),
       config_(config),
       socket_(transport::mux_of(node).open_udp(local_port)),

@@ -11,7 +11,7 @@
 namespace hydra::app {
 
 struct UdpCbrConfig {
-  net::Endpoint destination;
+  proto::Endpoint destination;
   // Payload size chosen so the resulting MAC frame is 1140 B (paper §5):
   // 1048 + 8 (UDP) + 20 (IP) + 64 (MAC header/encap/FCS) = 1140.
   std::uint32_t payload_bytes = 1048;
@@ -26,7 +26,7 @@ struct UdpCbrConfig {
 class UdpCbrApp {
  public:
   UdpCbrApp(sim::Simulation& simulation, net::Node& node, UdpCbrConfig config,
-            net::Port local_port = 9000);
+            proto::Port local_port = 9000);
 
   void start();
 

@@ -5,10 +5,10 @@
 namespace hydra::app {
 
 UdpSinkApp::UdpSinkApp(sim::Simulation& simulation, net::Node& node,
-                       net::Port port)
+                       proto::Port port)
     : sim_(simulation) {
   auto& socket = transport::mux_of(node).open_udp(port);
-  socket.on_receive = [this](const net::Packet& packet) {
+  socket.on_receive = [this](const proto::Packet& packet) {
     if (packets_ == 0) first_ = sim_.now();
     ++packets_;
     bytes_ += packet.payload_bytes;

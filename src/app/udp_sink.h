@@ -9,7 +9,7 @@ namespace hydra::app {
 
 class UdpSinkApp {
  public:
-  UdpSinkApp(sim::Simulation& simulation, net::Node& node, net::Port port);
+  UdpSinkApp(sim::Simulation& simulation, net::Node& node, proto::Port port);
 
   std::uint64_t packets() const { return packets_; }
   std::uint64_t payload_bytes() const { return bytes_; }

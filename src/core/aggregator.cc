@@ -27,15 +27,15 @@ std::int64_t Aggregator::budget_limit() const {
   return static_cast<std::int64_t>(policy_.max_aggregate_bytes);
 }
 
-std::int64_t Aggregator::subframe_cost(const mac::MacSubframe& sf,
-                                       const phy::PhyMode& mode) const {
+std::int64_t Aggregator::subframe_cost(const proto::MacSubframe& sf,
+                                       const proto::PhyMode& mode) const {
   if (policy_.airtime_capped()) {
     return phy::payload_airtime(sf.wire_bytes(), mode).ns();
   }
   return static_cast<std::int64_t>(sf.wire_bytes());
 }
 
-std::int64_t Aggregator::frame_cost(const mac::AggregateFrame& frame) const {
+std::int64_t Aggregator::frame_cost(const proto::AggregateFrame& frame) const {
   std::int64_t cost = 0;
   for (const auto& sf : frame.broadcast) {
     cost += subframe_cost(sf, broadcast_mode_);
@@ -44,7 +44,7 @@ std::int64_t Aggregator::frame_cost(const mac::AggregateFrame& frame) const {
   return cost;
 }
 
-void Aggregator::fill_broadcast(DualQueue& queues, mac::AggregateFrame& frame,
+void Aggregator::fill_broadcast(DualQueue& queues, proto::AggregateFrame& frame,
                                 std::int64_t reserved_cost) const {
   if (!policy_.broadcast_aggregation()) return;
   auto& bq = queues.broadcast();
@@ -60,9 +60,9 @@ void Aggregator::fill_broadcast(DualQueue& queues, mac::AggregateFrame& frame,
   }
 }
 
-mac::AggregateFrame Aggregator::build(DualQueue& queues) const {
+proto::AggregateFrame Aggregator::build(DualQueue& queues) const {
   HYDRA_ASSERT_MSG(!queues.empty(), "build on empty queues");
-  mac::AggregateFrame frame;
+  proto::AggregateFrame frame;
 
   if (!policy_.aggregation_enabled()) {
     // NA baseline: exactly one subframe per PHY frame. Broadcast-class
@@ -112,11 +112,11 @@ mac::AggregateFrame Aggregator::build(DualQueue& queues) const {
   return frame;
 }
 
-mac::AggregateFrame Aggregator::build_retry(
+proto::AggregateFrame Aggregator::build_retry(
     DualQueue& queues,
-    std::span<const mac::MacSubframe> unicast_burst) const {
+    std::span<const proto::MacSubframe> unicast_burst) const {
   HYDRA_ASSERT(!unicast_burst.empty());
-  mac::AggregateFrame frame;
+  proto::AggregateFrame frame;
   std::int64_t burst_cost = 0;
   for (const auto& sf : unicast_burst) {
     burst_cost += subframe_cost(sf, unicast_mode_);

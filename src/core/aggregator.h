@@ -32,8 +32,8 @@ class Aggregator {
 
   // The PHY modes of the two portions; required for airtime-capped
   // policies (kept current by the MAC when its rates change).
-  void set_modes(const phy::PhyMode& broadcast_mode,
-                 const phy::PhyMode& unicast_mode) {
+  void set_modes(const proto::PhyMode& broadcast_mode,
+                 const proto::PhyMode& unicast_mode) {
     broadcast_mode_ = broadcast_mode;
     unicast_mode_ = unicast_mode;
   }
@@ -48,28 +48,28 @@ class Aggregator {
   // popping the unicast subframes it includes. At least one subframe is
   // always produced if any queue is non-empty (a lone oversized subframe
   // still goes out).
-  mac::AggregateFrame build(DualQueue& queues) const;
+  proto::AggregateFrame build(DualQueue& queues) const;
 
   // Rebuilds a retransmission: the unicast burst is fixed (802.11 retry
   // semantics), but freshly queued broadcast subframes may still ride
   // along when broadcast aggregation is on.
-  mac::AggregateFrame build_retry(
-      DualQueue& queues, std::span<const mac::MacSubframe> unicast_burst)
+  proto::AggregateFrame build_retry(
+      DualQueue& queues, std::span<const proto::MacSubframe> unicast_burst)
       const;
 
  private:
   // Budget bookkeeping in the policy's units (bytes or airtime ns).
   std::int64_t budget_limit() const;
-  std::int64_t subframe_cost(const mac::MacSubframe& sf,
-                             const phy::PhyMode& mode) const;
-  std::int64_t frame_cost(const mac::AggregateFrame& frame) const;
+  std::int64_t subframe_cost(const proto::MacSubframe& sf,
+                             const proto::PhyMode& mode) const;
+  std::int64_t frame_cost(const proto::AggregateFrame& frame) const;
 
-  void fill_broadcast(DualQueue& queues, mac::AggregateFrame& frame,
+  void fill_broadcast(DualQueue& queues, proto::AggregateFrame& frame,
                       std::int64_t reserved_cost) const;
 
   AggregationPolicy policy_;
-  phy::PhyMode broadcast_mode_ = phy::base_mode();
-  phy::PhyMode unicast_mode_ = phy::base_mode();
+  proto::PhyMode broadcast_mode_ = proto::base_mode();
+  proto::PhyMode unicast_mode_ = proto::base_mode();
 };
 
 }  // namespace hydra::core

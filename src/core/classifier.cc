@@ -2,7 +2,7 @@
 
 namespace hydra::core {
 
-TrafficClass TcpAckClassifier::classify(const net::Packet& packet,
+TrafficClass TcpAckClassifier::classify(const proto::Packet& packet,
                                         bool link_broadcast) const {
   ++packets_seen_;
   if (link_broadcast) return TrafficClass::kBroadcast;

@@ -27,7 +27,7 @@ class TcpAckClassifier {
 
   // Classifies an outgoing packet. `link_broadcast` marks packets whose
   // link-layer destination is the broadcast address.
-  TrafficClass classify(const net::Packet& packet, bool link_broadcast) const;
+  TrafficClass classify(const proto::Packet& packet, bool link_broadcast) const;
 
   void set_enabled(bool enabled) { tcp_ack_as_broadcast_ = enabled; }
   bool enabled() const { return tcp_ack_as_broadcast_; }

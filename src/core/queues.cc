@@ -4,7 +4,7 @@
 
 namespace hydra::core {
 
-bool SubframeQueue::push(mac::MacSubframe subframe, sim::TimePoint now) {
+bool SubframeQueue::push(proto::MacSubframe subframe, sim::TimePoint now) {
   if (q_.size() >= limit_) {
     ++drops_;
     return false;

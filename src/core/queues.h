@@ -12,7 +12,7 @@
 namespace hydra::core {
 
 struct QueuedSubframe {
-  mac::MacSubframe subframe;
+  proto::MacSubframe subframe;
   sim::TimePoint enqueued;
 };
 
@@ -22,7 +22,7 @@ class SubframeQueue {
   explicit SubframeQueue(std::size_t limit) : limit_(limit) {}
 
   // Returns false (and counts a drop) when the queue is full.
-  bool push(mac::MacSubframe subframe, sim::TimePoint now);
+  bool push(proto::MacSubframe subframe, sim::TimePoint now);
 
   const QueuedSubframe* front() const {
     return q_.empty() ? nullptr : &q_.front();

@@ -30,7 +30,7 @@ Mac::Mac(sim::Simulation& simulation, phy::Phy& phy, MacConfig config)
         transmit_control(frame, kind);
       }) {
   rate_adapter_ = make_rate_adapter(config_.rate_adaptation,
-                                    phy::mode_index_of(config_.unicast_mode));
+                                    proto::mode_index_of(config_.unicast_mode));
   aggregator_.set_modes(config_.broadcast_mode, config_.unicast_mode);
   phy_.on_rx = [this](const phy::RxReport& report) { on_rx(report); };
   phy_.on_tx_complete = [this] { on_tx_complete(); };
@@ -47,10 +47,10 @@ Mac::Mac(sim::Simulation& simulation, phy::Phy& phy, MacConfig config)
 // Upper-layer interface
 // ---------------------------------------------------------------------
 
-void Mac::enqueue(net::PacketPtr packet, MacAddress next_hop,
-                  MacAddress source) {
+void Mac::enqueue(proto::PacketPtr packet, proto::MacAddress next_hop,
+                  proto::MacAddress source) {
   HYDRA_ASSERT(packet != nullptr);
-  MacSubframe sf;
+  proto::MacSubframe sf;
   sf.receiver = next_hop;
   sf.transmitter = config_.address;
   sf.source = source;
@@ -155,12 +155,12 @@ void Mac::access_won() {
 
 sim::Duration Mac::control_airtime(std::size_t bytes) const {
   return phy_.config().timings.preamble +
-         phy::payload_airtime(bytes, phy::base_mode());
+         phy::payload_airtime(bytes, proto::base_mode());
 }
 
 sim::Duration Mac::ack_duration() const {
   const auto bytes =
-      aggregator_.policy().block_ack ? kBlockAckBytes : kAckBytes;
+      aggregator_.policy().block_ack ? proto::kBlockAckBytes : proto::kAckBytes;
   return control_airtime(bytes);
 }
 
@@ -173,7 +173,7 @@ void Mac::begin_sequence() {
     }
     aggregator_.set_modes(config_.broadcast_mode, config_.unicast_mode);
   }
-  AggregateFrame frame;
+  proto::AggregateFrame frame;
   if (!inflight_unicast_.empty()) {
     frame = aggregator_.build_retry(queues_, inflight_unicast_);
   } else {
@@ -196,7 +196,7 @@ void Mac::begin_sequence() {
   sim::Duration after_data = sim::Duration::zero();
   if (frame.has_unicast()) after_data = t.sifs + ack_duration();
   const auto dur_units =
-      encode_duration_us((after_data).ns() / 1000);
+      proto::encode_duration_us((after_data).ns() / 1000);
   for (auto& sf : frame.broadcast) sf.duration_units = dur_units;
   for (auto& sf : frame.unicast) sf.duration_units = dur_units;
 
@@ -213,17 +213,17 @@ void Mac::begin_sequence() {
 
 void Mac::send_rts() {
   const auto& t = config_.timings;
-  ControlFrame rts;
-  rts.type = FrameType::kRts;
+  proto::ControlFrame rts;
+  rts.type = proto::FrameType::kRts;
   rts.receiver = pending_pdu_->aggregate.unicast_receiver();
   rts.transmitter = config_.address;
   // Reservation: CTS + data + ACK, with the three SIFS gaps.
-  const auto reservation = t.sifs + control_airtime(kCtsBytes) + t.sifs +
+  const auto reservation = t.sifs + control_airtime(proto::kCtsBytes) + t.sifs +
                            pending_timing_.total + t.sifs + ack_duration();
-  rts.duration_units = encode_duration_us(reservation.ns() / 1000);
+  rts.duration_units = proto::encode_duration_us(reservation.ns() / 1000);
   phase_ = Phase::kTxRts;
   ++stats_.rts_tx;
-  stats_.time.control += control_airtime(kRtsBytes);
+  stats_.time.control += control_airtime(proto::kRtsBytes);
   transmit_control(rts, TxKind::kRts);
 }
 
@@ -235,13 +235,13 @@ void Mac::send_data() {
                              config_.unicast_mode));
 }
 
-void Mac::transmit_control(ControlFrame frame, TxKind kind) {
+void Mac::transmit_control(proto::ControlFrame frame, TxKind kind) {
   tx_kind_ = kind;
   auto pdu = MacPdu::make_control(frame, config_.address);
-  phy_.transmit(to_phy_frame(pdu, phy::base_mode(), phy::base_mode()));
+  phy_.transmit(to_phy_frame(pdu, proto::base_mode(), proto::base_mode()));
 }
 
-void Mac::account_data_tx(const AggregateFrame& frame,
+void Mac::account_data_tx(const proto::AggregateFrame& frame,
                           const phy::FrameTiming& timing) {
   ++stats_.data_frames_tx;
   stats_.broadcast_subframes_tx += frame.broadcast.size();
@@ -249,8 +249,8 @@ void Mac::account_data_tx(const AggregateFrame& frame,
   stats_.data_bytes_tx += frame.total_wire_bytes();
   stats_.time.phy_header += timing.header;
 
-  const auto account_portion = [this](const std::vector<MacSubframe>& sfs,
-                                      const phy::PhyMode& mode) {
+  const auto account_portion = [this](const std::vector<proto::MacSubframe>& sfs,
+                                      const proto::PhyMode& mode) {
     for (const auto& sf : sfs) {
       const auto pkt_bytes = sf.packet_bytes();
       // Size overhead (Tables 3/6) counts every non-packet byte: header,
@@ -259,7 +259,7 @@ void Mac::account_data_tx(const AggregateFrame& frame,
       // Time overhead (Table 4) counts "MAC header" transmission time:
       // the Fig. 4 header and FCS. Encapsulation/padding bytes travel
       // with the payload and are accounted there.
-      constexpr auto kHeaderOnly = kMacHeaderBytes + kFcsBytes;
+      constexpr auto kHeaderOnly = proto::kMacHeaderBytes + proto::kFcsBytes;
       stats_.time.mac_header += phy::payload_airtime(kHeaderOnly, mode);
       stats_.time.payload +=
           phy::payload_airtime(sf.wire_bytes() - kHeaderOnly, mode);
@@ -277,7 +277,7 @@ void Mac::on_tx_complete() {
   switch (kind) {
     case TxKind::kRts:
       phase_ = Phase::kWaitCts;
-      response_timer_.arm(t.sifs + control_airtime(kCtsBytes) +
+      response_timer_.arm(t.sifs + control_airtime(proto::kCtsBytes) +
                           t.timeout_guard);
       return;
     case TxKind::kData:
@@ -342,7 +342,7 @@ void Mac::finish_sequence() {
 // Receive path
 // ---------------------------------------------------------------------
 
-bool Mac::is_neighbor(MacAddress transmitter) const {
+bool Mac::is_neighbor(proto::MacAddress transmitter) const {
   if (config_.neighbors.empty()) return true;
   for (const auto n : config_.neighbors) {
     if (n == transmitter) return true;
@@ -365,7 +365,7 @@ void Mac::on_rx(const phy::RxReport& report) {
   }
 }
 
-void Mac::handle_control(const ControlFrame& frame,
+void Mac::handle_control(const proto::ControlFrame& frame,
                          const phy::RxReport& report) {
   HYDRA_ASSERT(report.unicast_ok.size() == 1);
   if (!report.unicast_ok[0]) {
@@ -374,10 +374,10 @@ void Mac::handle_control(const ControlFrame& frame,
   }
   const bool for_me = frame.receiver == config_.address;
   const auto reservation =
-      sim::Duration::micros(decode_duration_us(frame.duration_units));
+      sim::Duration::micros(proto::decode_duration_us(frame.duration_units));
 
   switch (frame.type) {
-    case FrameType::kRts: {
+    case proto::FrameType::kRts: {
       if (!for_me) {
         set_nav(reservation);
         return;
@@ -389,19 +389,19 @@ void Mac::handle_control(const ControlFrame& frame,
           !is_neighbor(frame.transmitter)) {
         return;
       }
-      ControlFrame cts;
-      cts.type = FrameType::kCts;
+      proto::ControlFrame cts;
+      cts.type = proto::FrameType::kCts;
       cts.receiver = frame.transmitter;
       cts.transmitter = config_.address;
       const auto remaining =
-          reservation - config_.timings.sifs - control_airtime(kCtsBytes);
-      cts.duration_units = encode_duration_us(
+          reservation - config_.timings.sifs - control_airtime(proto::kCtsBytes);
+      cts.duration_units = proto::encode_duration_us(
           std::max<std::int64_t>(0, remaining.ns() / 1000));
       ++stats_.cts_tx;
       schedule_response(cts, TxKind::kCts);
       return;
     }
-    case FrameType::kCts: {
+    case proto::FrameType::kCts: {
       if (!for_me) {
         set_nav(reservation);
         return;
@@ -409,7 +409,7 @@ void Mac::handle_control(const ControlFrame& frame,
       if (phase_ != Phase::kWaitCts) return;
       if (rate_adapter_) rate_adapter_->on_feedback_snr(report.snr_db);
       response_timer_.cancel();
-      stats_.time.control += control_airtime(kCtsBytes);
+      stats_.time.control += control_airtime(proto::kCtsBytes);
       stats_.time.ifs += 2 * config_.timings.sifs;  // before CTS and data
       phase_ = Phase::kTxData;
       // Data goes out SIFS after the CTS.
@@ -417,7 +417,7 @@ void Mac::handle_control(const ControlFrame& frame,
                                    [this] { send_data(); });
       return;
     }
-    case FrameType::kAck: {
+    case proto::FrameType::kAck: {
       if (!for_me || phase_ != Phase::kWaitAck) return;
       if (rate_adapter_) rate_adapter_->on_feedback_snr(report.snr_db);
       response_timer_.cancel();
@@ -426,7 +426,7 @@ void Mac::handle_control(const ControlFrame& frame,
       stats_.time.ifs += config_.timings.sifs;
       if (frame.has_block_ack) {
         // Extension: keep only unacknowledged subframes for retry.
-        std::vector<MacSubframe> remaining;
+        std::vector<proto::MacSubframe> remaining;
         for (std::size_t i = 0; i < inflight_unicast_.size(); ++i) {
           const bool acked =
               i < 64 && ((frame.block_ack_bitmap >> i) & 1) != 0;
@@ -443,7 +443,7 @@ void Mac::handle_control(const ControlFrame& frame,
       }
       return;
     }
-    case FrameType::kData:
+    case proto::FrameType::kData:
       HYDRA_UNREACHABLE("data frame in control path");
   }
 }
@@ -480,7 +480,7 @@ void Mac::handle_aggregate(const MacPdu& pdu, const phy::RxReport& report) {
   if (agg.unicast_receiver() != config_.address) {
     // Reserve the medium for the remainder of this exchange (SIFS+ACK).
     set_nav(sim::Duration::micros(
-        decode_duration_us(agg.unicast.front().duration_units)));
+        proto::decode_duration_us(agg.unicast.front().duration_units)));
     return;
   }
 
@@ -511,8 +511,8 @@ void Mac::handle_aggregate(const MacPdu& pdu, const phy::RxReport& report) {
         ++stats_.crc_failures;
       }
     }
-    ControlFrame ack;
-    ack.type = FrameType::kAck;
+    proto::ControlFrame ack;
+    ack.type = proto::FrameType::kAck;
     ack.receiver = pdu.transmitter;
     ack.transmitter = config_.address;
     ack.has_block_ack = true;
@@ -539,15 +539,15 @@ void Mac::handle_aggregate(const MacPdu& pdu, const phy::RxReport& report) {
     ++stats_.delivered_up;
     if (on_deliver) on_deliver(sf.packet, sf.transmitter);
   }
-  ControlFrame ack;
-  ack.type = FrameType::kAck;
+  proto::ControlFrame ack;
+  ack.type = proto::FrameType::kAck;
   ack.receiver = pdu.transmitter;
   ack.transmitter = config_.address;
   ++stats_.ack_tx;
   schedule_response(ack, TxKind::kAck);
 }
 
-void Mac::schedule_response(ControlFrame frame, TxKind kind) {
+void Mac::schedule_response(proto::ControlFrame frame, TxKind kind) {
   HYDRA_ASSERT(!pending_response_.has_value());
   pending_response_ = {frame, kind};
   respond_timer_.arm(config_.timings.sifs);
@@ -561,16 +561,16 @@ void Mac::schedule_response(ControlFrame frame, TxKind kind) {
 // control) pair identifies the retransmission.
 
 namespace {
-std::uint32_t dedup_key(const MacSubframe& sf) {
+std::uint32_t dedup_key(const proto::MacSubframe& sf) {
   return (std::uint32_t{sf.transmitter.value()} << 16) | sf.sequence;
 }
 }  // namespace
 
-bool Mac::already_delivered(const MacSubframe& sf) const {
+bool Mac::already_delivered(const proto::MacSubframe& sf) const {
   return dedup_set_.contains(dedup_key(sf));
 }
 
-void Mac::remember_delivered(const MacSubframe& sf) {
+void Mac::remember_delivered(const proto::MacSubframe& sf) {
   constexpr std::size_t kDedupWindow = 256;
   if (dedup_set_.insert(dedup_key(sf)).second) {
     dedup_fifo_.push_back(dedup_key(sf));

@@ -39,14 +39,14 @@
 namespace hydra::mac {
 
 struct MacConfig {
-  MacAddress address;
+  proto::MacAddress address;
   MacTimings timings;
   core::AggregationPolicy policy;
   // Rate used for the unicast portion of aggregates.
-  phy::PhyMode unicast_mode = phy::base_mode();
+  proto::PhyMode unicast_mode = proto::base_mode();
   // Rate used for the broadcast portion (the paper's Fig. 10 fixes this
   // independently of the unicast rate; Fig. 11+ set them equal).
-  phy::PhyMode broadcast_mode = phy::base_mode();
+  proto::PhyMode broadcast_mode = proto::base_mode();
   bool use_rts_cts = true;
   std::size_t queue_limit = 64;
   // Link rate adaptation (paper §4.1.2; disabled in the paper's
@@ -60,7 +60,7 @@ struct MacConfig {
   // are built on testbeds where every node is in radio range (the paper
   // used static routing for the same purpose); physical carrier sense is
   // unaffected.
-  std::vector<MacAddress> neighbors;
+  std::vector<proto::MacAddress> neighbors;
 };
 
 class Mac {
@@ -72,14 +72,14 @@ class Mac {
 
   // --- upper-layer interface ------------------------------------------
   // Queues `packet` for transmission to the link-layer `next_hop`
-  // (MacAddress::broadcast() for link broadcasts). `source` is the
+  // (proto::MacAddress::broadcast() for link broadcasts). `source` is the
   // originating node's link address (addr3).
-  void enqueue(net::PacketPtr packet, MacAddress next_hop, MacAddress source);
+  void enqueue(proto::PacketPtr packet, proto::MacAddress next_hop, proto::MacAddress source);
 
   // A subframe's packet was received and accepted for this node's stack.
-  std::function<void(net::PacketPtr, MacAddress transmitter)> on_deliver;
+  std::function<void(proto::PacketPtr, proto::MacAddress transmitter)> on_deliver;
 
-  MacAddress address() const { return config_.address; }
+  proto::MacAddress address() const { return config_.address; }
   // The rate adapter, if adaptation is enabled (for tests/benches).
   const RateAdapter* rate_adapter() const { return rate_adapter_.get(); }
   const MacConfig& config() const { return config_; }
@@ -109,7 +109,7 @@ class Mac {
   void begin_sequence();
   void send_rts();
   void send_data();
-  void transmit_control(ControlFrame frame, TxKind kind);
+  void transmit_control(proto::ControlFrame frame, TxKind kind);
   void on_tx_complete();
   void response_timeout();
   void sequence_succeeded();
@@ -118,18 +118,18 @@ class Mac {
 
   // --- receive path ---
   void on_rx(const phy::RxReport& report);
-  void handle_control(const ControlFrame& frame, const phy::RxReport& report);
+  void handle_control(const proto::ControlFrame& frame, const phy::RxReport& report);
   void handle_aggregate(const MacPdu& pdu, const phy::RxReport& report);
-  void schedule_response(ControlFrame frame, TxKind kind);
+  void schedule_response(proto::ControlFrame frame, TxKind kind);
 
   // --- helpers ---
   sim::Duration control_airtime(std::size_t bytes) const;
   sim::Duration ack_duration() const;
-  void account_data_tx(const AggregateFrame& frame,
+  void account_data_tx(const proto::AggregateFrame& frame,
                        const phy::FrameTiming& timing);
-  bool already_delivered(const MacSubframe& sf) const;
-  void remember_delivered(const MacSubframe& sf);
-  bool is_neighbor(MacAddress transmitter) const;
+  bool already_delivered(const proto::MacSubframe& sf) const;
+  void remember_delivered(const proto::MacSubframe& sf);
+  bool is_neighbor(proto::MacAddress transmitter) const;
 
   sim::Simulation& sim_;
   phy::Phy& phy_;
@@ -157,13 +157,13 @@ class Mac {
   // Current transmit sequence.
   std::shared_ptr<const MacPdu> pending_pdu_;
   phy::FrameTiming pending_timing_;
-  std::vector<MacSubframe> inflight_unicast_;
+  std::vector<proto::MacSubframe> inflight_unicast_;
   unsigned retries_ = 0;
   sim::Timer response_timer_;
 
   // Pending SIFS response (CTS or ACK we owe a peer).
   sim::Timer respond_timer_;
-  std::optional<std::pair<ControlFrame, TxKind>> pending_response_;
+  std::optional<std::pair<proto::ControlFrame, TxKind>> pending_response_;
 
   // Outgoing subframe sequence numbers (802.11 sequence control).
   std::uint16_t next_sequence_ = 1;

@@ -4,8 +4,8 @@
 
 namespace hydra::mac {
 
-std::shared_ptr<const MacPdu> MacPdu::make_control(ControlFrame frame,
-                                                   MacAddress transmitter) {
+std::shared_ptr<const MacPdu> MacPdu::make_control(proto::ControlFrame frame,
+                                                   proto::MacAddress transmitter) {
   auto pdu = std::make_shared<MacPdu>();
   pdu->kind = Kind::kControl;
   pdu->control = frame;
@@ -13,8 +13,8 @@ std::shared_ptr<const MacPdu> MacPdu::make_control(ControlFrame frame,
   return pdu;
 }
 
-std::shared_ptr<const MacPdu> MacPdu::make_aggregate(AggregateFrame frame,
-                                                     MacAddress transmitter) {
+std::shared_ptr<const MacPdu> MacPdu::make_aggregate(proto::AggregateFrame frame,
+                                                     proto::MacAddress transmitter) {
   auto pdu = std::make_shared<MacPdu>();
   pdu->kind = Kind::kAggregate;
   pdu->aggregate = std::move(frame);
@@ -23,13 +23,13 @@ std::shared_ptr<const MacPdu> MacPdu::make_aggregate(AggregateFrame frame,
 }
 
 phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
-                           const phy::PhyMode& bcast_mode,
-                           const phy::PhyMode& ucast_mode) {
+                           const proto::PhyMode& bcast_mode,
+                           const proto::PhyMode& ucast_mode) {
   HYDRA_ASSERT(pdu != nullptr);
   phy::PhyFrame frame;
   frame.payload = pdu;
   if (pdu->kind == MacPdu::Kind::kControl) {
-    frame.unicast.mode = phy::base_mode();
+    frame.unicast.mode = proto::base_mode();
     frame.unicast.subframe_bytes.push_back(pdu->control.wire_bytes());
     return frame;
   }

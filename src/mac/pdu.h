@@ -15,14 +15,14 @@ namespace hydra::mac {
 struct MacPdu final : phy::Payload {
   enum class Kind { kControl, kAggregate };
   Kind kind = Kind::kControl;
-  ControlFrame control;
-  AggregateFrame aggregate;
-  MacAddress transmitter;
+  proto::ControlFrame control;
+  proto::AggregateFrame aggregate;
+  proto::MacAddress transmitter;
 
-  static std::shared_ptr<const MacPdu> make_control(ControlFrame frame,
-                                                    MacAddress transmitter);
-  static std::shared_ptr<const MacPdu> make_aggregate(AggregateFrame frame,
-                                                      MacAddress transmitter);
+  static std::shared_ptr<const MacPdu> make_control(proto::ControlFrame frame,
+                                                    proto::MacAddress transmitter);
+  static std::shared_ptr<const MacPdu> make_aggregate(proto::AggregateFrame frame,
+                                                      proto::MacAddress transmitter);
 };
 
 // Builds the PHY frame (portion specs + payload pointer) for a PDU.
@@ -30,7 +30,7 @@ struct MacPdu final : phy::Payload {
 // select the rates of the two aggregate portions (paper Fig. 2 allows
 // them to differ).
 phy::PhyFrame to_phy_frame(const std::shared_ptr<const MacPdu>& pdu,
-                           const phy::PhyMode& bcast_mode,
-                           const phy::PhyMode& ucast_mode);
+                           const proto::PhyMode& bcast_mode,
+                           const proto::PhyMode& ucast_mode);
 
 }  // namespace hydra::mac

@@ -9,7 +9,7 @@ namespace hydra::mac {
 ArfAdapter::ArfAdapter(ArfConfig config, std::size_t initial_index)
     : config_(config), index_(initial_index) {
   HYDRA_ASSERT(config.min_index <= config.max_index);
-  HYDRA_ASSERT(config.max_index < phy::hydra_modes().size());
+  HYDRA_ASSERT(config.max_index < proto::hydra_modes().size());
   index_ = std::clamp(index_, config_.min_index, config_.max_index);
 }
 
@@ -40,18 +40,24 @@ void ArfAdapter::on_tx_result(bool success) {
 SnrAdapter::SnrAdapter(SnrConfig config, std::size_t initial_index)
     : config_(config), index_(initial_index) {
   HYDRA_ASSERT(config.min_index <= config.max_index);
-  HYDRA_ASSERT(config.max_index < phy::hydra_modes().size());
+  HYDRA_ASSERT(config.max_index < proto::hydra_modes().size());
   index_ = std::clamp(index_, config_.min_index, config_.max_index);
 }
 
 void SnrAdapter::on_feedback_snr(double snr_db) {
   last_snr_db_ = snr_db;
-  // Fastest mode whose required SNR clears the feedback by the margin.
+  // Fastest mode whose required SNR clears the feedback by the margin,
+  // selected by *rate*, not by table position: the mode table happens to
+  // be rate-sorted today, but a reordered or extended table must never
+  // make the adapter pick a slower qualifying mode. Falls back to
+  // min_index when nothing qualifies.
   std::size_t best = config_.min_index;
+  bool found = false;
   for (std::size_t i = config_.min_index; i <= config_.max_index; ++i) {
-    if (phy::mode_by_index(i).required_snr_db + config_.margin_db <= snr_db) {
-      best = i;
-    }
+    const auto& mode = proto::mode_by_index(i);
+    if (mode.required_snr_db + config_.margin_db > snr_db) continue;
+    if (!found || mode.rate > proto::mode_by_index(best).rate) best = i;
+    found = true;
   }
   index_ = best;
 }

@@ -34,11 +34,11 @@ class RateAdapter {
   // prototype).
   virtual void on_feedback_snr(double snr_db) = 0;
 
-  // Index into phy::hydra_modes() to use for the next unicast portion.
+  // Index into proto::hydra_modes() to use for the next unicast portion.
   virtual std::size_t mode_index() const = 0;
 
-  const phy::PhyMode& current_mode() const {
-    return phy::mode_by_index(mode_index());
+  const proto::PhyMode& current_mode() const {
+    return proto::mode_by_index(mode_index());
   }
 };
 

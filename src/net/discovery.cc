@@ -4,10 +4,10 @@
 
 namespace hydra::net {
 
-Ipv4Address ip_for(mac::MacAddress address) {
+proto::Ipv4Address ip_for(proto::MacAddress address) {
   HYDRA_ASSERT(!address.is_broadcast());
   // Node i has MAC (i+1) and IP 10.0.0.(i+1).
-  return Ipv4Address::from_octets(
+  return proto::Ipv4Address::from_octets(
       10, 0, 0, static_cast<std::uint8_t>(address.value() & 0xff));
 }
 
@@ -18,21 +18,21 @@ RouteDiscovery::RouteDiscovery(sim::Simulation& simulation, Node& node,
       config_(config),
       timeout_timer_(simulation.scheduler(), [this] { on_timeout(); }) {
   node_.stack().register_protocol(
-      kProtoDiscovery,
-      [this](const PacketPtr& packet, mac::MacAddress from) {
+      proto::kProtoDiscovery,
+      [this](const proto::PacketPtr& packet, proto::MacAddress from) {
         handle_message(packet, from);
       });
   // Snoop forwarded RREPs to learn the forward route to the target.
-  node_.stack().on_forward = [this](const PacketPtr& packet,
-                                    mac::MacAddress from) {
+  node_.stack().on_forward = [this](const proto::PacketPtr& packet,
+                                    proto::MacAddress from) {
     if (packet->discovery &&
-        packet->discovery->kind == DiscoveryHeader::Kind::kRrep) {
+        packet->discovery->kind == proto::DiscoveryHeader::Kind::kRrep) {
       learn_route(packet->discovery->target, from);
     }
   };
 }
 
-void RouteDiscovery::discover(Ipv4Address target, ResultCallback on_result) {
+void RouteDiscovery::discover(proto::Ipv4Address target, ResultCallback on_result) {
   HYDRA_ASSERT_MSG(!pending_.has_value(), "discovery already in progress");
   if (node_.routes().has_route(target) || target == node_.ip()) {
     if (on_result) on_result(true);
@@ -46,8 +46,8 @@ void RouteDiscovery::send_rreq() {
   HYDRA_ASSERT(pending_.has_value());
   ++pending_->attempts;
   ++rreqs_sent_;
-  DiscoveryHeader h;
-  h.kind = DiscoveryHeader::Kind::kRreq;
+  proto::DiscoveryHeader h;
+  h.kind = proto::DiscoveryHeader::Kind::kRreq;
   h.request_id = pending_->request_id;
   h.origin = node_.ip();
   h.target = pending_->target;
@@ -55,8 +55,8 @@ void RouteDiscovery::send_rreq() {
   // Remember our own request so our re-broadcast suppression ignores
   // echoes of it.
   seen_before(h.origin, h.request_id);
-  node_.stack().send(make_discovery_packet(
-      node_.ip(), Ipv4Address::broadcast(), h, config_.max_hops));
+  node_.stack().send(proto::make_discovery_packet(
+      node_.ip(), proto::Ipv4Address::broadcast(), h, config_.max_hops));
   timeout_timer_.arm(config_.request_timeout);
 }
 
@@ -74,7 +74,7 @@ void RouteDiscovery::on_timeout() {
   if (cb) cb(false);
 }
 
-bool RouteDiscovery::seen_before(Ipv4Address origin, std::uint16_t id) {
+bool RouteDiscovery::seen_before(proto::Ipv4Address origin, std::uint16_t id) {
   const std::uint64_t key =
       (std::uint64_t{origin.value()} << 16) | id;
   if (!seen_.insert(key).second) return true;
@@ -87,7 +87,7 @@ bool RouteDiscovery::seen_before(Ipv4Address origin, std::uint16_t id) {
   return false;
 }
 
-void RouteDiscovery::learn_route(Ipv4Address dst, mac::MacAddress via) {
+void RouteDiscovery::learn_route(proto::Ipv4Address dst, proto::MacAddress via) {
   if (dst == node_.ip()) return;
   const auto next_hop = ip_for(via);
   if (next_hop == dst && node_.routes().has_route(dst)) return;
@@ -95,17 +95,17 @@ void RouteDiscovery::learn_route(Ipv4Address dst, mac::MacAddress via) {
   ++routes_learned_;
 }
 
-void RouteDiscovery::handle_message(const PacketPtr& packet,
-                                    mac::MacAddress from) {
+void RouteDiscovery::handle_message(const proto::PacketPtr& packet,
+                                    proto::MacAddress from) {
   HYDRA_ASSERT(packet->discovery.has_value());
-  if (packet->discovery->kind == DiscoveryHeader::Kind::kRreq) {
+  if (packet->discovery->kind == proto::DiscoveryHeader::Kind::kRreq) {
     handle_rreq(*packet, from);
   } else {
     handle_rrep(*packet, from);
   }
 }
 
-void RouteDiscovery::handle_rreq(const Packet& packet, mac::MacAddress from) {
+void RouteDiscovery::handle_rreq(const proto::Packet& packet, proto::MacAddress from) {
   const auto& h = *packet.discovery;
   if (h.origin == node_.ip()) return;  // echo of our own flood
   if (seen_before(h.origin, h.request_id)) {
@@ -117,29 +117,29 @@ void RouteDiscovery::handle_rreq(const Packet& packet, mac::MacAddress from) {
 
   if (h.target == node_.ip()) {
     // We are the destination: answer along the reverse path.
-    DiscoveryHeader reply;
-    reply.kind = DiscoveryHeader::Kind::kRrep;
+    proto::DiscoveryHeader reply;
+    reply.kind = proto::DiscoveryHeader::Kind::kRrep;
     reply.request_id = h.request_id;
     reply.origin = h.origin;
     reply.target = node_.ip();
     reply.hop_count = 0;
     ++rreps_sent_;
-    node_.stack().send(make_discovery_packet(node_.ip(), h.origin, reply));
+    node_.stack().send(proto::make_discovery_packet(node_.ip(), h.origin, reply));
     return;
   }
   // The flood's hop budget travels in the IP TTL (set by the origin).
   if (packet.ip.ttl <= 1) return;
 
   // Relay the flood once, with the hop count bumped.
-  DiscoveryHeader relayed = h;
+  proto::DiscoveryHeader relayed = h;
   relayed.hop_count = static_cast<std::uint8_t>(h.hop_count + 1);
   ++rreqs_relayed_;
-  node_.stack().send(make_discovery_packet(
-      packet.ip.src, Ipv4Address::broadcast(), relayed,
+  node_.stack().send(proto::make_discovery_packet(
+      packet.ip.src, proto::Ipv4Address::broadcast(), relayed,
       static_cast<std::uint8_t>(packet.ip.ttl - 1)));
 }
 
-void RouteDiscovery::handle_rrep(const Packet& packet, mac::MacAddress from) {
+void RouteDiscovery::handle_rrep(const proto::Packet& packet, proto::MacAddress from) {
   const auto& h = *packet.discovery;
   // Forward route to the target via whoever handed us the RREP.
   learn_route(h.target, from);

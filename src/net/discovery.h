@@ -51,7 +51,7 @@ class RouteDiscovery {
   // fires once: true when an RREP installed the route, false after the
   // retries are exhausted. A route that already exists resolves
   // immediately.
-  void discover(Ipv4Address target, ResultCallback on_result);
+  void discover(proto::Ipv4Address target, ResultCallback on_result);
 
   // Counters.
   std::uint64_t rreqs_sent() const { return rreqs_sent_; }
@@ -62,19 +62,19 @@ class RouteDiscovery {
 
  private:
   struct Pending {
-    Ipv4Address target;
+    proto::Ipv4Address target;
     std::uint16_t request_id;
     unsigned attempts = 0;
     ResultCallback on_result;
   };
 
-  void handle_message(const PacketPtr& packet, mac::MacAddress from);
-  void handle_rreq(const Packet& packet, mac::MacAddress from);
-  void handle_rrep(const Packet& packet, mac::MacAddress from);
+  void handle_message(const proto::PacketPtr& packet, proto::MacAddress from);
+  void handle_rreq(const proto::Packet& packet, proto::MacAddress from);
+  void handle_rrep(const proto::Packet& packet, proto::MacAddress from);
   void send_rreq();
   void on_timeout();
-  void learn_route(Ipv4Address dst, mac::MacAddress via);
-  bool seen_before(Ipv4Address origin, std::uint16_t id);
+  void learn_route(proto::Ipv4Address dst, proto::MacAddress via);
+  bool seen_before(proto::Ipv4Address origin, std::uint16_t id);
 
   sim::Simulation& sim_;
   Node& node_;
@@ -96,6 +96,6 @@ class RouteDiscovery {
 };
 
 // Link address -> node IP (inverse of mac_for).
-Ipv4Address ip_for(mac::MacAddress address);
+proto::Ipv4Address ip_for(proto::MacAddress address);
 
 }  // namespace hydra::net

@@ -4,19 +4,19 @@
 
 namespace hydra::net {
 
-Ipv4Stack::Ipv4Stack(Ipv4Address self, mac::Mac& mac, RoutingTable& routes)
+Ipv4Stack::Ipv4Stack(proto::Ipv4Address self, mac::Mac& mac, RoutingTable& routes)
     : self_(self), mac_(mac), routes_(routes) {
-  mac_.on_deliver = [this](PacketPtr packet, mac::MacAddress transmitter) {
+  mac_.on_deliver = [this](proto::PacketPtr packet, proto::MacAddress transmitter) {
     on_mac_deliver(std::move(packet), transmitter);
   };
 }
 
-void Ipv4Stack::transmit(const PacketPtr& packet) {
+void Ipv4Stack::transmit(const proto::PacketPtr& packet) {
   const auto next_hop = routes_.next_hop(packet->ip.dst);
   mac_.enqueue(packet, mac_for(next_hop), mac_for(packet->ip.src));
 }
 
-void Ipv4Stack::send(PacketPtr packet) {
+void Ipv4Stack::send(proto::PacketPtr packet) {
   HYDRA_ASSERT(packet != nullptr);
   transmit(packet);
 }
@@ -27,8 +27,8 @@ void Ipv4Stack::register_protocol(std::uint8_t protocol,
   protocol_handlers_[protocol] = std::move(handler);
 }
 
-void Ipv4Stack::on_mac_deliver(PacketPtr packet,
-                               mac::MacAddress transmitter) {
+void Ipv4Stack::on_mac_deliver(proto::PacketPtr packet,
+                               proto::MacAddress transmitter) {
   HYDRA_ASSERT(packet != nullptr);
   const bool local =
       packet->ip.dst.is_broadcast() || packet->ip.dst == self_;
@@ -53,7 +53,7 @@ void Ipv4Stack::on_mac_deliver(PacketPtr packet,
     return;
   }
   if (on_forward) on_forward(packet, transmitter);
-  auto copy = std::make_shared<Packet>(*packet);
+  auto copy = std::make_shared<proto::Packet>(*packet);
   copy->ip.ttl -= 1;
   ++forwarded_;
   transmit(copy);

@@ -14,42 +14,42 @@ namespace hydra::net {
 
 class Ipv4Stack {
  public:
-  Ipv4Stack(Ipv4Address self, mac::Mac& mac, RoutingTable& routes);
+  Ipv4Stack(proto::Ipv4Address self, mac::Mac& mac, RoutingTable& routes);
 
   Ipv4Stack(const Ipv4Stack&) = delete;
   Ipv4Stack& operator=(const Ipv4Stack&) = delete;
 
   // From transport: route and hand to the MAC.
-  void send(PacketPtr packet);
+  void send(proto::PacketPtr packet);
 
   // From the MAC: deliver locally, forward, or hand to the flood sink.
-  void on_mac_deliver(PacketPtr packet, mac::MacAddress transmitter);
+  void on_mac_deliver(proto::PacketPtr packet, proto::MacAddress transmitter);
 
   // Locally-addressed unicast packets (to the transport mux).
-  std::function<void(const PacketPtr&)> deliver_local;
+  std::function<void(const proto::PacketPtr&)> deliver_local;
   // Link-broadcast datagrams (flooding traffic terminates here; the
   // paper's generators do not re-flood).
-  std::function<void(const PacketPtr&)> on_broadcast;
+  std::function<void(const proto::PacketPtr&)> on_broadcast;
 
   // Per-protocol handler consulted before the default local/broadcast
   // delivery; receives the link-layer transmitter (previous hop). Route
   // discovery registers itself this way.
   using ProtocolHandler =
-      std::function<void(const PacketPtr&, mac::MacAddress from)>;
+      std::function<void(const proto::PacketPtr&, proto::MacAddress from)>;
   void register_protocol(std::uint8_t protocol, ProtocolHandler handler);
 
   // Observer invoked for every packet this node forwards (previous hop
   // included); discovery snoops RREPs here to learn forward routes.
-  std::function<void(const PacketPtr&, mac::MacAddress from)> on_forward;
+  std::function<void(const proto::PacketPtr&, proto::MacAddress from)> on_forward;
 
-  Ipv4Address address() const { return self_; }
+  proto::Ipv4Address address() const { return self_; }
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t ttl_drops() const { return ttl_drops_; }
 
  private:
-  void transmit(const PacketPtr& packet);
+  void transmit(const proto::PacketPtr& packet);
 
-  Ipv4Address self_;
+  proto::Ipv4Address self_;
   mac::Mac& mac_;
   RoutingTable& routes_;
   std::map<std::uint8_t, ProtocolHandler> protocol_handlers_;

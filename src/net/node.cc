@@ -13,7 +13,7 @@ phy::PhyConfig make_phy_config(const NodeConfig& config) {
 
 mac::MacConfig make_mac_config(std::uint32_t index, const NodeConfig& config) {
   mac::MacConfig mc;
-  mc.address = mac::MacAddress::for_node(index);
+  mc.address = proto::MacAddress::for_node(index);
   mc.policy = config.policy;
   mc.unicast_mode = config.unicast_mode;
   mc.broadcast_mode = config.broadcast_mode;
@@ -32,6 +32,6 @@ Node::Node(sim::Simulation& simulation, phy::Medium& medium,
       index_(index),
       phy_(simulation, medium, make_phy_config(config), index),
       mac_(simulation, phy_, make_mac_config(index, config)),
-      stack_(Ipv4Address::for_node(index), mac_, routes_) {}
+      stack_(proto::Ipv4Address::for_node(index), mac_, routes_) {}
 
 }  // namespace hydra::net

@@ -21,14 +21,14 @@ namespace hydra::net {
 struct NodeConfig {
   phy::Position position;
   core::AggregationPolicy policy;
-  phy::PhyMode unicast_mode = phy::base_mode();
-  phy::PhyMode broadcast_mode = phy::base_mode();
+  proto::PhyMode unicast_mode = proto::base_mode();
+  proto::PhyMode broadcast_mode = proto::base_mode();
   bool use_rts_cts = true;
   std::size_t queue_limit = 64;
   double tx_power_dbm = 8.86;  // 7.7 mW
   mac::RateAdaptationScheme rate_adaptation = mac::RateAdaptationScheme::kNone;
   // Optional forced-topology link whitelist (see mac::MacConfig).
-  std::vector<mac::MacAddress> neighbors;
+  std::vector<proto::MacAddress> neighbors;
 };
 
 class Node {
@@ -40,9 +40,9 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   std::uint32_t index() const { return index_; }
-  Ipv4Address ip() const { return Ipv4Address::for_node(index_); }
-  mac::MacAddress link_address() const {
-    return mac::MacAddress::for_node(index_);
+  proto::Ipv4Address ip() const { return proto::Ipv4Address::for_node(index_); }
+  proto::MacAddress link_address() const {
+    return proto::MacAddress::for_node(index_);
   }
 
   sim::Simulation& simulation() { return sim_; }

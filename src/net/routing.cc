@@ -2,17 +2,17 @@
 
 namespace hydra::net {
 
-mac::MacAddress mac_for(Ipv4Address ip) {
-  if (ip.is_broadcast()) return mac::MacAddress::broadcast();
+proto::MacAddress mac_for(proto::Ipv4Address ip) {
+  if (ip.is_broadcast()) return proto::MacAddress::broadcast();
   // Node i has IP 10.0.0.(i+1) and MAC address (i+1).
-  return mac::MacAddress(static_cast<std::uint16_t>(ip.value() & 0xff));
+  return proto::MacAddress(static_cast<std::uint16_t>(ip.value() & 0xff));
 }
 
-void RoutingTable::add_route(Ipv4Address dst, Ipv4Address next_hop) {
+void RoutingTable::add_route(proto::Ipv4Address dst, proto::Ipv4Address next_hop) {
   routes_[dst] = next_hop;
 }
 
-Ipv4Address RoutingTable::next_hop(Ipv4Address dst) const {
+proto::Ipv4Address RoutingTable::next_hop(proto::Ipv4Address dst) const {
   if (const auto it = routes_.find(dst); it != routes_.end()) {
     return it->second;
   }

@@ -12,22 +12,22 @@ namespace hydra::net {
 
 // Maps a node's IP to its link-layer address (nodes are numbered, so the
 // mapping is algebraic — no ARP needed).
-mac::MacAddress mac_for(Ipv4Address ip);
+proto::MacAddress mac_for(proto::Ipv4Address ip);
 
 class RoutingTable {
  public:
   // Installs or replaces the route `dst -> next_hop`.
-  void add_route(Ipv4Address dst, Ipv4Address next_hop);
+  void add_route(proto::Ipv4Address dst, proto::Ipv4Address next_hop);
 
   // Next hop toward `dst`: an explicit route if present, otherwise `dst`
   // itself (direct neighbour delivery).
-  Ipv4Address next_hop(Ipv4Address dst) const;
+  proto::Ipv4Address next_hop(proto::Ipv4Address dst) const;
 
-  bool has_route(Ipv4Address dst) const { return routes_.contains(dst); }
+  bool has_route(proto::Ipv4Address dst) const { return routes_.contains(dst); }
   std::size_t size() const { return routes_.size(); }
 
  private:
-  std::map<Ipv4Address, Ipv4Address> routes_;
+  std::map<proto::Ipv4Address, proto::Ipv4Address> routes_;
 };
 
 }  // namespace hydra::net

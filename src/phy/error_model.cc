@@ -13,7 +13,7 @@ double ErrorModel::effective_snr_db(double snr_db,
   return snr_db - config_.aging_db_per_ms * excess_ms;
 }
 
-double ErrorModel::bit_error_probability(const PhyMode& mode,
+double ErrorModel::bit_error_probability(const proto::PhyMode& mode,
                                          double eff_snr_db) const {
   const double margin_db = eff_snr_db - mode.required_snr_db;
   const double ber = config_.ber_at_required_snr *
@@ -21,7 +21,7 @@ double ErrorModel::bit_error_probability(const PhyMode& mode,
   return std::clamp(ber, 0.0, 0.5);
 }
 
-double ErrorModel::subframe_error_probability(const PhyMode& mode,
+double ErrorModel::subframe_error_probability(const proto::PhyMode& mode,
                                               double snr_db,
                                               std::size_t bytes,
                                               sim::Duration end_offset) const {
@@ -33,7 +33,7 @@ double ErrorModel::subframe_error_probability(const PhyMode& mode,
   return -std::expm1(bits * std::log1p(-p_bit));
 }
 
-bool ErrorModel::draw_subframe_error(sim::Rng& rng, const PhyMode& mode,
+bool ErrorModel::draw_subframe_error(sim::Rng& rng, const proto::PhyMode& mode,
                                      double snr_db, std::size_t bytes,
                                      sim::Duration end_offset) const {
   return rng.bernoulli(

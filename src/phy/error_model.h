@@ -44,16 +44,16 @@ class ErrorModel {
   double effective_snr_db(double snr_db, sim::Duration offset_in_frame) const;
 
   // Per-bit error probability at the given effective SNR for `mode`.
-  double bit_error_probability(const PhyMode& mode, double eff_snr_db) const;
+  double bit_error_probability(const proto::PhyMode& mode, double eff_snr_db) const;
 
   // Probability that a subframe of `bytes` bytes ending at
   // `end_offset` into the frame is received with a bad FCS.
-  double subframe_error_probability(const PhyMode& mode, double snr_db,
+  double subframe_error_probability(const proto::PhyMode& mode, double snr_db,
                                     std::size_t bytes,
                                     sim::Duration end_offset) const;
 
   // Draws the error outcome for one subframe. True means corrupted.
-  bool draw_subframe_error(sim::Rng& rng, const PhyMode& mode, double snr_db,
+  bool draw_subframe_error(sim::Rng& rng, const proto::PhyMode& mode, double snr_db,
                            std::size_t bytes, sim::Duration end_offset) const;
 
  private:

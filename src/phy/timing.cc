@@ -11,7 +11,7 @@ const PhyTimings& default_timings() {
   return timings;
 }
 
-sim::Duration payload_airtime(std::size_t bytes, const PhyMode& mode) {
+sim::Duration payload_airtime(std::size_t bytes, const proto::PhyMode& mode) {
   HYDRA_ASSERT(mode.rate.bits_per_second() > 0);
   // ceil(bits * 1e9 / rate) nanoseconds.
   const auto bits = static_cast<std::int64_t>(bytes) * 8;

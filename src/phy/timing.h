@@ -36,12 +36,12 @@ struct PhyTimings {
 const PhyTimings& default_timings();
 
 // Time to transmit `bytes` of MAC payload at `mode`'s information rate.
-sim::Duration payload_airtime(std::size_t bytes, const PhyMode& mode);
+sim::Duration payload_airtime(std::size_t bytes, const proto::PhyMode& mode);
 
 // Description of one portion (broadcast or unicast) of a PHY frame:
 // subframe byte lengths, all sent back-to-back at one mode.
 struct PortionSpec {
-  PhyMode mode = base_mode();
+  proto::PhyMode mode = proto::base_mode();
   std::vector<std::size_t> subframe_bytes;
 
   std::size_t total_bytes() const;

@@ -114,26 +114,3 @@ struct AggregateFrame {
 };
 
 }  // namespace hydra::proto
-
-// Compatibility spellings: the frame formats predate the proto layer.
-// The PHY-facing PDU wrapper (MacPdu, to_phy_frame) lives in mac/pdu.h.
-namespace hydra::mac {
-using proto::kAckBytes;
-using proto::kBlockAckBytes;
-using proto::kCtsBytes;
-using proto::kEncapBytes;
-using proto::kFcsBytes;
-using proto::kMacHeaderBytes;
-using proto::kMinSubframeBytes;
-using proto::kRtsBytes;
-using proto::kSubframeAlign;
-
-using proto::AggregateFrame;
-using proto::ControlFrame;
-using proto::FrameType;
-using proto::MacSubframe;
-
-using proto::decode_duration_us;
-using proto::encode_duration_us;
-using proto::subframe_wire_bytes;
-}  // namespace hydra::mac

@@ -48,12 +48,3 @@ struct Endpoint {
 };
 
 }  // namespace hydra::proto
-
-// The types predate the proto layer and most call sites still spell them
-// net::...; keep the old namespace working.
-namespace hydra::net {
-using proto::Endpoint;
-using proto::Ipv4Address;
-using proto::Port;
-using proto::to_string;
-}  // namespace hydra::net

@@ -40,9 +40,3 @@ inline std::string to_string(MacAddress a) {
 }
 
 }  // namespace hydra::proto
-
-// Compatibility spelling: the MAC layer historically owned this type.
-namespace hydra::mac {
-using proto::MacAddress;
-using proto::to_string;
-}  // namespace hydra::mac

@@ -77,18 +77,3 @@ std::string to_string(Modulation m);
 std::string to_string(const PhyMode& mode);
 
 }  // namespace hydra::proto
-
-// Compatibility spellings: modes were born in the PHY layer and the tree
-// still says phy::PhyMode / phy::base_mode() everywhere.
-namespace hydra::phy {
-using proto::CodeRate;
-using proto::Modulation;
-using proto::PhyMode;
-
-using proto::base_mode;
-using proto::hydra_modes;
-using proto::mode_by_index;
-using proto::mode_for_mbps_x100;
-using proto::mode_index_of;
-using proto::to_string;
-}  // namespace hydra::phy

@@ -134,25 +134,3 @@ PacketPtr make_discovery_packet(Ipv4Address src, Ipv4Address dst,
                                 std::uint8_t ttl = 64);
 
 }  // namespace hydra::proto
-
-// Compatibility spellings: the packet types predate the proto layer and
-// the stack still refers to them as net::...
-namespace hydra::net {
-using proto::kProtoDiscovery;
-using proto::kProtoFlood;
-using proto::kProtoTcp;
-using proto::kProtoUdp;
-
-using proto::DiscoveryHeader;
-using proto::Ipv4Header;
-using proto::Packet;
-using proto::PacketPtr;
-using proto::TcpFlags;
-using proto::TcpHeader;
-using proto::UdpHeader;
-
-using proto::make_discovery_packet;
-using proto::make_flood_packet;
-using proto::make_tcp_packet;
-using proto::make_udp_packet;
-}  // namespace hydra::net

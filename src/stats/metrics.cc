@@ -2,13 +2,13 @@
 
 namespace hydra::stats {
 
-double phy_header_byte_equivalent(const phy::PhyMode& mode,
+double phy_header_byte_equivalent(const proto::PhyMode& mode,
                                   const phy::PhyTimings& timings) {
   const double seconds = timings.preamble.seconds_f();
   return seconds * static_cast<double>(mode.rate.bits_per_second()) / 8.0;
 }
 
-double size_overhead(const mac::MacStats& stats, const phy::PhyMode& mode,
+double size_overhead(const mac::MacStats& stats, const proto::PhyMode& mode,
                      const phy::PhyTimings& timings) {
   if (stats.data_bytes_tx == 0) return 0.0;
   const double phy_bytes =

@@ -10,13 +10,13 @@ namespace hydra::stats {
 // Byte-equivalent of the PHY header at a given data mode: the paper's
 // "size overhead" (Tables 3 and 6) counts PHY headers in bytes at the
 // frame's rate.
-double phy_header_byte_equivalent(const phy::PhyMode& mode,
+double phy_header_byte_equivalent(const proto::PhyMode& mode,
                                   const phy::PhyTimings& timings =
                                       phy::default_timings());
 
 // Size overhead of a node's data transmissions: (MAC header bytes + PHY
 // header byte equivalent) / total bytes — Tables 3 and 6.
-double size_overhead(const mac::MacStats& stats, const phy::PhyMode& mode,
+double size_overhead(const mac::MacStats& stats, const proto::PhyMode& mode,
                      const phy::PhyTimings& timings = phy::default_timings());
 
 // Average frame size including the node's share of padding (Tables 3, 5,

@@ -10,14 +10,29 @@ namespace hydra::stats {
 void ThroughputTimeline::record(sim::TimePoint t, std::uint64_t bytes) {
   HYDRA_ASSERT(bin_width_.ns() > 0);
   const auto bin = static_cast<std::size_t>(t.ns() / bin_width_.ns());
-  if (bin >= bytes_per_bin_.size()) bytes_per_bin_.resize(bin + 1, 0);
-  bytes_per_bin_[bin] += bytes;
+  if (bytes_per_bin_.empty()) {
+    // Storage starts at the first sample's bin, not bin 0: a single
+    // sample recorded hours into a run must not allocate one slot per
+    // elapsed bin (O(sim-time) memory for long scenarios).
+    first_bin_ = bin;
+  }
+  if (bin < first_bin_) {
+    bytes_per_bin_.insert(bytes_per_bin_.begin(), first_bin_ - bin, 0);
+    first_bin_ = bin;
+  } else if (bin - first_bin_ >= bytes_per_bin_.size()) {
+    bytes_per_bin_.resize(bin - first_bin_ + 1, 0);
+  }
+  bytes_per_bin_[bin - first_bin_] += bytes;
   total_ += bytes;
 }
 
+std::uint64_t ThroughputTimeline::bytes_in_bin(std::size_t i) const {
+  if (i < first_bin_ || i - first_bin_ >= bytes_per_bin_.size()) return 0;
+  return bytes_per_bin_[i - first_bin_];
+}
+
 double ThroughputTimeline::mbps_in_bin(std::size_t i) const {
-  if (i >= bytes_per_bin_.size()) return 0.0;
-  return static_cast<double>(bytes_per_bin_[i]) * 8.0 /
+  return static_cast<double>(bytes_in_bin(i)) * 8.0 /
          bin_width_.seconds_f() / 1e6;
 }
 
@@ -25,7 +40,10 @@ std::vector<double> ThroughputTimeline::mbps_series() const {
   std::size_t last = bytes_per_bin_.size();
   while (last > 0 && bytes_per_bin_[last - 1] == 0) --last;
   std::vector<double> out(last);
-  for (std::size_t i = 0; i < last; ++i) out[i] = mbps_in_bin(i);
+  for (std::size_t i = 0; i < last; ++i) {
+    out[i] = static_cast<double>(bytes_per_bin_[i]) * 8.0 /
+             bin_width_.seconds_f() / 1e6;
+  }
   return out;
 }
 

@@ -12,7 +12,9 @@
 namespace hydra::stats {
 
 // Accumulates (time, value) samples into fixed-width bins; report() turns
-// byte counts into per-bin Mbps.
+// byte counts into per-bin Mbps. Storage is offset to the first recorded
+// bin, so memory scales with the span of the *samples*, not with how far
+// into the simulation they land.
 class ThroughputTimeline {
  public:
   explicit ThroughputTimeline(sim::Duration bin_width)
@@ -22,19 +24,25 @@ class ThroughputTimeline {
   void record(sim::TimePoint t, std::uint64_t bytes);
 
   sim::Duration bin_width() const { return bin_width_; }
-  std::size_t bins() const { return bytes_per_bin_.size(); }
-  std::uint64_t bytes_in_bin(std::size_t i) const {
-    return i < bytes_per_bin_.size() ? bytes_per_bin_[i] : 0;
-  }
+  // Absolute index of the first stored bin (0 until the first sample).
+  std::size_t first_bin() const { return first_bin_; }
+  // Number of bins actually stored (the first..last sample span).
+  std::size_t stored_bins() const { return bytes_per_bin_.size(); }
+  // One past the last stored bin, as an absolute bin index.
+  std::size_t bins() const { return first_bin_ + bytes_per_bin_.size(); }
+  // Bytes in absolute bin `i` (0 outside the stored span).
+  std::uint64_t bytes_in_bin(std::size_t i) const;
   std::uint64_t total_bytes() const { return total_; }
 
-  // Mean goodput of bin `i` in Mbps.
+  // Mean goodput of absolute bin `i` in Mbps.
   double mbps_in_bin(std::size_t i) const;
-  // All bins as Mbps, trailing empty bins trimmed.
+  // The stored bins as Mbps, starting at first_bin(), trailing empty
+  // bins trimmed.
   std::vector<double> mbps_series() const;
 
  private:
   sim::Duration bin_width_;
+  std::size_t first_bin_ = 0;
   std::vector<std::uint64_t> bytes_per_bin_;
   std::uint64_t total_ = 0;
 };

@@ -1,116 +1,8 @@
 #include "topo/experiment.h"
 
-#include <algorithm>
-
 #include "util/assert.h"
 
 namespace hydra::topo {
-
-namespace {
-
-constexpr double kSpacingM = 2.5;  // paper §5 node spacing
-
-}  // namespace
-
-std::vector<Session> sessions_for(Topology t) {
-  switch (t) {
-    case Topology::kOneHop: return {{0, 1}};
-    case Topology::kTwoHop: return {{0, 2}};
-    case Topology::kThreeHop: return {{0, 3}};
-    // Star (paper Fig. 6): two sessions, each 2 hops through the center
-    // (node 1); both terminate at node 0.
-    case Topology::kStar: return {{2, 0}, {3, 0}};
-  }
-  HYDRA_UNREACHABLE("bad topology");
-}
-
-std::vector<phy::Position> positions_for(Topology t) {
-  switch (t) {
-    case Topology::kOneHop:
-      return {{0, 0}, {kSpacingM, 0}};
-    case Topology::kTwoHop:
-      return {{0, 0}, {kSpacingM, 0}, {2 * kSpacingM, 0}};
-    case Topology::kThreeHop:
-      return {{0, 0}, {kSpacingM, 0}, {2 * kSpacingM, 0}, {3 * kSpacingM, 0}};
-    case Topology::kStar:
-      return {{-kSpacingM, 0},
-              {0, 0},
-              {kSpacingM * 0.98, kSpacingM * 0.2},
-              {kSpacingM * 0.98, -kSpacingM * 0.2}};
-  }
-  HYDRA_UNREACHABLE("bad topology");
-}
-
-void install_static_routes(Topology t,
-                           std::span<const std::unique_ptr<net::Node>> nodes) {
-  const auto ip = [](std::uint32_t i) { return net::Ipv4Address::for_node(i); };
-  switch (t) {
-    case Topology::kOneHop:
-    case Topology::kTwoHop:
-    case Topology::kThreeHop: {
-      // Linear chain: hop-by-hop toward the destination index.
-      const auto n = nodes.size();
-      for (std::uint32_t i = 0; i < n; ++i) {
-        for (std::uint32_t j = 0; j < n; ++j) {
-          if (i == j) continue;
-          const std::uint32_t next = j > i ? i + 1 : i - 1;
-          nodes[i]->routes().add_route(ip(j), ip(next));
-        }
-      }
-      return;
-    }
-    case Topology::kStar: {
-      // Leaves reach each other through the center (node 1).
-      for (const std::uint32_t leaf : {0u, 2u, 3u}) {
-        for (const std::uint32_t other : {0u, 2u, 3u}) {
-          if (leaf == other) continue;
-          nodes[leaf]->routes().add_route(ip(other), ip(1));
-        }
-      }
-      return;
-    }
-  }
-  HYDRA_UNREACHABLE("bad topology");
-}
-
-std::vector<std::unique_ptr<net::Node>> build_nodes(
-    sim::Simulation& simulation, phy::Medium& medium,
-    const ExperimentConfig& config) {
-  const auto positions = positions_for(config.topology);
-  const auto relays = relay_indices(config.topology);
-
-  std::vector<std::unique_ptr<net::Node>> nodes;
-  nodes.reserve(positions.size());
-  for (std::uint32_t i = 0; i < positions.size(); ++i) {
-    net::NodeConfig nc;
-    nc.position = positions[i];
-    nc.policy = config.policy;
-    // The paper delays only relay nodes (§6.4.3).
-    const bool is_relay =
-        std::find(relays.begin(), relays.end(), i) != relays.end();
-    if (!is_relay) nc.policy.delay_min_subframes = 0;
-    nc.unicast_mode = config.unicast_mode;
-    nc.broadcast_mode = config.broadcast_mode;
-    nc.use_rts_cts = config.use_rts_cts;
-    nc.queue_limit = config.queue_limit;
-    nc.rate_adaptation = config.rate_adaptation;
-    nc.tx_power_dbm += config.tx_power_delta_db;
-    nodes.push_back(std::make_unique<net::Node>(simulation, medium, i, nc));
-  }
-  return nodes;
-}
-
-std::size_t node_count(Topology t) { return positions_for(t).size(); }
-
-std::vector<std::uint32_t> relay_indices(Topology t) {
-  switch (t) {
-    case Topology::kOneHop: return {};
-    case Topology::kTwoHop: return {1};
-    case Topology::kThreeHop: return {1, 2};
-    case Topology::kStar: return {1};
-  }
-  HYDRA_UNREACHABLE("bad topology");
-}
 
 double ExperimentResult::worst_throughput_mbps() const {
   double worst = 0.0;

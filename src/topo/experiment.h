@@ -1,62 +1,38 @@
-// Shared experiment harness: the paper's topologies (Figs. 5, 6), their
-// static routes and per-node configuration. The workload side — attaching
+// Experiment configuration and results: a ScenarioSpec (which topology
+// to build) plus the workload riding on it. The workload side — attaching
 // traffic and running to completion — lives one layer up in
 // app/experiment.h (app::run_experiment), so this layer never names the
 // applications it carries.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <span>
 #include <vector>
 
-#include "core/policy.h"
-#include "mac/rate_adaptation.h"
 #include "mac/stats.h"
-#include "net/node.h"
-#include "phy/medium.h"
-#include "proto/mode.h"
 #include "sim/time.h"
+#include "topo/scenario.h"
 #include "transport/tcp.h"
 
 namespace hydra::topo {
-
-enum class Topology {
-  kOneHop,    // 2 nodes (aggregation-size study, Fig. 7)
-  kTwoHop,    // 3 nodes in a line (Fig. 5 with N = 3)
-  kThreeHop,  // 4 nodes in a line (Fig. 5 with N = 4)
-  kStar,      // 4 nodes: two senders -> center -> one receiver (Fig. 6)
-};
 
 enum class TrafficKind {
   kUdp,
   kTcp,
   // Two simultaneous file transfers in opposite directions along the
-  // chain (extension; the natural showcase for bi-directional
+  // first session (extension; the natural showcase for bi-directional
   // aggregation, and the paper's §7 plan to mix traffic kinds).
   kTcpBidirectional,
 };
 
 struct ExperimentConfig {
-  Topology topology = Topology::kTwoHop;
-  // Applied to every node. For delayed aggregation the paper delays only
-  // relay nodes; when `delay_min_subframes > 0` the endpoints run the
-  // same policy with the delay removed.
-  core::AggregationPolicy policy = core::AggregationPolicy::ba();
-  phy::PhyMode unicast_mode = phy::base_mode();
-  phy::PhyMode broadcast_mode = phy::base_mode();
-  bool use_rts_cts = true;
-  std::size_t queue_limit = 64;
-  // Optional link rate adaptation (extension; the paper pins rates).
-  mac::RateAdaptationScheme rate_adaptation = mac::RateAdaptationScheme::kNone;
-  // Transmit-power offset applied to every node (dB); the extension
-  // benches use it to sweep the operating SNR away from the paper's
-  // 25 dB point.
-  double tx_power_delta_db = 0.0;
+  // The topology, per-node configuration and traffic sessions. The four
+  // paper topologies are the named specs (ScenarioSpec::one_hop()
+  // through fig6_star()); any other family/size runs unchanged.
+  ScenarioSpec scenario = ScenarioSpec::two_hop();
 
   TrafficKind traffic = TrafficKind::kTcp;
 
-  // TCP workload (paper §5): one-way 0.2 MB file transfer.
+  // TCP workload (paper §5): one-way 0.2 MB file transfer per session.
   std::uint64_t tcp_file_bytes = 200'000;
   transport::TcpConfig tcp;
 
@@ -93,29 +69,5 @@ struct ExperimentResult {
   double total_throughput_mbps() const;
   const mac::MacStats& relay_stats() const;  // first relay
 };
-
-// One traffic session the topology defines, as node indices.
-struct Session {
-  std::uint32_t sender = 0;
-  std::uint32_t receiver = 0;
-};
-
-// Number of nodes a topology instantiates.
-std::size_t node_count(Topology t);
-// Indices of relay (interior) nodes.
-std::vector<std::uint32_t> relay_indices(Topology t);
-// The paper's sessions for a topology (the star runs two, Fig. 6).
-std::vector<Session> sessions_for(Topology t);
-// Node coordinates at the paper's §5 spacing (2.5 m, the 25 dB point).
-std::vector<phy::Position> positions_for(Topology t);
-
-// Builds the topology's nodes, fully configured from `config` (relays
-// keep the delayed-aggregation holdoff, endpoints drop it, §6.4.3).
-std::vector<std::unique_ptr<net::Node>> build_nodes(
-    sim::Simulation& simulation, phy::Medium& medium,
-    const ExperimentConfig& config);
-// Installs the hop-by-hop static routes of the topology.
-void install_static_routes(Topology t,
-                           std::span<const std::unique_ptr<net::Node>> nodes);
 
 }  // namespace hydra::topo

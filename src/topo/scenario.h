@@ -1,8 +1,21 @@
-// Shared scenario fixtures: chain / star / mesh topologies with
-// deterministic RNG seeding, optional MAC neighbour whitelists (forced
-// multi-hop), static routing, AODV-style discovery engines and
-// packet-trace capture. The test suites, the examples and future
-// workloads all build their topologies through this one library.
+// The one topology builder: every experiment, test fixture, example and
+// bench describes its topology as a ScenarioSpec (family + size + spacing
+// + per-node config + traffic sessions) and builds it into a fully wired
+// Scenario (medium, nodes, static routes, optional discovery engines,
+// packet-trace capture).
+//
+// Five open-ended families replace the four hard-coded paper topologies:
+//
+//   kChain   n nodes in a line, hop-by-hop routes between every pair
+//   kStar    K senders -> hub -> one receiver (paper Fig. 6 is K = 2)
+//   kGrid    rows x cols lattice with X-then-Y Manhattan routing
+//   kRing    n nodes on a circle, routes take the shorter arc
+//   kRandom  seeded uniform placement (connected by construction),
+//            BFS shortest-path routes over the nearest-neighbor graph
+//
+// The paper's topologies are named specs (one_hop / two_hop / three_hop /
+// fig6_star) built through the same code path; they reproduce the legacy
+// builders' placement, routes and session order exactly.
 #pragma once
 
 #include <cstdint>
@@ -20,46 +33,136 @@
 
 namespace hydra::topo {
 
-struct ScenarioOptions {
-  // Seed for the shared simulation RNG; fixed so every run of a fixture
-  // is reproducible (and so determinism tests can compare two runs).
-  std::uint64_t seed = 1;
+enum class Family { kChain, kStar, kGrid, kRing, kRandom };
+
+std::string to_string(Family family);
+
+// One traffic session, as node indices. The workload layer (app) decides
+// what actually flows between them.
+struct Session {
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+};
+
+// Per-node configuration applied to every node of a scenario. Relay
+// nodes (interior nodes of a session path) keep the delayed-aggregation
+// holdoff; endpoints run the same policy with the delay removed (paper
+// §6.4.3).
+struct NodeParams {
   core::AggregationPolicy policy = core::AggregationPolicy::ba();
-  phy::PhyMode unicast_mode = phy::base_mode();
-  phy::PhyMode broadcast_mode = phy::base_mode();
+  proto::PhyMode unicast_mode = proto::base_mode();
+  proto::PhyMode broadcast_mode = proto::base_mode();
+  bool use_rts_cts = true;
+  std::size_t queue_limit = 64;
   mac::RateAdaptationScheme rate_adaptation = mac::RateAdaptationScheme::kNone;
+  // Transmit-power offset applied to every node (dB); sweeps use it to
+  // move the operating SNR away from the paper's 25 dB point.
+  double tx_power_delta_db = 0.0;
+};
+
+// A complete, declarative description of a scenario. Build one with the
+// family factories (chain/star/grid/ring/random) or the named paper
+// specs, tweak fields freely, then instantiate with Scenario::build or
+// run it end-to-end through app::run_experiment / app::sweep_experiments.
+struct ScenarioSpec {
+  Family family = Family::kChain;
+
+  // Size knobs (which apply depends on the family).
+  std::size_t nodes = 3;    // kChain length, kRing size, kRandom count
+  std::size_t senders = 2;  // kStar sender count (K)
+  std::size_t rows = 2;     // kGrid
+  std::size_t cols = 2;     // kGrid
+
   // Inter-node spacing; 2.5 m is the paper's 25 dB operating point.
   double spacing_m = 2.5;
+
+  // kRandom only: placement RNG seed (kept separate from the simulation
+  // seed so one topology can host many workload seeds) and the maximum
+  // link distance of the nearest-neighbor graph.
+  std::uint64_t placement_seed = 1;
+  double range_m = 3.5;
+
+  NodeParams node;
+
   // MAC link whitelist restricted to topological neighbours: every radio
   // still hears every frame, but only adjacent links deliver — the
   // standard trick for forcing multi-hop on a single channel.
   bool neighbor_whitelist = false;
-  // Install hop-by-hop static routes matching the topology.
+  // Install the family's hop-by-hop static routes.
   bool static_routes = true;
   // Attach a RouteDiscovery engine to every node.
   bool route_discovery = false;
+
+  // Traffic sessions; the factories install each family's default (chain
+  // end-to-end, every star sender to the receiver, grid corner-to-corner,
+  // ring across, random first-to-last).
+  std::vector<Session> sessions;
+
+  // Exact node placement override (size node_count()); empty means the
+  // family's formula applies. fig6_star uses it to pin the paper's
+  // irregular leaf positions.
+  std::vector<phy::Position> positions_override;
+
+  // Family factories.
+  static ScenarioSpec chain(std::size_t n);
+  static ScenarioSpec star(std::size_t senders);
+  static ScenarioSpec grid(std::size_t rows, std::size_t cols);
+  static ScenarioSpec ring(std::size_t n);
+  static ScenarioSpec random(std::size_t n, std::uint64_t placement_seed = 1);
+
+  // The paper's topologies as named specs (Figs. 5 and 6).
+  static ScenarioSpec one_hop();    // 2 nodes (aggregation-size study)
+  static ScenarioSpec two_hop();    // 3 nodes in a line (Fig. 5, N = 3)
+  static ScenarioSpec three_hop();  // 4 nodes in a line (Fig. 5, N = 4)
+  static ScenarioSpec fig6_star();  // 2 senders -> center -> receiver
+
+  std::size_t node_count() const;
+  // Node coordinates (positions_override if set, else the family
+  // formula; kRandom draws from placement_seed).
+  std::vector<phy::Position> positions() const;
+  // Topological neighbour lists (chain/ring adjacency, grid 4-neighbour,
+  // star hub-and-spoke, random range graph), index-sorted.
+  std::vector<std::vector<std::uint32_t>> adjacency() const;
+  // Full next-hop matrix: next_hop[i][j] is i's next hop toward j
+  // (== j when delivery is direct).
+  std::vector<std::vector<std::uint32_t>> next_hops() const;
+  // Interior nodes of the session paths, in first-traversal order.
+  // A property of the family's session paths alone — independent of
+  // whether routes are installed statically or found by discovery.
+  std::vector<std::uint32_t> relay_indices() const;
+
+  // Overloads taking the already-computed previous view, so a builder
+  // needing all four derived views computes each once; kRandom's
+  // rejection-sampled placement and per-destination BFS are the
+  // expensive steps the no-arg forms would otherwise repeat.
+  std::vector<std::vector<std::uint32_t>> adjacency(
+      const std::vector<phy::Position>& positions) const;
+  std::vector<std::vector<std::uint32_t>> next_hops(
+      const std::vector<std::vector<std::uint32_t>>& adjacency) const;
+  std::vector<std::uint32_t> relay_indices(
+      const std::vector<std::vector<std::uint32_t>>& next_hops) const;
+  // Compact description for sweep tables: "chain-8", "grid-3x4", ...
+  std::string label() const;
 };
 
-// A fully wired simulation: medium, nodes, optional discovery engines.
-// Build one with Scenario::chain / star / mesh.
+// A fully wired simulation built from a ScenarioSpec: medium, nodes,
+// routes, optional discovery engines.
 class Scenario {
  public:
-  // n nodes in a line: 0 - 1 - ... - n-1, spacing_m apart.
-  static Scenario chain(std::size_t n, const ScenarioOptions& opt = {});
-  // Hub-and-spoke: node 0 at the centre, `leaves` nodes around it.
-  // Static routes send leaf-to-leaf traffic through the centre.
-  static Scenario star(std::size_t leaves, const ScenarioOptions& opt = {});
-  // n nodes on a circle with adjacent spacing spacing_m; all links
-  // direct (single collision domain, no whitelist, no routes needed).
-  static Scenario mesh(std::size_t n, const ScenarioOptions& opt = {});
+  // Instantiates `spec`. `seed` seeds the shared simulation RNG; fixed
+  // so every run of a spec is reproducible (and so determinism tests can
+  // compare two runs).
+  static Scenario build(const ScenarioSpec& spec, std::uint64_t seed = 1);
 
   Scenario(Scenario&&) = default;
 
+  const ScenarioSpec& spec() const { return spec_; }
   sim::Simulation& sim() { return *sim_; }
   phy::Medium& medium() { return *medium_; }
   std::size_t size() const { return nodes_.size(); }
   net::Node& node(std::size_t i) { return *nodes_.at(i); }
   net::RouteDiscovery& discovery(std::size_t i) { return *discovery_.at(i); }
+  const std::vector<std::uint32_t>& relay_indices() const { return relays_; }
 
   void run_for(sim::Duration d) { sim_->run_for(d); }
   void run() { sim_->run(); }
@@ -78,17 +181,14 @@ class Scenario {
   std::string metrics_summary() const;
 
  private:
-  explicit Scenario(const ScenarioOptions& opt);
+  Scenario(const ScenarioSpec& spec, std::uint64_t seed);
 
-  void add_node(std::uint32_t index, phy::Position position,
-                std::vector<mac::MacAddress> neighbors);
-  void finish(bool with_discovery);
-
-  ScenarioOptions opt_;
+  ScenarioSpec spec_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<phy::Medium> medium_;
   std::vector<std::unique_ptr<net::Node>> nodes_;
   std::vector<std::unique_ptr<net::RouteDiscovery>> discovery_;
+  std::vector<std::uint32_t> relays_;
   // Shared so the trace callbacks installed by capture_traces() stay
   // valid even if the Scenario object is moved afterwards.
   std::shared_ptr<std::vector<std::string>> trace_;

@@ -11,14 +11,14 @@ TransportMux& mux_of(net::Node& node) {
   return node.attachment<TransportMux>([&node] {
     auto mux = std::make_unique<TransportMux>(node.simulation(), node.ip());
     auto& stack = node.stack();
-    mux->send_packet = [&stack](net::PacketPtr packet) {
+    mux->send_packet = [&stack](proto::PacketPtr packet) {
       stack.send(std::move(packet));
     };
     // Chain rather than replace: trace capture (or another observer) may
     // already be installed, in either order relative to this call.
     stack.deliver_local = [mux = mux.get(),
                            prev = std::move(stack.deliver_local)](
-                              const net::PacketPtr& packet) {
+                              const proto::PacketPtr& packet) {
       mux->deliver(packet);
       if (prev) prev(packet);
     };

@@ -5,25 +5,25 @@
 namespace hydra::transport {
 
 TransportMux::TransportMux(sim::Simulation& simulation,
-                           net::Ipv4Address local_ip)
+                           proto::Ipv4Address local_ip)
     : sim_(simulation), local_ip_(local_ip) {}
 
-UdpSocket& TransportMux::open_udp(net::Port local_port) {
+UdpSocket& TransportMux::open_udp(proto::Port local_port) {
   HYDRA_ASSERT_MSG(!udp_.contains(local_port), "udp port in use");
   auto socket = std::make_unique<UdpSocket>(
       local_ip_, local_port,
-      [this](net::PacketPtr pkt) { send_packet(std::move(pkt)); });
+      [this](proto::PacketPtr pkt) { send_packet(std::move(pkt)); });
   auto& ref = *socket;
   udp_.emplace(local_port, std::move(socket));
   return ref;
 }
 
-TcpConnection& TransportMux::create_connection(net::Port local_port,
-                                               net::Endpoint remote,
+TcpConnection& TransportMux::create_connection(proto::Port local_port,
+                                               proto::Endpoint remote,
                                                const TcpConfig& config) {
   auto conn = std::make_unique<TcpConnection>(
-      sim_, config, net::Endpoint{local_ip_, local_port}, remote,
-      [this](net::PacketPtr pkt) { send_packet(std::move(pkt)); });
+      sim_, config, proto::Endpoint{local_ip_, local_port}, remote,
+      [this](proto::PacketPtr pkt) { send_packet(std::move(pkt)); });
   auto& ref = *conn;
   const auto [it, inserted] =
       connections_.emplace(ConnKey{local_port, remote}, std::move(conn));
@@ -32,7 +32,7 @@ TcpConnection& TransportMux::create_connection(net::Port local_port,
   return ref;
 }
 
-TcpConnection& TransportMux::tcp_connect(net::Endpoint remote,
+TcpConnection& TransportMux::tcp_connect(proto::Endpoint remote,
                                          TcpConfig config) {
   const auto port = next_ephemeral_++;
   auto& conn = create_connection(port, remote, config);
@@ -40,13 +40,13 @@ TcpConnection& TransportMux::tcp_connect(net::Endpoint remote,
   return conn;
 }
 
-void TransportMux::tcp_listen(net::Port port, TcpConfig config,
+void TransportMux::tcp_listen(proto::Port port, TcpConfig config,
                               std::function<void(TcpConnection&)> on_accept) {
   HYDRA_ASSERT_MSG(!listeners_.contains(port), "port already listening");
   listeners_.emplace(port, Listener{config, std::move(on_accept)});
 }
 
-void TransportMux::deliver(const net::PacketPtr& packet) {
+void TransportMux::deliver(const proto::PacketPtr& packet) {
   HYDRA_ASSERT(packet != nullptr);
   if (packet->udp) {
     const auto it = udp_.find(packet->udp->dst_port);

@@ -15,34 +15,34 @@ namespace hydra::transport {
 
 class TransportMux {
  public:
-  TransportMux(sim::Simulation& simulation, net::Ipv4Address local_ip);
+  TransportMux(sim::Simulation& simulation, proto::Ipv4Address local_ip);
 
   TransportMux(const TransportMux&) = delete;
   TransportMux& operator=(const TransportMux&) = delete;
 
   // Wired by the node: hands a fully-formed packet to the IP stack.
-  std::function<void(net::PacketPtr)> send_packet;
+  std::function<void(proto::PacketPtr)> send_packet;
 
   // Incoming packet addressed to this node (from the IP stack).
-  void deliver(const net::PacketPtr& packet);
+  void deliver(const proto::PacketPtr& packet);
 
   // Opens a UDP socket on `local_port` (asserts the port is free).
-  UdpSocket& open_udp(net::Port local_port);
+  UdpSocket& open_udp(proto::Port local_port);
 
   // Active-opens a TCP connection from an ephemeral port.
-  TcpConnection& tcp_connect(net::Endpoint remote, TcpConfig config = {});
+  TcpConnection& tcp_connect(proto::Endpoint remote, TcpConfig config = {});
 
   // Accepts connections on `port`; `on_accept` fires per new connection.
-  void tcp_listen(net::Port port, TcpConfig config,
+  void tcp_listen(proto::Port port, TcpConfig config,
                   std::function<void(TcpConnection&)> on_accept);
 
-  net::Ipv4Address local_ip() const { return local_ip_; }
+  proto::Ipv4Address local_ip() const { return local_ip_; }
   std::uint64_t unmatched_packets() const { return unmatched_; }
 
  private:
   struct ConnKey {
-    net::Port local_port;
-    net::Endpoint remote;
+    proto::Port local_port;
+    proto::Endpoint remote;
     friend auto operator<=>(const ConnKey&, const ConnKey&) = default;
   };
   struct Listener {
@@ -50,15 +50,15 @@ class TransportMux {
     std::function<void(TcpConnection&)> on_accept;
   };
 
-  TcpConnection& create_connection(net::Port local_port, net::Endpoint remote,
+  TcpConnection& create_connection(proto::Port local_port, proto::Endpoint remote,
                                    const TcpConfig& config);
 
   sim::Simulation& sim_;
-  net::Ipv4Address local_ip_;
-  std::map<net::Port, std::unique_ptr<UdpSocket>> udp_;
+  proto::Ipv4Address local_ip_;
+  std::map<proto::Port, std::unique_ptr<UdpSocket>> udp_;
   std::map<ConnKey, std::unique_ptr<TcpConnection>> connections_;
-  std::map<net::Port, Listener> listeners_;
-  net::Port next_ephemeral_ = 49152;
+  std::map<proto::Port, Listener> listeners_;
+  proto::Port next_ephemeral_ = 49152;
   std::uint64_t unmatched_ = 0;
 };
 

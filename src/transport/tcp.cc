@@ -13,7 +13,7 @@ constexpr std::uint32_t kClientIss = 10'000;
 }  // namespace
 
 TcpConnection::TcpConnection(sim::Simulation& simulation, TcpConfig config,
-                             net::Endpoint local, net::Endpoint remote,
+                             proto::Endpoint local, proto::Endpoint remote,
                              SendPacket send)
     : sim_(simulation),
       config_(config),
@@ -41,7 +41,7 @@ void TcpConnection::connect() {
   arm_rto();
 }
 
-void TcpConnection::accept(const net::TcpHeader& syn) {
+void TcpConnection::accept(const proto::TcpHeader& syn) {
   HYDRA_ASSERT(state_ == State::kClosed);
   HYDRA_ASSERT(syn.flags.syn);
   irs_ = syn.seq;
@@ -70,7 +70,7 @@ void TcpConnection::close() {
 // Segment input
 // -----------------------------------------------------------------------
 
-void TcpConnection::segment_arrived(const net::Packet& packet) {
+void TcpConnection::segment_arrived(const proto::Packet& packet) {
   HYDRA_ASSERT(packet.tcp.has_value());
   const auto& h = *packet.tcp;
   ++stats_.segments_received;
@@ -185,7 +185,7 @@ void TcpConnection::try_transmit() {
 
 void TcpConnection::emit_segment(std::uint32_t seq, std::uint32_t len,
                                  bool is_retransmit) {
-  auto pkt = net::make_tcp_packet(local_.address, remote_.address, local_.port,
+  auto pkt = proto::make_tcp_packet(local_.address, remote_.address, local_.port,
                                   remote_.port, seq, rcv_nxt_, {.ack = true},
                                   static_cast<std::uint16_t>(config_.recv_window),
                                   len);
@@ -236,7 +236,7 @@ void TcpConnection::retransmit_front() {
   }
 }
 
-void TcpConnection::handle_ack(const net::TcpHeader& h) {
+void TcpConnection::handle_ack(const proto::TcpHeader& h) {
   static const bool kTrace = getenv("HYDRA_TCP_TRACE") != nullptr;
   if (kTrace) {
     std::fprintf(stderr, "[%.4f] peer=%u rx-ack ack=%u una=%u nxt=%u\n",
@@ -387,7 +387,7 @@ void TcpConnection::update_rtt(sim::Duration sample) {
 // Receiver
 // -----------------------------------------------------------------------
 
-void TcpConnection::handle_data(const net::TcpHeader& h,
+void TcpConnection::handle_data(const proto::TcpHeader& h,
                                 std::uint32_t payload) {
   const std::uint32_t end = h.seq + payload;
   static const bool kTrace = getenv("HYDRA_TCP_TRACE") != nullptr;
@@ -443,15 +443,15 @@ void TcpConnection::handle_data(const net::TcpHeader& h,
 
 void TcpConnection::send_ack() {
   ++stats_.acks_sent;
-  auto pkt = net::make_tcp_packet(
+  auto pkt = proto::make_tcp_packet(
       local_.address, remote_.address, local_.port, remote_.port, snd_nxt_,
       rcv_nxt_, {.ack = true},
       static_cast<std::uint16_t>(config_.recv_window), 0);
   send_packet_(std::move(pkt));
 }
 
-void TcpConnection::send_control(net::TcpFlags flags, std::uint32_t seq) {
-  auto pkt = net::make_tcp_packet(
+void TcpConnection::send_control(proto::TcpFlags flags, std::uint32_t seq) {
+  auto pkt = proto::make_tcp_packet(
       local_.address, remote_.address, local_.port, remote_.port, seq,
       flags.ack ? rcv_nxt_ : 0, flags,
       static_cast<std::uint16_t>(config_.recv_window), 0);

@@ -64,10 +64,10 @@ class TcpConnection {
     kClosedByPeer,
   };
 
-  using SendPacket = std::function<void(net::PacketPtr)>;
+  using SendPacket = std::function<void(proto::PacketPtr)>;
 
   TcpConnection(sim::Simulation& simulation, TcpConfig config,
-                net::Endpoint local, net::Endpoint remote, SendPacket send);
+                proto::Endpoint local, proto::Endpoint remote, SendPacket send);
 
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
@@ -75,7 +75,7 @@ class TcpConnection {
   // Active open: emit a SYN and run the handshake.
   void connect();
   // Passive open: called by the listener with the peer's SYN.
-  void accept(const net::TcpHeader& syn);
+  void accept(const proto::TcpHeader& syn);
 
   // Appends `bytes` synthetic bytes to the outgoing stream.
   void send(std::uint64_t bytes);
@@ -83,7 +83,7 @@ class TcpConnection {
   void close();
 
   // Delivers an incoming segment addressed to this connection.
-  void segment_arrived(const net::Packet& packet);
+  void segment_arrived(const proto::Packet& packet);
 
   // --- callbacks --------------------------------------------------------
   std::function<void()> on_established;
@@ -100,8 +100,8 @@ class TcpConnection {
   std::uint64_t bytes_in_flight() const { return seq_diff(snd_nxt_, snd_una_); }
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
   const TcpStats& stats() const { return stats_; }
-  net::Endpoint local() const { return local_; }
-  net::Endpoint remote() const { return remote_; }
+  proto::Endpoint local() const { return local_; }
+  proto::Endpoint remote() const { return remote_; }
   sim::Duration current_rto() const { return rto_; }
 
  private:
@@ -109,7 +109,7 @@ class TcpConnection {
   void try_transmit();
   void emit_segment(std::uint32_t seq, std::uint32_t len, bool is_retransmit);
   void retransmit_front();
-  void handle_ack(const net::TcpHeader& h);
+  void handle_ack(const proto::TcpHeader& h);
   void on_rto();
   void arm_rto();
   void update_rtt(sim::Duration sample);
@@ -120,14 +120,14 @@ class TcpConnection {
   void maybe_send_fin();
 
   // --- receiver ---
-  void handle_data(const net::TcpHeader& h, std::uint32_t payload);
+  void handle_data(const proto::TcpHeader& h, std::uint32_t payload);
   void send_ack();
-  void send_control(net::TcpFlags flags, std::uint32_t seq);
+  void send_control(proto::TcpFlags flags, std::uint32_t seq);
 
   sim::Simulation& sim_;
   TcpConfig config_;
-  net::Endpoint local_;
-  net::Endpoint remote_;
+  proto::Endpoint local_;
+  proto::Endpoint remote_;
   SendPacket send_packet_;
   TcpStats stats_;
 

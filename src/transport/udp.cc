@@ -4,19 +4,19 @@
 
 namespace hydra::transport {
 
-UdpSocket::UdpSocket(net::Ipv4Address local_ip, net::Port local_port,
+UdpSocket::UdpSocket(proto::Ipv4Address local_ip, proto::Port local_port,
                      SendPacket send)
     : local_ip_(local_ip), local_port_(local_port), send_(std::move(send)) {
   HYDRA_ASSERT(send_ != nullptr);
 }
 
-void UdpSocket::send_to(net::Endpoint dst, std::uint32_t payload_bytes) {
+void UdpSocket::send_to(proto::Endpoint dst, std::uint32_t payload_bytes) {
   ++sent_;
-  send_(net::make_udp_packet(local_ip_, dst.address, local_port_, dst.port,
+  send_(proto::make_udp_packet(local_ip_, dst.address, local_port_, dst.port,
                              payload_bytes));
 }
 
-void UdpSocket::deliver(const net::Packet& packet) {
+void UdpSocket::deliver(const proto::Packet& packet) {
   ++received_;
   bytes_received_ += packet.payload_bytes;
   if (on_receive) on_receive(packet);

@@ -10,27 +10,27 @@ namespace hydra::transport {
 
 class UdpSocket {
  public:
-  using SendPacket = std::function<void(net::PacketPtr)>;
+  using SendPacket = std::function<void(proto::PacketPtr)>;
 
-  UdpSocket(net::Ipv4Address local_ip, net::Port local_port, SendPacket send);
+  UdpSocket(proto::Ipv4Address local_ip, proto::Port local_port, SendPacket send);
 
   // Sends a datagram with a synthetic payload of `payload_bytes`.
-  void send_to(net::Endpoint dst, std::uint32_t payload_bytes);
+  void send_to(proto::Endpoint dst, std::uint32_t payload_bytes);
 
   // Incoming datagram addressed to this socket.
-  std::function<void(const net::Packet&)> on_receive;
+  std::function<void(const proto::Packet&)> on_receive;
 
-  net::Port local_port() const { return local_port_; }
+  proto::Port local_port() const { return local_port_; }
   std::uint64_t datagrams_sent() const { return sent_; }
   std::uint64_t datagrams_received() const { return received_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
 
   // Called by the mux.
-  void deliver(const net::Packet& packet);
+  void deliver(const proto::Packet& packet);
 
  private:
-  net::Ipv4Address local_ip_;
-  net::Port local_port_;
+  proto::Ipv4Address local_ip_;
+  proto::Port local_port_;
   SendPacket send_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;

@@ -12,30 +12,30 @@
 namespace hydra::core {
 namespace {
 
-using mac::MacAddress;
-using mac::MacSubframe;
+using proto::MacAddress;
+using proto::MacSubframe;
 
-net::PacketPtr tcp_data(std::uint32_t payload = 1357) {
-  return net::make_tcp_packet(net::Ipv4Address::for_node(0),
-                              net::Ipv4Address::for_node(2), 1, 2, 100, 200,
+proto::PacketPtr tcp_data(std::uint32_t payload = 1357) {
+  return proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                              proto::Ipv4Address::for_node(2), 1, 2, 100, 200,
                               {.ack = true}, 21712, payload);
 }
 
-net::PacketPtr pure_ack() {
-  return net::make_tcp_packet(net::Ipv4Address::for_node(2),
-                              net::Ipv4Address::for_node(0), 2, 1, 200, 101,
+proto::PacketPtr pure_ack() {
+  return proto::make_tcp_packet(proto::Ipv4Address::for_node(2),
+                              proto::Ipv4Address::for_node(0), 2, 1, 200, 101,
                               {.ack = true}, 21712, 0);
 }
 
-net::PacketPtr flood_pkt() {
-  return net::make_flood_packet(net::Ipv4Address::for_node(1), 40);
+proto::PacketPtr flood_pkt() {
+  return proto::make_flood_packet(proto::Ipv4Address::for_node(1), 40);
 }
 
-MacSubframe subframe(net::PacketPtr pkt, std::uint32_t receiver) {
-  MacSubframe sf;
-  sf.receiver = MacAddress(static_cast<std::uint16_t>(receiver));
-  sf.transmitter = MacAddress::for_node(9);
-  sf.source = MacAddress::for_node(9);
+proto::MacSubframe subframe(proto::PacketPtr pkt, std::uint32_t receiver) {
+  proto::MacSubframe sf;
+  sf.receiver = proto::MacAddress(static_cast<std::uint16_t>(receiver));
+  sf.transmitter = proto::MacAddress::for_node(9);
+  sf.source = proto::MacAddress::for_node(9);
   sf.packet = std::move(pkt);
   return sf;
 }
@@ -57,12 +57,12 @@ TEST(Classifier, DisabledLeavesAcksUnicast) {
 TEST(Classifier, DataAndControlSegmentsStayUnicast) {
   TcpAckClassifier c(true);
   EXPECT_EQ(c.classify(*tcp_data(), false), TrafficClass::kUnicast);
-  const auto syn = net::make_tcp_packet(net::Ipv4Address::for_node(0),
-                                        net::Ipv4Address::for_node(1), 1, 2,
+  const auto syn = proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                                        proto::Ipv4Address::for_node(1), 1, 2,
                                         0, 0, {.syn = true}, 0, 0);
   EXPECT_EQ(c.classify(*syn, false), TrafficClass::kUnicast);
-  const auto fin = net::make_tcp_packet(net::Ipv4Address::for_node(0),
-                                        net::Ipv4Address::for_node(1), 1, 2,
+  const auto fin = proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                                        proto::Ipv4Address::for_node(1), 1, 2,
                                         0, 0, {.ack = true, .fin = true}, 0,
                                         0);
   EXPECT_EQ(c.classify(*fin, false), TrafficClass::kUnicast);
@@ -169,7 +169,7 @@ TEST(AggregatorUa, StopsAtDestinationBoundary) {
   const auto f = agg.build(q);
   EXPECT_EQ(f.unicast.size(), 2u);
   EXPECT_EQ(q.unicast().size(), 1u);
-  EXPECT_EQ(q.unicast().front()->subframe.receiver, MacAddress(2));
+  EXPECT_EQ(q.unicast().front()->subframe.receiver, proto::MacAddress(2));
 }
 
 TEST(AggregatorUa, RespectsMaxAggregateBytes) {
@@ -222,8 +222,8 @@ TEST(AggregatorBa, BroadcastPrecedesUnicast) {
   EXPECT_EQ(f.unicast.size(), 1u);
   // The unicast receiver is independent of the broadcast subframes'
   // (unicast) addresses — the paper's bi-directional relay case.
-  EXPECT_EQ(f.unicast_receiver(), MacAddress(1));
-  EXPECT_EQ(f.broadcast[0].receiver, MacAddress(3));
+  EXPECT_EQ(f.unicast_receiver(), proto::MacAddress(1));
+  EXPECT_EQ(f.broadcast[0].receiver, proto::MacAddress(3));
 }
 
 TEST(AggregatorBa, MixedFrameRespectsMaxBytes) {

@@ -29,15 +29,14 @@ struct RunOutput {
 // (queueing, aggregation, backoff) plus background flooding from every
 // node (collisions, broadcast subframes).
 RunOutput run_chain_workload(std::uint64_t seed) {
-  topo::ScenarioOptions opt;
-  opt.seed = seed;
-  opt.policy = core::AggregationPolicy::ba();
-  auto s = topo::Scenario::chain(3, opt);
+  auto spec = topo::ScenarioSpec::chain(3);
+  spec.node.policy = core::AggregationPolicy::ba();
+  auto s = topo::Scenario::build(spec, seed);
   s.capture_traces();
 
   app::UdpSinkApp sink(s.sim(), s.node(2), 9001);
   app::UdpCbrConfig cbr_cfg;
-  cbr_cfg.destination = {net::Ipv4Address::for_node(2), 9001};
+  cbr_cfg.destination = {proto::Ipv4Address::for_node(2), 9001};
   cbr_cfg.packets_per_tick = 4;
   cbr_cfg.stop = sim::TimePoint::at(sim::Duration::seconds(4));
   app::UdpCbrApp cbr(s.sim(), s.node(0), cbr_cfg);
@@ -88,8 +87,8 @@ TEST(DeterminismRegression, ExperimentHarnessIsSeedStable) {
   // The same property end-to-end through app::run_experiment, which
   // every bench depends on.
   topo::ExperimentConfig cfg;
-  cfg.topology = topo::Topology::kTwoHop;
-  cfg.policy = core::AggregationPolicy::ba();
+  cfg.scenario = topo::ScenarioSpec::two_hop();
+  cfg.scenario.node.policy = core::AggregationPolicy::ba();
   cfg.traffic = topo::TrafficKind::kTcp;
   cfg.tcp_file_bytes = 30'000;
   cfg.seed = 99;

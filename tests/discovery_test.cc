@@ -17,12 +17,11 @@ using topo::Scenario;
 // A chain of n nodes where the MAC whitelist only admits adjacent
 // neighbours — multi-hop even though every radio hears every frame.
 Scenario filtered_chain(std::size_t n) {
-  topo::ScenarioOptions opt;
-  opt.seed = 5;
-  opt.neighbor_whitelist = true;
-  opt.static_routes = false;
-  opt.route_discovery = true;
-  return Scenario::chain(n, opt);
+  auto spec = topo::ScenarioSpec::chain(n);
+  spec.neighbor_whitelist = true;
+  spec.static_routes = false;
+  spec.route_discovery = true;
+  return Scenario::build(spec, 5);
 }
 
 TEST(NeighborFilter, NonNeighborFramesAreNotDelivered) {
@@ -30,13 +29,13 @@ TEST(NeighborFilter, NonNeighborFramesAreNotDelivered) {
   // Node 0 -> node 2 directly: every radio hears it, but node 2's MAC
   // whitelist only admits node 1.
   int delivered = 0;
-  chain.node(2).stack().on_broadcast = [&](const PacketPtr&) {
+  chain.node(2).stack().on_broadcast = [&](const proto::PacketPtr&) {
     ++delivered;
   };
-  chain.node(0).mac().enqueue(make_flood_packet(Ipv4Address::for_node(0),
+  chain.node(0).mac().enqueue(proto::make_flood_packet(proto::Ipv4Address::for_node(0),
                                                 40),
-                              mac::MacAddress::broadcast(),
-                              mac::MacAddress::for_node(0));
+                              proto::MacAddress::broadcast(),
+                              proto::MacAddress::for_node(0));
   chain.run_for(sim::Duration::millis(200));
   EXPECT_EQ(delivered, 0);  // two hops away: filtered
 }
@@ -44,26 +43,26 @@ TEST(NeighborFilter, NonNeighborFramesAreNotDelivered) {
 TEST(Discovery, FindsTwoHopRoute) {
   auto chain = filtered_chain(3);
   bool found = false;
-  chain.discovery(0).discover(Ipv4Address::for_node(2),
+  chain.discovery(0).discover(proto::Ipv4Address::for_node(2),
                               [&](bool ok) { found = ok; });
   chain.run_for(sim::Duration::seconds(2));
 
   EXPECT_TRUE(found);
   // Forward route at the origin goes via the relay.
-  EXPECT_EQ(chain.node(0).routes().next_hop(Ipv4Address::for_node(2)),
-            Ipv4Address::for_node(1));
+  EXPECT_EQ(chain.node(0).routes().next_hop(proto::Ipv4Address::for_node(2)),
+            proto::Ipv4Address::for_node(1));
   // The relay learned both directions.
-  EXPECT_EQ(chain.node(1).routes().next_hop(Ipv4Address::for_node(0)),
-            Ipv4Address::for_node(0));
+  EXPECT_EQ(chain.node(1).routes().next_hop(proto::Ipv4Address::for_node(0)),
+            proto::Ipv4Address::for_node(0));
   // The target learned the reverse route to the origin via the relay.
-  EXPECT_EQ(chain.node(2).routes().next_hop(Ipv4Address::for_node(0)),
-            Ipv4Address::for_node(1));
+  EXPECT_EQ(chain.node(2).routes().next_hop(proto::Ipv4Address::for_node(0)),
+            proto::Ipv4Address::for_node(1));
 }
 
 TEST(Discovery, FindsThreeHopRouteAndCarriesTraffic) {
   auto chain = filtered_chain(4);
   bool found = false;
-  chain.discovery(0).discover(Ipv4Address::for_node(3),
+  chain.discovery(0).discover(proto::Ipv4Address::for_node(3),
                               [&](bool ok) { found = ok; });
   chain.run_for(sim::Duration::seconds(3));
   ASSERT_TRUE(found);
@@ -71,7 +70,7 @@ TEST(Discovery, FindsThreeHopRouteAndCarriesTraffic) {
   // The discovered route carries real traffic end to end.
   app::UdpSinkApp sink(chain.sim(), chain.node(3), 9001);
   transport::mux_of(chain.node(0)).open_udp(9000).send_to(
-      {Ipv4Address::for_node(3), 9001}, 500);
+      {proto::Ipv4Address::for_node(3), 9001}, 500);
   chain.run_for(sim::Duration::seconds(2));
   EXPECT_EQ(sink.packets(), 1u);
 }
@@ -79,7 +78,7 @@ TEST(Discovery, FindsThreeHopRouteAndCarriesTraffic) {
 TEST(Discovery, DuplicateRreqsAreSuppressed) {
   auto chain = filtered_chain(4);
   bool found = false;
-  chain.discovery(0).discover(Ipv4Address::for_node(3),
+  chain.discovery(0).discover(proto::Ipv4Address::for_node(3),
                               [&](bool ok) { found = ok; });
   chain.run_for(sim::Duration::seconds(3));
   ASSERT_TRUE(found);
@@ -97,7 +96,7 @@ TEST(Discovery, UnreachableTargetFailsAfterRetries) {
   auto chain = filtered_chain(3);
   bool done = false, found = true;
   // 10.0.0.99 does not exist.
-  chain.discovery(0).discover(Ipv4Address::from_octets(10, 0, 0, 99),
+  chain.discovery(0).discover(proto::Ipv4Address::from_octets(10, 0, 0, 99),
                               [&](bool ok) {
                                 done = true;
                                 found = ok;
@@ -111,10 +110,10 @@ TEST(Discovery, UnreachableTargetFailsAfterRetries) {
 
 TEST(Discovery, ExistingRouteResolvesImmediately) {
   auto chain = filtered_chain(3);
-  chain.node(0).routes().add_route(Ipv4Address::for_node(2),
-                                   Ipv4Address::for_node(1));
+  chain.node(0).routes().add_route(proto::Ipv4Address::for_node(2),
+                                   proto::Ipv4Address::for_node(1));
   bool found = false;
-  chain.discovery(0).discover(Ipv4Address::for_node(2),
+  chain.discovery(0).discover(proto::Ipv4Address::for_node(2),
                               [&](bool ok) { found = ok; });
   EXPECT_TRUE(found);  // synchronous: no flood needed
   EXPECT_EQ(chain.discovery(0).rreqs_sent(), 0u);
@@ -131,7 +130,7 @@ TEST(Discovery, HopLimitBoundsTheFlood) {
   RouteDiscovery limited(chain.sim(), chain.node(0), dc);
   // (Replaces the default engine's handler on this node.)
   bool done = false, found = true;
-  limited.discover(Ipv4Address::for_node(3), [&](bool ok) {
+  limited.discover(proto::Ipv4Address::for_node(3), [&](bool ok) {
     done = true;
     found = ok;
   });
@@ -143,14 +142,14 @@ TEST(Discovery, HopLimitBoundsTheFlood) {
 TEST(Ping, RoundTripAcrossRelay) {
   auto chain = filtered_chain(3);
   // Static routes (discovery tested elsewhere).
-  chain.node(0).routes().add_route(Ipv4Address::for_node(2),
-                                   Ipv4Address::for_node(1));
-  chain.node(2).routes().add_route(Ipv4Address::for_node(0),
-                                   Ipv4Address::for_node(1));
+  chain.node(0).routes().add_route(proto::Ipv4Address::for_node(2),
+                                   proto::Ipv4Address::for_node(1));
+  chain.node(2).routes().add_route(proto::Ipv4Address::for_node(0),
+                                   proto::Ipv4Address::for_node(1));
 
   app::PingResponderApp responder(chain.node(2), 9200);
   app::PingConfig pc;
-  pc.destination = {Ipv4Address::for_node(2), 9200};
+  pc.destination = {proto::Ipv4Address::for_node(2), 9200};
   pc.count = 5;
   pc.interval = sim::Duration::millis(50);
   app::PingApp ping(chain.sim(), chain.node(0), pc);
@@ -173,7 +172,7 @@ TEST(Ping, TimeoutCountsLostProbes) {
   // No routes installed: probes die at node 0's next-hop lookup (sent to
   // the "direct" fallback, which the whitelist filters).
   app::PingConfig pc;
-  pc.destination = {Ipv4Address::for_node(2), 9200};
+  pc.destination = {proto::Ipv4Address::for_node(2), 9200};
   pc.count = 3;
   pc.timeout = sim::Duration::millis(100);
   pc.interval = sim::Duration::millis(50);
@@ -188,26 +187,26 @@ TEST(Ping, TimeoutCountsLostProbes) {
 }
 
 TEST(DiscoveryWire, HeaderRoundTrip) {
-  DiscoveryHeader h;
-  h.kind = DiscoveryHeader::Kind::kRrep;
+  proto::DiscoveryHeader h;
+  h.kind = proto::DiscoveryHeader::Kind::kRrep;
   h.hop_count = 3;
   h.request_id = 777;
-  h.origin = Ipv4Address::for_node(0);
-  h.target = Ipv4Address::for_node(3);
-  const auto pkt = make_discovery_packet(Ipv4Address::for_node(3),
-                                         Ipv4Address::for_node(0), h);
+  h.origin = proto::Ipv4Address::for_node(0);
+  h.target = proto::Ipv4Address::for_node(3);
+  const auto pkt = proto::make_discovery_packet(proto::Ipv4Address::for_node(3),
+                                         proto::Ipv4Address::for_node(0), h);
   EXPECT_EQ(pkt->wire_size(),
-            Ipv4Header::kWireBytes + DiscoveryHeader::kWireBytes);
+            proto::Ipv4Header::kWireBytes + proto::DiscoveryHeader::kWireBytes);
   const auto bytes = pkt->serialize();
   BufferReader r(bytes);
-  const auto parsed = Packet::parse(r);
+  const auto parsed = proto::Packet::parse(r);
   ASSERT_TRUE(parsed.has_value());
   ASSERT_TRUE(parsed->discovery.has_value());
-  EXPECT_EQ(parsed->discovery->kind, DiscoveryHeader::Kind::kRrep);
+  EXPECT_EQ(parsed->discovery->kind, proto::DiscoveryHeader::Kind::kRrep);
   EXPECT_EQ(parsed->discovery->hop_count, 3);
   EXPECT_EQ(parsed->discovery->request_id, 777);
-  EXPECT_EQ(parsed->discovery->origin, Ipv4Address::for_node(0));
-  EXPECT_EQ(parsed->discovery->target, Ipv4Address::for_node(3));
+  EXPECT_EQ(parsed->discovery->origin, proto::Ipv4Address::for_node(0));
+  EXPECT_EQ(parsed->discovery->target, proto::Ipv4Address::for_node(3));
 }
 
 }  // namespace

@@ -9,23 +9,23 @@
 namespace hydra::mac {
 namespace {
 
-net::PacketPtr tcp_data_packet(std::uint32_t payload) {
-  return net::make_tcp_packet(net::Ipv4Address::for_node(0),
-                              net::Ipv4Address::for_node(2), 49152, 5001,
+proto::PacketPtr tcp_data_packet(std::uint32_t payload) {
+  return proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                              proto::Ipv4Address::for_node(2), 49152, 5001,
                               1000, 2000, {.ack = true}, 21712, payload);
 }
 
-net::PacketPtr pure_ack_packet() {
-  return net::make_tcp_packet(net::Ipv4Address::for_node(2),
-                              net::Ipv4Address::for_node(0), 5001, 49152,
+proto::PacketPtr pure_ack_packet() {
+  return proto::make_tcp_packet(proto::Ipv4Address::for_node(2),
+                              proto::Ipv4Address::for_node(0), 5001, 49152,
                               2000, 1001, {.ack = true}, 21712, 0);
 }
 
-MacSubframe data_subframe(net::PacketPtr pkt) {
-  MacSubframe sf;
-  sf.receiver = MacAddress::for_node(1);
-  sf.transmitter = MacAddress::for_node(0);
-  sf.source = MacAddress::for_node(0);
+proto::MacSubframe data_subframe(proto::PacketPtr pkt) {
+  proto::MacSubframe sf;
+  sf.receiver = proto::MacAddress::for_node(1);
+  sf.transmitter = proto::MacAddress::for_node(0);
+  sf.source = proto::MacAddress::for_node(0);
   sf.packet = std::move(pkt);
   return sf;
 }
@@ -35,46 +35,46 @@ TEST(SubframeSizes, MatchThePaperExactly) {
   // the UDP workload -> 1140 B MAC frames.
   EXPECT_EQ(data_subframe(tcp_data_packet(1357)).wire_bytes(), 1464u);
   EXPECT_EQ(data_subframe(pure_ack_packet()).wire_bytes(), 160u);
-  const auto udp = net::make_udp_packet(net::Ipv4Address::for_node(0),
-                                        net::Ipv4Address::for_node(2), 9000,
+  const auto udp = proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                                        proto::Ipv4Address::for_node(2), 9000,
                                         9001, 1048);
   EXPECT_EQ(data_subframe(udp).wire_bytes(), 1140u);
 }
 
 TEST(SubframeSizes, MinimumAndAlignment) {
   // Tiny packets pad up to the 160-byte minimum.
-  EXPECT_EQ(subframe_wire_bytes(0), 160u);
-  EXPECT_EQ(subframe_wire_bytes(20), 160u);
+  EXPECT_EQ(proto::subframe_wire_bytes(0), 160u);
+  EXPECT_EQ(proto::subframe_wire_bytes(20), 160u);
   // Beyond the minimum, sizes are 4-byte aligned.
   for (std::size_t pkt = 100; pkt < 1500; pkt += 7) {
-    const auto w = subframe_wire_bytes(pkt);
-    EXPECT_EQ(w % kSubframeAlign, 0u);
-    EXPECT_GE(w, kMinSubframeBytes);
-    EXPECT_GE(w, pkt + kMacHeaderBytes + kEncapBytes + kFcsBytes);
+    const auto w = proto::subframe_wire_bytes(pkt);
+    EXPECT_EQ(w % proto::kSubframeAlign, 0u);
+    EXPECT_GE(w, proto::kMinSubframeBytes);
+    EXPECT_GE(w, pkt + proto::kMacHeaderBytes + proto::kEncapBytes + proto::kFcsBytes);
   }
 }
 
 TEST(Duration, EncodeDecode) {
-  EXPECT_EQ(decode_duration_us(encode_duration_us(0)), 0);
+  EXPECT_EQ(proto::decode_duration_us(proto::encode_duration_us(0)), 0);
   // Encoding rounds up to 8 us units.
-  EXPECT_EQ(decode_duration_us(encode_duration_us(100)), 104);
-  EXPECT_EQ(decode_duration_us(encode_duration_us(104)), 104);
+  EXPECT_EQ(proto::decode_duration_us(proto::encode_duration_us(100)), 104);
+  EXPECT_EQ(proto::decode_duration_us(proto::encode_duration_us(104)), 104);
   // A 63 ms data frame + ACK reservation still fits the field.
-  EXPECT_EQ(decode_duration_us(encode_duration_us(65'000)), 65'000 + 0);
+  EXPECT_EQ(proto::decode_duration_us(proto::encode_duration_us(65'000)), 65'000 + 0);
   // Saturates rather than wrapping.
-  EXPECT_EQ(decode_duration_us(encode_duration_us(10'000'000)),
+  EXPECT_EQ(proto::decode_duration_us(proto::encode_duration_us(10'000'000)),
             std::int64_t{0xffff} * 8);
 }
 
 TEST(Subframe, SerializeParseRoundTrip) {
   auto sf = data_subframe(tcp_data_packet(1357));
-  sf.duration_units = encode_duration_us(1234);
+  sf.duration_units = proto::encode_duration_us(1234);
   sf.retry = true;
   const auto bytes = sf.serialize();
   EXPECT_EQ(bytes.size(), sf.wire_bytes());
 
   BufferReader r(bytes);
-  const auto parsed = MacSubframe::parse(r);
+  const auto parsed = proto::MacSubframe::parse(r);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(r.exhausted());
   EXPECT_EQ(parsed->receiver, sf.receiver);
@@ -96,10 +96,10 @@ TEST(Subframe, ParseConsumesExactlyWireBytes) {
   bytes.insert(bytes.end(), second.begin(), second.end());
 
   BufferReader r(bytes);
-  const auto p1 = MacSubframe::parse(r);
+  const auto p1 = proto::MacSubframe::parse(r);
   ASSERT_TRUE(p1.has_value());
   EXPECT_EQ(r.position(), sf1.wire_bytes());
-  const auto p2 = MacSubframe::parse(r);
+  const auto p2 = proto::MacSubframe::parse(r);
   ASSERT_TRUE(p2.has_value());
   EXPECT_TRUE(r.exhausted());
   EXPECT_EQ(p2->packet->payload_bytes, 700u);
@@ -111,7 +111,7 @@ TEST(Subframe, FcsDetectsCorruption) {
   // Flip a bit inside the payload region.
   bytes[100] ^= 0x01;
   BufferReader r(bytes);
-  EXPECT_FALSE(MacSubframe::parse(r).has_value());
+  EXPECT_FALSE(proto::MacSubframe::parse(r).has_value());
 }
 
 TEST(Subframe, ParseRejectsTruncation) {
@@ -119,46 +119,46 @@ TEST(Subframe, ParseRejectsTruncation) {
   auto bytes = sf.serialize();
   bytes.resize(bytes.size() / 2);
   BufferReader r(bytes);
-  EXPECT_FALSE(MacSubframe::parse(r).has_value());
+  EXPECT_FALSE(proto::MacSubframe::parse(r).has_value());
 }
 
 TEST(ControlFrames, WireSizes) {
-  ControlFrame rts{.type = FrameType::kRts};
-  ControlFrame cts{.type = FrameType::kCts};
-  ControlFrame ack{.type = FrameType::kAck};
-  EXPECT_EQ(rts.wire_bytes(), kRtsBytes);
-  EXPECT_EQ(cts.wire_bytes(), kCtsBytes);
-  EXPECT_EQ(ack.wire_bytes(), kAckBytes);
+  proto::ControlFrame rts{.type = proto::FrameType::kRts};
+  proto::ControlFrame cts{.type = proto::FrameType::kCts};
+  proto::ControlFrame ack{.type = proto::FrameType::kAck};
+  EXPECT_EQ(rts.wire_bytes(), proto::kRtsBytes);
+  EXPECT_EQ(cts.wire_bytes(), proto::kCtsBytes);
+  EXPECT_EQ(ack.wire_bytes(), proto::kAckBytes);
   ack.has_block_ack = true;
-  EXPECT_EQ(ack.wire_bytes(), kBlockAckBytes);
+  EXPECT_EQ(ack.wire_bytes(), proto::kBlockAckBytes);
 }
 
 TEST(ControlFrames, RtsRoundTrip) {
-  ControlFrame rts;
-  rts.type = FrameType::kRts;
-  rts.receiver = MacAddress::for_node(1);
-  rts.transmitter = MacAddress::for_node(0);
-  rts.duration_units = encode_duration_us(50'000);
+  proto::ControlFrame rts;
+  rts.type = proto::FrameType::kRts;
+  rts.receiver = proto::MacAddress::for_node(1);
+  rts.transmitter = proto::MacAddress::for_node(0);
+  rts.duration_units = proto::encode_duration_us(50'000);
   const auto bytes = rts.serialize();
-  EXPECT_EQ(bytes.size(), kRtsBytes);
+  EXPECT_EQ(bytes.size(), proto::kRtsBytes);
   BufferReader r(bytes);
-  const auto parsed = ControlFrame::parse(r);
+  const auto parsed = proto::ControlFrame::parse(r);
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(parsed->type, FrameType::kRts);
+  EXPECT_EQ(parsed->type, proto::FrameType::kRts);
   EXPECT_EQ(parsed->receiver, rts.receiver);
   EXPECT_EQ(parsed->transmitter, rts.transmitter);
   EXPECT_EQ(parsed->duration_units, rts.duration_units);
 }
 
 TEST(ControlFrames, CtsAndAckRoundTrip) {
-  for (const auto type : {FrameType::kCts, FrameType::kAck}) {
-    ControlFrame f;
+  for (const auto type : {proto::FrameType::kCts, proto::FrameType::kAck}) {
+    proto::ControlFrame f;
     f.type = type;
-    f.receiver = MacAddress::for_node(2);
-    f.duration_units = encode_duration_us(1000);
+    f.receiver = proto::MacAddress::for_node(2);
+    f.duration_units = proto::encode_duration_us(1000);
     const auto bytes = f.serialize();
     BufferReader r(bytes);
-    const auto parsed = ControlFrame::parse(r);
+    const auto parsed = proto::ControlFrame::parse(r);
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(parsed->type, type);
     EXPECT_EQ(parsed->receiver, f.receiver);
@@ -167,33 +167,33 @@ TEST(ControlFrames, CtsAndAckRoundTrip) {
 }
 
 TEST(ControlFrames, BlockAckRoundTrip) {
-  ControlFrame ack;
-  ack.type = FrameType::kAck;
-  ack.receiver = MacAddress::for_node(1);
+  proto::ControlFrame ack;
+  ack.type = proto::FrameType::kAck;
+  ack.receiver = proto::MacAddress::for_node(1);
   ack.has_block_ack = true;
   ack.block_ack_bitmap = 0b1011;
   const auto bytes = ack.serialize();
-  EXPECT_EQ(bytes.size(), kBlockAckBytes);
+  EXPECT_EQ(bytes.size(), proto::kBlockAckBytes);
   BufferReader r(bytes);
-  const auto parsed = ControlFrame::parse(r);
+  const auto parsed = proto::ControlFrame::parse(r);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(parsed->has_block_ack);
   EXPECT_EQ(parsed->block_ack_bitmap, 0b1011u);
 }
 
 TEST(ControlFrames, FcsDetectsCorruption) {
-  ControlFrame rts;
-  rts.type = FrameType::kRts;
-  rts.receiver = MacAddress::for_node(1);
-  rts.transmitter = MacAddress::for_node(0);
+  proto::ControlFrame rts;
+  rts.type = proto::FrameType::kRts;
+  rts.receiver = proto::MacAddress::for_node(1);
+  rts.transmitter = proto::MacAddress::for_node(0);
   auto bytes = rts.serialize();
   bytes[5] ^= 0x80;
   BufferReader r(bytes);
-  EXPECT_FALSE(ControlFrame::parse(r).has_value());
+  EXPECT_FALSE(proto::ControlFrame::parse(r).has_value());
 }
 
 TEST(Aggregate, TotalsAndReceiver) {
-  AggregateFrame agg;
+  proto::AggregateFrame agg;
   agg.broadcast.push_back(data_subframe(pure_ack_packet()));
   agg.broadcast.push_back(data_subframe(pure_ack_packet()));
   agg.unicast.push_back(data_subframe(tcp_data_packet(1357)));
@@ -201,18 +201,18 @@ TEST(Aggregate, TotalsAndReceiver) {
 
   EXPECT_EQ(agg.subframe_count(), 4u);
   EXPECT_TRUE(agg.has_unicast());
-  EXPECT_EQ(agg.unicast_receiver(), MacAddress::for_node(1));
+  EXPECT_EQ(agg.unicast_receiver(), proto::MacAddress::for_node(1));
   EXPECT_EQ(agg.total_wire_bytes(), 2u * 160 + 2u * 1464);
 }
 
 TEST(Aggregate, ToPhyFramePortions) {
-  AggregateFrame agg;
+  proto::AggregateFrame agg;
   agg.broadcast.push_back(data_subframe(pure_ack_packet()));
   agg.unicast.push_back(data_subframe(tcp_data_packet(1357)));
-  const auto pdu = MacPdu::make_aggregate(agg, MacAddress::for_node(0));
+  const auto pdu = MacPdu::make_aggregate(agg, proto::MacAddress::for_node(0));
 
-  const auto bcast_mode = phy::mode_by_index(0);
-  const auto ucast_mode = phy::mode_by_index(3);
+  const auto bcast_mode = proto::mode_by_index(0);
+  const auto ucast_mode = proto::mode_by_index(3);
   const auto frame = to_phy_frame(pdu, bcast_mode, ucast_mode);
   ASSERT_EQ(frame.broadcast.subframe_bytes.size(), 1u);
   ASSERT_EQ(frame.unicast.subframe_bytes.size(), 1u);
@@ -224,23 +224,23 @@ TEST(Aggregate, ToPhyFramePortions) {
 }
 
 TEST(Aggregate, ControlPduUsesBaseMode) {
-  ControlFrame rts;
-  rts.type = FrameType::kRts;
-  const auto pdu = MacPdu::make_control(rts, MacAddress::for_node(0));
-  const auto frame = to_phy_frame(pdu, phy::mode_by_index(3),
-                                  phy::mode_by_index(3));
+  proto::ControlFrame rts;
+  rts.type = proto::FrameType::kRts;
+  const auto pdu = MacPdu::make_control(rts, proto::MacAddress::for_node(0));
+  const auto frame = to_phy_frame(pdu, proto::mode_by_index(3),
+                                  proto::mode_by_index(3));
   EXPECT_TRUE(frame.broadcast.empty());
   ASSERT_EQ(frame.unicast.subframe_bytes.size(), 1u);
-  EXPECT_EQ(frame.unicast.subframe_bytes[0], kRtsBytes);
-  EXPECT_EQ(frame.unicast.mode, phy::base_mode());
+  EXPECT_EQ(frame.unicast.subframe_bytes[0], proto::kRtsBytes);
+  EXPECT_EQ(frame.unicast.mode, proto::base_mode());
 }
 
 TEST(MacAddressTest, BasicsAndFormatting) {
-  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
-  EXPECT_TRUE(MacAddress().is_unspecified());
-  EXPECT_EQ(MacAddress::for_node(0).value(), 1);
-  EXPECT_EQ(to_string(MacAddress::broadcast()), "ff:ff");
-  EXPECT_EQ(to_string(MacAddress(0x0102)), "01:02");
+  EXPECT_TRUE(proto::MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(proto::MacAddress().is_unspecified());
+  EXPECT_EQ(proto::MacAddress::for_node(0).value(), 1);
+  EXPECT_EQ(to_string(proto::MacAddress::broadcast()), "ff:ff");
+  EXPECT_EQ(to_string(proto::MacAddress(0x0102)), "01:02");
 }
 
 }  // namespace

@@ -3,17 +3,19 @@
 // trend assertions.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "app/experiment.h"
 #include "topo/experiment.h"
 
 namespace hydra::topo {
 namespace {
 
-ExperimentConfig base_tcp(Topology t, core::AggregationPolicy policy,
+ExperimentConfig base_tcp(ScenarioSpec spec, core::AggregationPolicy policy,
                           std::uint64_t file = 100'000) {
   ExperimentConfig c;
-  c.topology = t;
-  c.policy = policy;
+  c.scenario = std::move(spec);
+  c.scenario.node.policy = policy;
   c.traffic = TrafficKind::kTcp;
   c.tcp_file_bytes = file;
   return c;
@@ -23,7 +25,7 @@ TEST(Integration, TwoHopTcpCompletesUnderEveryPolicy) {
   for (const auto& policy :
        {core::AggregationPolicy::na(), core::AggregationPolicy::ua(),
         core::AggregationPolicy::ba(), core::AggregationPolicy::dba()}) {
-    const auto r = app::run_experiment(base_tcp(Topology::kTwoHop, policy));
+    const auto r = app::run_experiment(base_tcp(ScenarioSpec::two_hop(), policy));
     ASSERT_EQ(r.flows.size(), 1u);
     EXPECT_TRUE(r.flows[0].completed);
     EXPECT_GT(r.flows[0].throughput_mbps, 0.05);
@@ -32,12 +34,12 @@ TEST(Integration, TwoHopTcpCompletesUnderEveryPolicy) {
 
 TEST(Integration, AggregationImprovesTcpThroughput) {
   // The paper's headline trend (Fig. 11): BA > UA > NA, all at 1.3 Mbps.
-  auto cfg_na = base_tcp(Topology::kTwoHop, core::AggregationPolicy::na());
-  auto cfg_ua = base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua());
-  auto cfg_ba = base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba());
+  auto cfg_na = base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::na());
+  auto cfg_ua = base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ua());
+  auto cfg_ba = base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ba());
   for (auto* cfg : {&cfg_na, &cfg_ua, &cfg_ba}) {
-    cfg->unicast_mode = phy::mode_by_index(1);
-    cfg->broadcast_mode = phy::mode_by_index(1);
+    cfg->scenario.node.unicast_mode = proto::mode_by_index(1);
+    cfg->scenario.node.broadcast_mode = proto::mode_by_index(1);
   }
   const auto na = app::run_experiment(cfg_na);
   const auto ua = app::run_experiment(cfg_ua);
@@ -49,7 +51,7 @@ TEST(Integration, AggregationImprovesTcpThroughput) {
 }
 
 TEST(Integration, RelayAggregatesWithUa) {
-  auto cfg = base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua());
+  auto cfg = base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ua());
   const auto r = app::run_experiment(cfg);
   // The paper's Table 3: UA relay frames average far above a single
   // maximum TCP segment because ~3 data frames share each aggregate.
@@ -61,7 +63,7 @@ TEST(Integration, RelayAggregatesWithUa) {
 
 TEST(Integration, BaClassifiesAcksAtEveryHop) {
   const auto r =
-      app::run_experiment(base_tcp(Topology::kTwoHop,
+      app::run_experiment(base_tcp(ScenarioSpec::two_hop(),
                               core::AggregationPolicy::ba()));
   // Relay and client both push pure ACKs through the broadcast portion.
   EXPECT_GT(r.node_stats[1].broadcast_subframes_tx, 0u);
@@ -74,7 +76,7 @@ TEST(Integration, BaClassifiesAcksAtEveryHop) {
 
 TEST(Integration, UaSendsNoBroadcastSubframes) {
   const auto r =
-      app::run_experiment(base_tcp(Topology::kTwoHop,
+      app::run_experiment(base_tcp(ScenarioSpec::two_hop(),
                               core::AggregationPolicy::ua()));
   for (const auto& s : r.node_stats) {
     EXPECT_EQ(s.broadcast_subframes_tx, 0u);
@@ -83,11 +85,11 @@ TEST(Integration, UaSendsNoBroadcastSubframes) {
 
 TEST(Integration, TransmissionCountShrinksWithAggregation) {
   const auto na = app::run_experiment(
-      base_tcp(Topology::kTwoHop, core::AggregationPolicy::na()));
+      base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::na()));
   const auto ua = app::run_experiment(
-      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ua()));
+      base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ua()));
   const auto ba = app::run_experiment(
-      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba()));
+      base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ba()));
 
   // Paper Table 3: UA ~33.7%, BA ~26.7% of NA transmissions.
   const double ua_pct =
@@ -102,15 +104,15 @@ TEST(Integration, TransmissionCountShrinksWithAggregation) {
 
 TEST(Integration, ThreeHopCompletesAndIsSlowerThanTwoHop) {
   const auto two = app::run_experiment(
-      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba()));
+      base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ba()));
   const auto three = app::run_experiment(
-      base_tcp(Topology::kThreeHop, core::AggregationPolicy::ba()));
+      base_tcp(ScenarioSpec::three_hop(), core::AggregationPolicy::ba()));
   EXPECT_TRUE(three.flows[0].completed);
   EXPECT_LT(three.flows[0].throughput_mbps, two.flows[0].throughput_mbps);
 }
 
 TEST(Integration, StarTopologyBothSessionsComplete) {
-  auto cfg = base_tcp(Topology::kStar, core::AggregationPolicy::ba(),
+  auto cfg = base_tcp(ScenarioSpec::fig6_star(), core::AggregationPolicy::ba(),
                       60'000);
   const auto r = app::run_experiment(cfg);
   ASSERT_EQ(r.flows.size(), 2u);
@@ -122,22 +124,22 @@ TEST(Integration, StarTopologyBothSessionsComplete) {
 }
 
 TEST(Integration, DelayedAggregationAppliesOnlyToRelays) {
-  auto cfg = base_tcp(Topology::kTwoHop, core::AggregationPolicy::dba(3),
+  auto cfg = base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::dba(3),
                       60'000);
   const auto r = app::run_experiment(cfg);
   EXPECT_TRUE(r.flows[0].completed);
   // DBA should aggregate at least as much as plain BA at the relay.
   const auto ba = app::run_experiment(
-      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 60'000));
+      base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ba(), 60'000));
   EXPECT_GE(r.relay_stats().avg_frame_bytes(),
             ba.relay_stats().avg_frame_bytes() * 0.9);
 }
 
 TEST(Integration, UdpTwoHopThroughputPositive) {
   ExperimentConfig cfg;
-  cfg.topology = Topology::kTwoHop;
+  cfg.scenario = ScenarioSpec::two_hop();
   cfg.traffic = TrafficKind::kUdp;
-  cfg.policy = core::AggregationPolicy::ua();
+  cfg.scenario.node.policy = core::AggregationPolicy::ua();
   cfg.udp_duration = sim::Duration::seconds(10);
   const auto r = app::run_experiment(cfg);
   ASSERT_EQ(r.flows.size(), 1u);
@@ -150,15 +152,15 @@ TEST(Integration, FloodingHurtsNoAggregationMore) {
   // Fig. 9's trend: with aggressive flooding, aggregation keeps more
   // UDP throughput than no aggregation.
   ExperimentConfig agg;
-  agg.topology = Topology::kTwoHop;
+  agg.scenario = ScenarioSpec::two_hop();
   agg.traffic = TrafficKind::kUdp;
-  agg.policy = core::AggregationPolicy::ba();
+  agg.scenario.node.policy = core::AggregationPolicy::ba();
   agg.flooding = true;
   agg.flood_interval = sim::Duration::millis(500);
   agg.udp_duration = sim::Duration::seconds(10);
 
   ExperimentConfig na = agg;
-  na.policy = core::AggregationPolicy::na();
+  na.scenario.node.policy = core::AggregationPolicy::na();
 
   const auto r_agg = app::run_experiment(agg);
   const auto r_na = app::run_experiment(na);
@@ -168,16 +170,16 @@ TEST(Integration, FloodingHurtsNoAggregationMore) {
 TEST(Integration, ForwardAggregationAblation) {
   // Fig. 14: BA with forward aggregation disabled still beats NA but
   // loses to full BA at high rate.
-  auto full = base_tcp(Topology::kThreeHop, core::AggregationPolicy::ba(),
+  auto full = base_tcp(ScenarioSpec::three_hop(), core::AggregationPolicy::ba(),
                        60'000);
-  full.unicast_mode = phy::mode_by_index(3);
-  full.broadcast_mode = phy::mode_by_index(3);
+  full.scenario.node.unicast_mode = proto::mode_by_index(3);
+  full.scenario.node.broadcast_mode = proto::mode_by_index(3);
 
   auto backward_only = full;
-  backward_only.policy.forward_aggregation = false;
+  backward_only.scenario.node.policy.forward_aggregation = false;
 
   auto na = full;
-  na.policy = core::AggregationPolicy::na();
+  na.scenario.node.policy = core::AggregationPolicy::na();
 
   const auto r_full = app::run_experiment(full);
   const auto r_back = app::run_experiment(backward_only);
@@ -189,11 +191,11 @@ TEST(Integration, ForwardAggregationAblation) {
 }
 
 TEST(Integration, HigherRateRaisesThroughputButAlsoOverheadShare) {
-  auto slow = base_tcp(Topology::kTwoHop, core::AggregationPolicy::na(),
+  auto slow = base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::na(),
                        60'000);
   auto fast = slow;
-  fast.unicast_mode = phy::mode_by_index(3);
-  fast.broadcast_mode = phy::mode_by_index(3);
+  fast.scenario.node.unicast_mode = proto::mode_by_index(3);
+  fast.scenario.node.broadcast_mode = proto::mode_by_index(3);
 
   const auto r_slow = app::run_experiment(slow);
   const auto r_fast = app::run_experiment(fast);
@@ -206,9 +208,9 @@ TEST(Integration, HigherRateRaisesThroughputButAlsoOverheadShare) {
 
 TEST(Integration, DeterministicForFixedSeed) {
   const auto a = app::run_experiment(
-      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 40'000));
+      base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ba(), 40'000));
   const auto b = app::run_experiment(
-      base_tcp(Topology::kTwoHop, core::AggregationPolicy::ba(), 40'000));
+      base_tcp(ScenarioSpec::two_hop(), core::AggregationPolicy::ba(), 40'000));
   EXPECT_EQ(a.flows[0].elapsed.ns(), b.flows[0].elapsed.ns());
   EXPECT_EQ(a.relay_stats().data_frames_tx, b.relay_stats().data_frames_tx);
 }
@@ -217,7 +219,7 @@ TEST(Integration, NoDuplicateDeliveryToTcp) {
   // The §3.3 hazard: a TCP ACK heard by multiple nodes must reach the
   // stack only at its addressed hop. If duplication happened, delivered
   // bytes would overshoot; equality is exact.
-  for (const auto topo : {Topology::kTwoHop, Topology::kThreeHop}) {
+  for (const auto& topo : {ScenarioSpec::two_hop(), ScenarioSpec::three_hop()}) {
     const auto r =
         app::run_experiment(base_tcp(topo, core::AggregationPolicy::ba(),
                                 80'000));

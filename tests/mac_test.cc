@@ -17,13 +17,13 @@ namespace {
 struct TestNode {
   phy::Phy phy;
   Mac mac;
-  std::vector<net::PacketPtr> delivered;
+  std::vector<proto::PacketPtr> delivered;
 
   TestNode(sim::Simulation& s, phy::Medium& m, std::uint32_t index,
            const core::AggregationPolicy& policy, double x_m)
       : phy(s, m, {.position = {x_m, 0}}, index),
         mac(s, phy, make_config(index, policy)) {
-    mac.on_deliver = [this](net::PacketPtr p, MacAddress) {
+    mac.on_deliver = [this](proto::PacketPtr p, proto::MacAddress) {
       delivered.push_back(std::move(p));
     };
   }
@@ -31,7 +31,7 @@ struct TestNode {
   static MacConfig make_config(std::uint32_t index,
                                const core::AggregationPolicy& policy) {
     MacConfig c;
-    c.address = MacAddress::for_node(index);
+    c.address = proto::MacAddress::for_node(index);
     c.policy = policy;
     return c;
   }
@@ -55,22 +55,22 @@ struct Harness {
   void run_ms(std::int64_t ms) { sim.run_for(sim::Duration::millis(ms)); }
 };
 
-net::PacketPtr udp_pkt(std::uint32_t payload = 1048) {
-  return net::make_udp_packet(net::Ipv4Address::for_node(0),
-                              net::Ipv4Address::for_node(1), 9000, 9001,
+proto::PacketPtr udp_pkt(std::uint32_t payload = 1048) {
+  return proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                              proto::Ipv4Address::for_node(1), 9000, 9001,
                               payload);
 }
 
-net::PacketPtr ack_pkt() {
-  return net::make_tcp_packet(net::Ipv4Address::for_node(1),
-                              net::Ipv4Address::for_node(0), 5001, 49152,
+proto::PacketPtr ack_pkt() {
+  return proto::make_tcp_packet(proto::Ipv4Address::for_node(1),
+                              proto::Ipv4Address::for_node(0), 5001, 49152,
                               500, 600, {.ack = true}, 21712, 0);
 }
 
 TEST(MacDcf, UnicastDeliveryUsesRtsCtsAck) {
   Harness h(2);
-  h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                   MacAddress::for_node(0));
+  h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                   proto::MacAddress::for_node(0));
   h.run_ms(200);
 
   ASSERT_EQ(h[1].delivered.size(), 1u);
@@ -99,9 +99,9 @@ TEST(MacDcf, RtsCtsCanBeDisabled) {
   c1.use_rts_cts = false;
   Mac m0(sim, p0, c0), m1(sim, p1, c1);
   int delivered = 0;
-  m1.on_deliver = [&](net::PacketPtr, MacAddress) { ++delivered; };
+  m1.on_deliver = [&](proto::PacketPtr, proto::MacAddress) { ++delivered; };
 
-  m0.enqueue(udp_pkt(), MacAddress::for_node(1), MacAddress::for_node(0));
+  m0.enqueue(udp_pkt(), proto::MacAddress::for_node(1), proto::MacAddress::for_node(0));
   sim.run_for(sim::Duration::millis(200));
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(m0.stats().rts_tx, 0u);
@@ -111,8 +111,8 @@ TEST(MacDcf, RtsCtsCanBeDisabled) {
 
 TEST(MacDcf, BroadcastNeedsNoControlFrames) {
   Harness h(3);
-  h[0].mac.enqueue(net::make_flood_packet(net::Ipv4Address::for_node(0), 40),
-                   MacAddress::broadcast(), MacAddress::for_node(0));
+  h[0].mac.enqueue(proto::make_flood_packet(proto::Ipv4Address::for_node(0), 40),
+                   proto::MacAddress::broadcast(), proto::MacAddress::for_node(0));
   h.run_ms(100);
 
   // Both neighbours deliver it; nobody acknowledges.
@@ -127,8 +127,8 @@ TEST(MacDcf, BroadcastNeedsNoControlFrames) {
 TEST(MacAggregation, QueuedPacketsShareOnePhyFrame) {
   Harness h(2, core::AggregationPolicy::ua());
   for (int i = 0; i < 3; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
   h.run_ms(300);
 
@@ -143,8 +143,8 @@ TEST(MacAggregation, QueuedPacketsShareOnePhyFrame) {
 TEST(MacAggregation, NaPolicySendsFramesIndividually) {
   Harness h(2, core::AggregationPolicy::na());
   for (int i = 0; i < 3; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
   h.run_ms(500);
 
@@ -155,8 +155,8 @@ TEST(MacAggregation, NaPolicySendsFramesIndividually) {
 
 TEST(MacTcpAck, ClassifiedIntoBroadcastPortionAndNotAcked) {
   Harness h(2);
-  h[0].mac.enqueue(ack_pkt(), MacAddress::for_node(1),
-                   MacAddress::for_node(0));
+  h[0].mac.enqueue(ack_pkt(), proto::MacAddress::for_node(1),
+                   proto::MacAddress::for_node(0));
   h.run_ms(100);
 
   ASSERT_EQ(h[1].delivered.size(), 1u);
@@ -172,8 +172,8 @@ TEST(MacTcpAck, ClassifiedIntoBroadcastPortionAndNotAcked) {
 TEST(MacTcpAck, OverhearingNodeDropsUnaddressedAck) {
   Harness h(3);
   // Node 0 sends a TCP ACK whose link next hop is node 1; node 2 hears it.
-  h[0].mac.enqueue(ack_pkt(), MacAddress::for_node(1),
-                   MacAddress::for_node(0));
+  h[0].mac.enqueue(ack_pkt(), proto::MacAddress::for_node(1),
+                   proto::MacAddress::for_node(0));
   h.run_ms(100);
 
   EXPECT_EQ(h[1].delivered.size(), 1u);
@@ -185,13 +185,13 @@ TEST(MacTcpAck, BidirectionalAggregationInOneFrame) {
   Harness h(2);
   // Node 0 has TCP data for node 1 AND a TCP ACK for node 1 queued: the
   // ACK rides the broadcast portion of the same PHY frame.
-  h[0].mac.enqueue(ack_pkt(), MacAddress::for_node(1),
-                   MacAddress::for_node(0));
-  h[0].mac.enqueue(net::make_tcp_packet(net::Ipv4Address::for_node(0),
-                                        net::Ipv4Address::for_node(1), 49152,
+  h[0].mac.enqueue(ack_pkt(), proto::MacAddress::for_node(1),
+                   proto::MacAddress::for_node(0));
+  h[0].mac.enqueue(proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                                        proto::Ipv4Address::for_node(1), 49152,
                                         5001, 0, 0, {.ack = true}, 21712,
                                         1357),
-                   MacAddress::for_node(1), MacAddress::for_node(0));
+                   proto::MacAddress::for_node(1), proto::MacAddress::for_node(0));
   h.run_ms(200);
 
   ASSERT_EQ(h[1].delivered.size(), 2u);
@@ -202,8 +202,8 @@ TEST(MacTcpAck, BidirectionalAggregationInOneFrame) {
 
 TEST(MacTcpAck, UaPolicyKeepsAcksUnicast) {
   Harness h(2, core::AggregationPolicy::ua());
-  h[0].mac.enqueue(ack_pkt(), MacAddress::for_node(1),
-                   MacAddress::for_node(0));
+  h[0].mac.enqueue(ack_pkt(), proto::MacAddress::for_node(1),
+                   proto::MacAddress::for_node(0));
   h.run_ms(100);
 
   ASSERT_EQ(h[1].delivered.size(), 1u);
@@ -220,8 +220,8 @@ TEST(MacRetry, OversizedAggregateRetriesAndDrops) {
   policy.max_aggregate_bytes = 16 * 1024;
   Harness h(2, policy);
   for (int i = 0; i < 14; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
   h.run_ms(3000);
 
@@ -239,8 +239,8 @@ TEST(MacRetry, BlockAckRecoversPartialAggregates) {
   policy.block_ack = true;
   Harness h(2, policy);
   for (int i = 0; i < 14; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
   h.run_ms(3000);
 
@@ -265,7 +265,7 @@ TEST(MacQueue, OverflowCountsDrops) {
   Mac m0(sim, p0, c0);
 
   for (int i = 0; i < 10; ++i) {
-    m0.enqueue(udp_pkt(), MacAddress::for_node(1), MacAddress::for_node(0));
+    m0.enqueue(udp_pkt(), proto::MacAddress::for_node(1), proto::MacAddress::for_node(0));
   }
   EXPECT_GT(m0.stats().queue_drops, 0u);
 }
@@ -277,11 +277,11 @@ TEST(MacNav, ContendersAllDeliverDespitePossibleCollisions) {
   // retransmission with a doubled contention window must recover, and
   // nothing may be lost or duplicated.
   for (int i = 0; i < 3; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
-  h[2].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                   MacAddress::for_node(2));
+  h[2].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                   proto::MacAddress::for_node(2));
   h.run_ms(1000);
 
   EXPECT_EQ(h[1].delivered.size(), 4u);
@@ -295,12 +295,12 @@ TEST(MacNav, OverhearingNodeDefersUntilExchangeEnds) {
   // Node 0 starts alone; once its RTS is on the air node 2 gets traffic.
   // Node 2's NAV (set by the RTS) must hold it off: no collisions.
   for (int i = 0; i < 3; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
   h.sim.scheduler().schedule_in(sim::Duration::millis(2), [&] {
-    h[2].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(2));
+    h[2].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(2));
   });
   h.run_ms(1000);
 
@@ -315,8 +315,8 @@ TEST(MacDelayed, RelayWaitsForThreeSubframes) {
   auto policy = core::AggregationPolicy::dba(3);
   Harness h(2, policy);
   // One packet: DBA holds it until the safety timeout.
-  h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                   MacAddress::for_node(0));
+  h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                   proto::MacAddress::for_node(0));
   h.run_ms(5);
   EXPECT_EQ(h[0].mac.stats().data_frames_tx, 0u);  // still held
 
@@ -329,8 +329,8 @@ TEST(MacDelayed, ThresholdReleasesImmediately) {
   auto policy = core::AggregationPolicy::dba(3);
   Harness h(2, policy);
   for (int i = 0; i < 3; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
   // Transmission must *start* well before the 10 ms safety timeout
   // (access takes ≲ 1.5 ms), proving the threshold released the hold.
@@ -344,8 +344,8 @@ TEST(MacDelayed, ThresholdReleasesImmediately) {
 TEST(MacStatsTest, TimeAccountingConsistency) {
   Harness h(2);
   for (int i = 0; i < 5; ++i) {
-    h[0].mac.enqueue(udp_pkt(), MacAddress::for_node(1),
-                     MacAddress::for_node(0));
+    h[0].mac.enqueue(udp_pkt(), proto::MacAddress::for_node(1),
+                     proto::MacAddress::for_node(0));
   }
   h.run_ms(1000);
 

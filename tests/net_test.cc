@@ -14,16 +14,16 @@ namespace {
 using topo::Scenario;
 
 TEST(Routing, MacForIpMapping) {
-  EXPECT_EQ(mac_for(Ipv4Address::for_node(0)), mac::MacAddress::for_node(0));
-  EXPECT_EQ(mac_for(Ipv4Address::for_node(3)), mac::MacAddress::for_node(3));
-  EXPECT_TRUE(mac_for(Ipv4Address::broadcast()).is_broadcast());
+  EXPECT_EQ(mac_for(proto::Ipv4Address::for_node(0)), proto::MacAddress::for_node(0));
+  EXPECT_EQ(mac_for(proto::Ipv4Address::for_node(3)), proto::MacAddress::for_node(3));
+  EXPECT_TRUE(mac_for(proto::Ipv4Address::broadcast()).is_broadcast());
 }
 
 TEST(Routing, ExplicitRoutesAndDirectFallback) {
   RoutingTable rt;
-  const auto a = Ipv4Address::for_node(0);
-  const auto b = Ipv4Address::for_node(1);
-  const auto c = Ipv4Address::for_node(2);
+  const auto a = proto::Ipv4Address::for_node(0);
+  const auto b = proto::Ipv4Address::for_node(1);
+  const auto c = proto::Ipv4Address::for_node(2);
   EXPECT_EQ(rt.next_hop(c), c);  // no route: direct
   rt.add_route(c, b);
   EXPECT_EQ(rt.next_hop(c), b);
@@ -35,14 +35,16 @@ TEST(Routing, ExplicitRoutesAndDirectFallback) {
 }
 
 // A chain with hop-by-hop static routes (the fixture default).
-Scenario routed_chain(std::size_t n) { return Scenario::chain(n); }
+Scenario routed_chain(std::size_t n) {
+  return Scenario::build(topo::ScenarioSpec::chain(n));
+}
 
 TEST(FullStack, TwoHopUdpForwarding) {
   auto chain = routed_chain(3);
   app::UdpSinkApp sink(chain.sim(), chain.node(2), 9001);
   auto& socket = transport::mux_of(chain.node(0)).open_udp(9000);
-  socket.send_to({Ipv4Address::for_node(2), 9001}, 1048);
-  socket.send_to({Ipv4Address::for_node(2), 9001}, 1048);
+  socket.send_to({proto::Ipv4Address::for_node(2), 9001}, 1048);
+  socket.send_to({proto::Ipv4Address::for_node(2), 9001}, 1048);
   chain.run_for(sim::Duration::seconds(2));
 
   EXPECT_EQ(sink.packets(), 2u);
@@ -57,7 +59,7 @@ TEST(FullStack, ThreeHopDelivery) {
   auto chain = routed_chain(4);
   app::UdpSinkApp sink(chain.sim(), chain.node(3), 9001);
   auto& socket = transport::mux_of(chain.node(0)).open_udp(9000);
-  socket.send_to({Ipv4Address::for_node(3), 9001}, 500);
+  socket.send_to({proto::Ipv4Address::for_node(3), 9001}, 500);
   chain.run_for(sim::Duration::seconds(2));
 
   EXPECT_EQ(sink.packets(), 1u);
@@ -68,11 +70,11 @@ TEST(FullStack, ThreeHopDelivery) {
 TEST(FullStack, BroadcastReachesNeighboursWithoutReflooding) {
   auto chain = routed_chain(3);
   int rx1 = 0, rx2 = 0;
-  chain.node(1).stack().on_broadcast = [&](const PacketPtr&) { ++rx1; };
-  chain.node(2).stack().on_broadcast = [&](const PacketPtr&) { ++rx2; };
+  chain.node(1).stack().on_broadcast = [&](const proto::PacketPtr&) { ++rx1; };
+  chain.node(2).stack().on_broadcast = [&](const proto::PacketPtr&) { ++rx2; };
 
   chain.node(0).stack().send(
-      make_flood_packet(Ipv4Address::for_node(0), 40));
+      proto::make_flood_packet(proto::Ipv4Address::for_node(0), 40));
   chain.run_for(sim::Duration::seconds(1));
 
   EXPECT_EQ(rx1, 1);
@@ -85,9 +87,9 @@ TEST(FullStack, BroadcastReachesNeighboursWithoutReflooding) {
 TEST(FullStack, TtlExpiresOnRoutingLoop) {
   auto chain = routed_chain(2);
   // Deliberate loop: both nodes route "node 9" at each other.
-  const auto phantom = Ipv4Address::from_octets(10, 0, 0, 99);
-  chain.node(0).routes().add_route(phantom, Ipv4Address::for_node(1));
-  chain.node(1).routes().add_route(phantom, Ipv4Address::for_node(0));
+  const auto phantom = proto::Ipv4Address::from_octets(10, 0, 0, 99);
+  chain.node(0).routes().add_route(phantom, proto::Ipv4Address::for_node(1));
+  chain.node(1).routes().add_route(phantom, proto::Ipv4Address::for_node(0));
 
   transport::mux_of(chain.node(0)).open_udp(9000).send_to({phantom, 1}, 100);
   chain.run_for(sim::Duration::seconds(30));
@@ -101,7 +103,7 @@ TEST(FullStack, UdpSaturationDropsAtQueueNotSilently) {
   auto chain = routed_chain(3);
   app::UdpSinkApp sink(chain.sim(), chain.node(2), 9001);
   app::UdpCbrConfig cfg;
-  cfg.destination = {Ipv4Address::for_node(2), 9001};
+  cfg.destination = {proto::Ipv4Address::for_node(2), 9001};
   cfg.interval = sim::Duration::millis(10);
   cfg.packets_per_tick = 8;  // far above channel capacity
   cfg.stop = sim::TimePoint::at(sim::Duration::seconds(5));
@@ -120,8 +122,8 @@ TEST(FullStack, UdpSaturationDropsAtQueueNotSilently) {
 
 TEST(Node, AddressingAccessors) {
   auto chain = routed_chain(2);
-  EXPECT_EQ(chain.node(0).ip(), Ipv4Address::for_node(0));
-  EXPECT_EQ(chain.node(1).link_address(), mac::MacAddress::for_node(1));
+  EXPECT_EQ(chain.node(0).ip(), proto::Ipv4Address::for_node(0));
+  EXPECT_EQ(chain.node(1).link_address(), proto::MacAddress::for_node(1));
   EXPECT_EQ(chain.node(0).index(), 0u);
 }
 

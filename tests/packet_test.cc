@@ -8,64 +8,64 @@ namespace hydra::net {
 namespace {
 
 TEST(Ipv4Address, NodeMapping) {
-  EXPECT_EQ(to_string(Ipv4Address::for_node(0)), "10.0.0.1");
-  EXPECT_EQ(to_string(Ipv4Address::for_node(3)), "10.0.0.4");
-  EXPECT_TRUE(Ipv4Address::broadcast().is_broadcast());
-  EXPECT_TRUE(Ipv4Address().is_unspecified());
+  EXPECT_EQ(to_string(proto::Ipv4Address::for_node(0)), "10.0.0.1");
+  EXPECT_EQ(to_string(proto::Ipv4Address::for_node(3)), "10.0.0.4");
+  EXPECT_TRUE(proto::Ipv4Address::broadcast().is_broadcast());
+  EXPECT_TRUE(proto::Ipv4Address().is_unspecified());
 }
 
 TEST(Ipv4Address, Ordering) {
-  EXPECT_LT(Ipv4Address::for_node(0), Ipv4Address::for_node(1));
-  EXPECT_EQ(Ipv4Address::from_octets(10, 0, 0, 1), Ipv4Address::for_node(0));
+  EXPECT_LT(proto::Ipv4Address::for_node(0), proto::Ipv4Address::for_node(1));
+  EXPECT_EQ(proto::Ipv4Address::from_octets(10, 0, 0, 1), proto::Ipv4Address::for_node(0));
 }
 
 TEST(Ipv4Header, RoundTrip) {
-  Ipv4Header h;
-  h.src = Ipv4Address::for_node(0);
-  h.dst = Ipv4Address::for_node(2);
-  h.protocol = kProtoTcp;
+  proto::Ipv4Header h;
+  h.src = proto::Ipv4Address::for_node(0);
+  h.dst = proto::Ipv4Address::for_node(2);
+  h.protocol = proto::kProtoTcp;
   h.ttl = 17;
   h.total_length = 1234;
   BufferWriter w;
   h.serialize(w);
-  EXPECT_EQ(w.size(), Ipv4Header::kWireBytes);
+  EXPECT_EQ(w.size(), proto::Ipv4Header::kWireBytes);
   const auto bytes = w.take();
   BufferReader r(bytes);
-  const auto parsed = Ipv4Header::parse(r);
+  const auto parsed = proto::Ipv4Header::parse(r);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->src, h.src);
   EXPECT_EQ(parsed->dst, h.dst);
-  EXPECT_EQ(parsed->protocol, kProtoTcp);
+  EXPECT_EQ(parsed->protocol, proto::kProtoTcp);
   EXPECT_EQ(parsed->ttl, 17);
   EXPECT_EQ(parsed->total_length, 1234);
 }
 
 TEST(Ipv4Header, RejectsBadVersion) {
-  Bytes bytes(Ipv4Header::kWireBytes, 0);
+  Bytes bytes(proto::Ipv4Header::kWireBytes, 0);
   bytes[0] = 0x60;  // IPv6 version nibble
   BufferReader r(bytes);
-  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+  EXPECT_FALSE(proto::Ipv4Header::parse(r).has_value());
 }
 
 TEST(Ipv4Header, RejectsTruncation) {
   const Bytes bytes(10, 0);
   BufferReader r(bytes);
-  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+  EXPECT_FALSE(proto::Ipv4Header::parse(r).has_value());
 }
 
 TEST(TcpFlags, ByteRoundTrip) {
   for (int mask = 0; mask < 16; ++mask) {
-    TcpFlags f;
+    proto::TcpFlags f;
     f.syn = mask & 1;
     f.ack = mask & 2;
     f.fin = mask & 4;
     f.rst = mask & 8;
-    EXPECT_EQ(TcpFlags::from_byte(f.to_byte()), f);
+    EXPECT_EQ(proto::TcpFlags::from_byte(f.to_byte()), f);
   }
 }
 
 TEST(TcpHeader, RoundTrip) {
-  TcpHeader h;
+  proto::TcpHeader h;
   h.src_port = 49152;
   h.dst_port = 5001;
   h.seq = 0xdeadbeef;
@@ -74,10 +74,10 @@ TEST(TcpHeader, RoundTrip) {
   h.window = 21712;
   BufferWriter w;
   h.serialize(w);
-  EXPECT_EQ(w.size(), TcpHeader::kWireBytes);
+  EXPECT_EQ(w.size(), proto::TcpHeader::kWireBytes);
   const auto bytes = w.take();
   BufferReader r(bytes);
-  const auto parsed = TcpHeader::parse(r);
+  const auto parsed = proto::TcpHeader::parse(r);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->src_port, h.src_port);
   EXPECT_EQ(parsed->dst_port, h.dst_port);
@@ -88,16 +88,16 @@ TEST(TcpHeader, RoundTrip) {
 }
 
 TEST(UdpHeader, RoundTrip) {
-  UdpHeader h;
+  proto::UdpHeader h;
   h.src_port = 9000;
   h.dst_port = 9001;
   h.length = 1056;
   BufferWriter w;
   h.serialize(w);
-  EXPECT_EQ(w.size(), UdpHeader::kWireBytes);
+  EXPECT_EQ(w.size(), proto::UdpHeader::kWireBytes);
   const auto bytes = w.take();
   BufferReader r(bytes);
-  const auto parsed = UdpHeader::parse(r);
+  const auto parsed = proto::UdpHeader::parse(r);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->src_port, 9000);
   EXPECT_EQ(parsed->dst_port, 9001);
@@ -105,60 +105,60 @@ TEST(UdpHeader, RoundTrip) {
 }
 
 TEST(Packet, WireSizes) {
-  const auto udp = make_udp_packet(Ipv4Address::for_node(0),
-                                   Ipv4Address::for_node(1), 9000, 9001, 1048);
+  const auto udp = proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                                   proto::Ipv4Address::for_node(1), 9000, 9001, 1048);
   EXPECT_EQ(udp->wire_size(), 20u + 8u + 1048u);
 
-  const auto tcp = make_tcp_packet(Ipv4Address::for_node(0),
-                                   Ipv4Address::for_node(1), 1, 2, 100, 200,
+  const auto tcp = proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                                   proto::Ipv4Address::for_node(1), 1, 2, 100, 200,
                                    {.ack = true}, 1000, 1357);
   EXPECT_EQ(tcp->wire_size(), 20u + 20u + 1357u);
 
-  const auto flood = make_flood_packet(Ipv4Address::for_node(0), 40);
+  const auto flood = proto::make_flood_packet(proto::Ipv4Address::for_node(0), 40);
   EXPECT_EQ(flood->wire_size(), 20u + 40u);
   EXPECT_TRUE(flood->ip.dst.is_broadcast());
-  EXPECT_EQ(flood->ip.protocol, kProtoFlood);
+  EXPECT_EQ(flood->ip.protocol, proto::kProtoFlood);
 }
 
 TEST(Packet, PureTcpAckPredicate) {
-  const auto src = Ipv4Address::for_node(0);
-  const auto dst = Ipv4Address::for_node(1);
+  const auto src = proto::Ipv4Address::for_node(0);
+  const auto dst = proto::Ipv4Address::for_node(1);
 
   // The genuine article: ACK flag, no payload, no SYN/FIN/RST.
-  EXPECT_TRUE(make_tcp_packet(src, dst, 1, 2, 0, 100, {.ack = true}, 0, 0)
+  EXPECT_TRUE(proto::make_tcp_packet(src, dst, 1, 2, 0, 100, {.ack = true}, 0, 0)
                   ->is_pure_tcp_ack());
 
   // Data segment with piggybacked ACK: not pure.
   EXPECT_FALSE(
-      make_tcp_packet(src, dst, 1, 2, 0, 100, {.ack = true}, 0, 1357)
+      proto::make_tcp_packet(src, dst, 1, 2, 0, 100, {.ack = true}, 0, 1357)
           ->is_pure_tcp_ack());
 
   // Connection setup/teardown is excluded (paper §4.2.4).
-  EXPECT_FALSE(make_tcp_packet(src, dst, 1, 2, 0, 0, {.syn = true}, 0, 0)
+  EXPECT_FALSE(proto::make_tcp_packet(src, dst, 1, 2, 0, 0, {.syn = true}, 0, 0)
                    ->is_pure_tcp_ack());
   EXPECT_FALSE(
-      make_tcp_packet(src, dst, 1, 2, 0, 0, {.syn = true, .ack = true}, 0, 0)
+      proto::make_tcp_packet(src, dst, 1, 2, 0, 0, {.syn = true, .ack = true}, 0, 0)
           ->is_pure_tcp_ack());
   EXPECT_FALSE(
-      make_tcp_packet(src, dst, 1, 2, 0, 0, {.ack = true, .fin = true}, 0, 0)
+      proto::make_tcp_packet(src, dst, 1, 2, 0, 0, {.ack = true, .fin = true}, 0, 0)
           ->is_pure_tcp_ack());
   EXPECT_FALSE(
-      make_tcp_packet(src, dst, 1, 2, 0, 0, {.ack = true, .rst = true}, 0, 0)
+      proto::make_tcp_packet(src, dst, 1, 2, 0, 0, {.ack = true, .rst = true}, 0, 0)
           ->is_pure_tcp_ack());
 
   // Non-TCP traffic is never a TCP ACK.
-  EXPECT_FALSE(make_udp_packet(src, dst, 1, 2, 0)->is_pure_tcp_ack());
-  EXPECT_FALSE(make_flood_packet(src, 10)->is_pure_tcp_ack());
+  EXPECT_FALSE(proto::make_udp_packet(src, dst, 1, 2, 0)->is_pure_tcp_ack());
+  EXPECT_FALSE(proto::make_flood_packet(src, 10)->is_pure_tcp_ack());
 }
 
 TEST(Packet, SerializeParseRoundTripTcp) {
-  const auto p = make_tcp_packet(Ipv4Address::for_node(1),
-                                 Ipv4Address::for_node(3), 49152, 5001,
+  const auto p = proto::make_tcp_packet(proto::Ipv4Address::for_node(1),
+                                 proto::Ipv4Address::for_node(3), 49152, 5001,
                                  777, 888, {.ack = true}, 21712, 512);
   const auto bytes = p->serialize();
   EXPECT_EQ(bytes.size(), p->wire_size());
   BufferReader r(bytes);
-  const auto parsed = Packet::parse(r);
+  const auto parsed = proto::Packet::parse(r);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->ip.src, p->ip.src);
   EXPECT_EQ(parsed->ip.dst, p->ip.dst);
@@ -170,11 +170,11 @@ TEST(Packet, SerializeParseRoundTripTcp) {
 }
 
 TEST(Packet, SerializeParseRoundTripUdp) {
-  const auto p = make_udp_packet(Ipv4Address::for_node(0),
-                                 Ipv4Address::for_node(2), 9000, 9001, 1048);
+  const auto p = proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                                 proto::Ipv4Address::for_node(2), 9000, 9001, 1048);
   const auto bytes = p->serialize();
   BufferReader r(bytes);
-  const auto parsed = Packet::parse(r);
+  const auto parsed = proto::Packet::parse(r);
   ASSERT_TRUE(parsed.has_value());
   ASSERT_TRUE(parsed->udp.has_value());
   EXPECT_EQ(parsed->udp->dst_port, 9001);
@@ -182,21 +182,21 @@ TEST(Packet, SerializeParseRoundTripUdp) {
 }
 
 TEST(Packet, ParseRejectsTruncatedPayload) {
-  const auto p = make_udp_packet(Ipv4Address::for_node(0),
-                                 Ipv4Address::for_node(2), 9000, 9001, 100);
+  const auto p = proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                                 proto::Ipv4Address::for_node(2), 9000, 9001, 100);
   auto bytes = p->serialize();
   bytes.resize(bytes.size() - 10);
   BufferReader r(bytes);
-  EXPECT_FALSE(Packet::parse(r).has_value());
+  EXPECT_FALSE(proto::Packet::parse(r).has_value());
 }
 
 TEST(Endpoint, Comparison) {
-  const Endpoint a{Ipv4Address::for_node(0), 80};
-  const Endpoint b{Ipv4Address::for_node(0), 81};
-  const Endpoint c{Ipv4Address::for_node(1), 80};
+  const proto::Endpoint a{proto::Ipv4Address::for_node(0), 80};
+  const proto::Endpoint b{proto::Ipv4Address::for_node(0), 81};
+  const proto::Endpoint c{proto::Ipv4Address::for_node(1), 80};
   EXPECT_LT(a, b);
   EXPECT_LT(a, c);
-  EXPECT_EQ(a, (Endpoint{Ipv4Address::for_node(0), 80}));
+  EXPECT_EQ(a, (proto::Endpoint{proto::Ipv4Address::for_node(0), 80}));
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ namespace hydra::phy {
 namespace {
 
 TEST(PhyMode, HydraRateTable) {
-  const auto modes = hydra_modes();
+  const auto modes = proto::hydra_modes();
   ASSERT_EQ(modes.size(), 8u);
   EXPECT_EQ(modes[0].rate.bits_per_second(), 650'000u);
   EXPECT_EQ(modes[7].rate.bits_per_second(), 6'500'000u);
@@ -28,25 +28,25 @@ TEST(PhyMode, HydraRateTable) {
 }
 
 TEST(PhyMode, BitsPerSymbol) {
-  EXPECT_EQ(mode_by_index(0).bits_per_symbol(), 1u);  // BPSK
-  EXPECT_EQ(mode_by_index(1).bits_per_symbol(), 2u);  // QPSK
-  EXPECT_EQ(mode_by_index(3).bits_per_symbol(), 4u);  // 16-QAM
-  EXPECT_EQ(mode_by_index(7).bits_per_symbol(), 6u);  // 64-QAM
+  EXPECT_EQ(proto::mode_by_index(0).bits_per_symbol(), 1u);  // BPSK
+  EXPECT_EQ(proto::mode_by_index(1).bits_per_symbol(), 2u);  // QPSK
+  EXPECT_EQ(proto::mode_by_index(3).bits_per_symbol(), 4u);  // 16-QAM
+  EXPECT_EQ(proto::mode_by_index(7).bits_per_symbol(), 6u);  // 64-QAM
 }
 
 TEST(PhyMode, LookupByRate) {
-  ASSERT_TRUE(mode_for_mbps_x100(65).has_value());
-  ASSERT_TRUE(mode_for_mbps_x100(260).has_value());
-  EXPECT_EQ(mode_for_mbps_x100(65)->modulation, Modulation::kBpsk);
-  EXPECT_EQ(mode_for_mbps_x100(260)->modulation, Modulation::kQam16);
-  EXPECT_FALSE(mode_for_mbps_x100(100).has_value());
+  ASSERT_TRUE(proto::mode_for_mbps_x100(65).has_value());
+  ASSERT_TRUE(proto::mode_for_mbps_x100(260).has_value());
+  EXPECT_EQ(proto::mode_for_mbps_x100(65)->modulation, proto::Modulation::kBpsk);
+  EXPECT_EQ(proto::mode_for_mbps_x100(260)->modulation, proto::Modulation::kQam16);
+  EXPECT_FALSE(proto::mode_for_mbps_x100(100).has_value());
 }
 
 TEST(PhyMode, SixtyFourQamUnreliableAtPaperSnr) {
   // Paper §5: 25 dB "did not allow reliable operation of the rates that
   // required 64-QAM".
-  for (const auto& m : hydra_modes()) {
-    if (m.modulation == Modulation::kQam64) {
+  for (const auto& m : proto::hydra_modes()) {
+    if (m.modulation == proto::Modulation::kQam64) {
       EXPECT_GT(m.required_snr_db, 25.0);
     } else {
       EXPECT_LT(m.required_snr_db, 25.0);
@@ -56,19 +56,19 @@ TEST(PhyMode, SixtyFourQamUnreliableAtPaperSnr) {
 
 TEST(Timing, PayloadAirtimeExactValues) {
   // 1000 bytes at 0.65 Mbps = 8000 bits / 650000 bps = 12.307692.. ms.
-  const auto d = payload_airtime(1000, mode_by_index(0));
+  const auto d = payload_airtime(1000, proto::mode_by_index(0));
   EXPECT_NEAR(d.millis_f(), 12.3077, 0.001);
   // Doubling the rate halves the airtime.
-  const auto d2 = payload_airtime(1000, mode_by_index(1));
+  const auto d2 = payload_airtime(1000, proto::mode_by_index(1));
   EXPECT_NEAR(d.millis_f() / d2.millis_f(), 2.0, 0.001);
-  EXPECT_TRUE(payload_airtime(0, mode_by_index(0)).is_zero());
+  EXPECT_TRUE(payload_airtime(0, proto::mode_by_index(0)).is_zero());
 }
 
 TEST(Timing, AirtimeMonotonicInBytes) {
   for (std::size_t mode = 0; mode < 4; ++mode) {
     sim::Duration prev = sim::Duration::zero();
     for (std::size_t bytes = 100; bytes <= 2000; bytes += 100) {
-      const auto t = payload_airtime(bytes, mode_by_index(mode));
+      const auto t = payload_airtime(bytes, proto::mode_by_index(mode));
       EXPECT_GT(t, prev);
       prev = t;
     }
@@ -77,10 +77,10 @@ TEST(Timing, AirtimeMonotonicInBytes) {
 
 TEST(Timing, FrameTimingLayout) {
   PortionSpec bcast;
-  bcast.mode = mode_by_index(0);
+  bcast.mode = proto::mode_by_index(0);
   bcast.subframe_bytes = {160, 160};
   PortionSpec ucast;
-  ucast.mode = mode_by_index(1);
+  ucast.mode = proto::mode_by_index(1);
   ucast.subframe_bytes = {1464};
 
   const auto t = frame_timing(bcast, ucast);
@@ -116,7 +116,7 @@ TEST(Timing, SamplesAccounting) {
 TEST(Timing, FiveKilobytesAtBaseRateSitsAtTheSampleCliff) {
   // Paper §6.1: 5 KB at 0.65 Mbps ≈ the 120 Ksample threshold.
   PortionSpec ucast;
-  ucast.mode = mode_by_index(0);
+  ucast.mode = proto::mode_by_index(0);
   ucast.subframe_bytes = {5 * 1024};
   const auto t = frame_timing({}, ucast);
   const auto samples = samples_for(t.total);
@@ -128,7 +128,7 @@ TEST(ErrorModel, CleanBelowCoherence) {
   // At the paper's 25 dB operating point, a max-size subframe that ends
   // before the coherence time is essentially always received.
   const auto p = model.subframe_error_probability(
-      mode_by_index(3), 25.0, 1464, sim::Duration::millis(30));
+      proto::mode_by_index(3), 25.0, 1464, sim::Duration::millis(30));
   EXPECT_LT(p, 1e-3);
 }
 
@@ -137,7 +137,7 @@ TEST(ErrorModel, HopelessBeyondCoherence) {
   // 15 ms past the coherence time the channel estimate is stale and the
   // subframe is effectively always lost — the Fig. 7 cliff.
   const auto p = model.subframe_error_probability(
-      mode_by_index(0), 25.0, 1464,
+      proto::mode_by_index(0), 25.0, 1464,
       model.config().coherence_time + sim::Duration::millis(15));
   EXPECT_GT(p, 0.99);
 }
@@ -153,7 +153,7 @@ TEST(ErrorModel, EffectiveSnrFlatThenLinear) {
 
 TEST(ErrorModel, BitErrorMonotonicInSnr) {
   const ErrorModel model;
-  const auto& mode = mode_by_index(2);
+  const auto& mode = proto::mode_by_index(2);
   double prev = 1.0;
   for (double snr = 0.0; snr <= 30.0; snr += 2.0) {
     const auto p = model.bit_error_probability(mode, snr);
@@ -166,13 +166,13 @@ TEST(ErrorModel, SixtyFourQamFailsAtOperatingPoint) {
   const ErrorModel model;
   // A full-size subframe at 64-QAM 5/6 under 25 dB should usually fail.
   const auto p = model.subframe_error_probability(
-      mode_by_index(7), 25.0, 1464, sim::Duration::millis(5));
+      proto::mode_by_index(7), 25.0, 1464, sim::Duration::millis(5));
   EXPECT_GT(p, 0.5);
 }
 
 TEST(ErrorModel, ErrorProbabilityGrowsWithLength) {
   const ErrorModel model;
-  const auto& mode = mode_by_index(1);
+  const auto& mode = proto::mode_by_index(1);
   const auto p_small = model.subframe_error_probability(
       mode, 9.0, 100, sim::Duration::millis(1));
   const auto p_large = model.subframe_error_probability(
@@ -204,7 +204,7 @@ TEST(Medium, SnrFallsWithDistance) {
   EXPECT_GT(medium.rx_power_dbm(a, c), medium.config().cca_threshold_dbm);
 }
 
-PhyFrame test_frame(std::size_t bytes, const PhyMode& mode) {
+PhyFrame test_frame(std::size_t bytes, const proto::PhyMode& mode) {
   PhyFrame f;
   f.unicast.mode = mode;
   f.unicast.subframe_bytes = {bytes};
@@ -227,7 +227,7 @@ TEST(Phy, DeliversFrameWithCorrectSnr) {
   bool tx_done = false;
   a.on_tx_complete = [&] { tx_done = true; };
 
-  a.transmit(test_frame(1000, mode_by_index(0)));
+  a.transmit(test_frame(1000, proto::mode_by_index(0)));
   EXPECT_TRUE(a.transmitting());
   s.run();
   EXPECT_TRUE(tx_done);
@@ -248,7 +248,7 @@ TEST(Phy, CcaBusyDuringNeighbourTransmission) {
   int busy_edges = 0, idle_edges = 0;
   b.on_cca_change = [&](bool busy) { busy ? ++busy_edges : ++idle_edges; };
 
-  a.transmit(test_frame(1000, mode_by_index(0)));
+  a.transmit(test_frame(1000, proto::mode_by_index(0)));
   s.run();
   EXPECT_EQ(busy_edges, 1);
   EXPECT_EQ(idle_edges, 1);
@@ -266,9 +266,9 @@ TEST(Phy, OverlappingTransmissionsCollide) {
   c.on_rx = [&](const RxReport& r) { r.collided ? ++collided : ++clean; };
 
   // Both transmit within each other's airtime.
-  a.transmit(test_frame(1000, mode_by_index(0)));
+  a.transmit(test_frame(1000, proto::mode_by_index(0)));
   s.scheduler().schedule_in(sim::Duration::millis(1), [&] {
-    b.transmit(test_frame(1000, mode_by_index(0)));
+    b.transmit(test_frame(1000, proto::mode_by_index(0)));
   });
   s.run();
   EXPECT_EQ(collided, 2);
@@ -286,9 +286,9 @@ TEST(Phy, TransmitterMissesFramesWhileTransmitting) {
   a.on_rx = [&](const RxReport& r) {
     if (!r.collided) ++a_clean;
   };
-  a.transmit(test_frame(2000, mode_by_index(0)));
+  a.transmit(test_frame(2000, proto::mode_by_index(0)));
   s.scheduler().schedule_in(sim::Duration::millis(1), [&] {
-    b.transmit(test_frame(100, mode_by_index(0)));
+    b.transmit(test_frame(100, proto::mode_by_index(0)));
   });
   s.run();
   EXPECT_EQ(a_clean, 0);  // half-duplex: own TX doomed the reception
@@ -303,7 +303,7 @@ TEST(Phy, LongAggregateLosesTailSubframesOnly) {
   // 8 KB of subframes at 0.65 Mbps: ~100 ms airtime, far past the 62 ms
   // coherence time. Early subframes survive; late ones die.
   PhyFrame f;
-  f.unicast.mode = mode_by_index(0);
+  f.unicast.mode = proto::mode_by_index(0);
   for (int i = 0; i < 8; ++i) f.unicast.subframe_bytes.push_back(1024);
   f.payload = std::make_shared<Payload>();
 

@@ -38,10 +38,10 @@ class TcpTransferProperty : public ::testing::TestWithParam<TransferParam> {};
 TEST_P(TcpTransferProperty, FileAlwaysDeliveredExactly) {
   const auto [policy_idx, mode_idx, seed] = GetParam();
   topo::ExperimentConfig cfg;
-  cfg.topology = topo::Topology::kTwoHop;
-  cfg.policy = kPolicies[policy_idx].policy;
-  cfg.unicast_mode = phy::mode_by_index(mode_idx);
-  cfg.broadcast_mode = phy::mode_by_index(mode_idx);
+  cfg.scenario = topo::ScenarioSpec::two_hop();
+  cfg.scenario.node.policy = kPolicies[policy_idx].policy;
+  cfg.scenario.node.unicast_mode = proto::mode_by_index(mode_idx);
+  cfg.scenario.node.broadcast_mode = proto::mode_by_index(mode_idx);
   cfg.tcp_file_bytes = 60'000;
   cfg.seed = static_cast<std::uint64_t>(seed);
 
@@ -76,15 +76,15 @@ class TopologyPolicyProperty : public ::testing::TestWithParam<TopoParam> {};
 
 TEST_P(TopologyPolicyProperty, AllFlowsCompleteExactly) {
   const auto [policy_idx, topo_idx] = GetParam();
-  const topo::Topology topologies[] = {topo::Topology::kTwoHop,
-                                       topo::Topology::kThreeHop,
-                                       topo::Topology::kStar};
+  const topo::ScenarioSpec topologies[] = {topo::ScenarioSpec::two_hop(),
+                                           topo::ScenarioSpec::three_hop(),
+                                           topo::ScenarioSpec::fig6_star()};
   topo::ExperimentConfig cfg;
-  cfg.topology = topologies[topo_idx];
-  cfg.policy = kPolicies[policy_idx].policy;
+  cfg.scenario = topologies[topo_idx];
+  cfg.scenario.node.policy = kPolicies[policy_idx].policy;
   cfg.tcp_file_bytes = 50'000;
-  cfg.unicast_mode = phy::mode_by_index(1);
-  cfg.broadcast_mode = phy::mode_by_index(1);
+  cfg.scenario.node.unicast_mode = proto::mode_by_index(1);
+  cfg.scenario.node.broadcast_mode = proto::mode_by_index(1);
 
   const auto r = app::run_experiment(cfg);
   for (const auto& flow : r.flows) {
@@ -107,9 +107,10 @@ class BidirectionalProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(BidirectionalProperty, OpposingTransfersBothComplete) {
   topo::ExperimentConfig cfg;
-  cfg.topology = topo::Topology::kTwoHop;
-  cfg.policy = (GetParam() % 2 == 0) ? core::AggregationPolicy::ba()
-                                     : core::AggregationPolicy::ua();
+  cfg.scenario = topo::ScenarioSpec::two_hop();
+  cfg.scenario.node.policy = (GetParam() % 2 == 0)
+                                 ? core::AggregationPolicy::ba()
+                                 : core::AggregationPolicy::ua();
   cfg.traffic = topo::TrafficKind::kTcpBidirectional;
   cfg.tcp_file_bytes = 40'000;
   cfg.seed = static_cast<std::uint64_t>(GetParam() + 1);
@@ -137,16 +138,16 @@ TEST_P(AggregatorSizeProperty, NeverExceedsLimitUnlessSingleton) {
   core::DualQueue q(128);
 
   for (int i = 0; i < n_frames; ++i) {
-    mac::MacSubframe sf;
-    sf.receiver = mac::MacAddress(1);
-    sf.packet = net::make_tcp_packet(net::Ipv4Address::for_node(0),
-                                     net::Ipv4Address::for_node(1), 1, 2, 0,
+    proto::MacSubframe sf;
+    sf.receiver = proto::MacAddress(1);
+    sf.packet = proto::make_tcp_packet(proto::Ipv4Address::for_node(0),
+                                     proto::Ipv4Address::for_node(1), 1, 2, 0,
                                      0, {.ack = true}, 100, 1357);
     q.unicast().push(sf, {});
-    mac::MacSubframe ack;
-    ack.receiver = mac::MacAddress(2);
-    ack.packet = net::make_tcp_packet(net::Ipv4Address::for_node(1),
-                                      net::Ipv4Address::for_node(0), 2, 1, 0,
+    proto::MacSubframe ack;
+    ack.receiver = proto::MacAddress(2);
+    ack.packet = proto::make_tcp_packet(proto::Ipv4Address::for_node(1),
+                                      proto::Ipv4Address::for_node(0), 2, 1, 0,
                                       0, {.ack = true}, 100, 0);
     q.broadcast().push(ack, {});
   }
@@ -178,23 +179,23 @@ class SubframeSizeProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(SubframeSizeProperty, AlignedBoundedAndRoundTrips) {
   const auto payload = static_cast<std::uint32_t>(GetParam());
-  const auto pkt = net::make_udp_packet(net::Ipv4Address::for_node(0),
-                                        net::Ipv4Address::for_node(1), 1, 2,
+  const auto pkt = proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                                        proto::Ipv4Address::for_node(1), 1, 2,
                                         payload);
-  mac::MacSubframe sf;
-  sf.receiver = mac::MacAddress(1);
-  sf.transmitter = mac::MacAddress(2);
-  sf.source = mac::MacAddress(2);
+  proto::MacSubframe sf;
+  sf.receiver = proto::MacAddress(1);
+  sf.transmitter = proto::MacAddress(2);
+  sf.source = proto::MacAddress(2);
   sf.packet = pkt;
 
   const auto wire = sf.wire_bytes();
-  EXPECT_EQ(wire % mac::kSubframeAlign, 0u);
-  EXPECT_GE(wire, mac::kMinSubframeBytes);
+  EXPECT_EQ(wire % proto::kSubframeAlign, 0u);
+  EXPECT_GE(wire, proto::kMinSubframeBytes);
 
   const auto bytes = sf.serialize();
   ASSERT_EQ(bytes.size(), wire);
   BufferReader r(bytes);
-  const auto parsed = mac::MacSubframe::parse(r);
+  const auto parsed = proto::MacSubframe::parse(r);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->packet->payload_bytes, payload);
   EXPECT_TRUE(r.exhausted());
@@ -213,7 +214,7 @@ class ErrorModelProperty : public ::testing::TestWithParam<int> {};
 TEST_P(ErrorModelProperty, ErrorNeverDecreasesWithFrameOffset) {
   const auto mode_idx = static_cast<std::size_t>(GetParam());
   const phy::ErrorModel model;
-  const auto& mode = phy::mode_by_index(mode_idx);
+  const auto& mode = proto::mode_by_index(mode_idx);
   double prev = -1.0;
   for (std::int64_t ms = 0; ms <= 120; ms += 5) {
     const auto p = model.subframe_error_probability(
@@ -228,7 +229,7 @@ TEST_P(ErrorModelProperty, ErrorNeverDecreasesWithFrameOffset) {
 TEST_P(ErrorModelProperty, ErrorDecreasesWithSnr) {
   const auto mode_idx = static_cast<std::size_t>(GetParam());
   const phy::ErrorModel model;
-  const auto& mode = phy::mode_by_index(mode_idx);
+  const auto& mode = proto::mode_by_index(mode_idx);
   double prev = 2.0;
   for (double snr = 0; snr <= 40; snr += 2.5) {
     const auto p = model.subframe_error_probability(
@@ -249,8 +250,8 @@ class UdpConservationProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(UdpConservationProperty, SinkNeverExceedsSource) {
   topo::ExperimentConfig cfg;
-  cfg.topology = topo::Topology::kTwoHop;
-  cfg.policy = (GetParam() % 2 == 0) ? core::AggregationPolicy::ba()
+  cfg.scenario = topo::ScenarioSpec::two_hop();
+  cfg.scenario.node.policy = (GetParam() % 2 == 0) ? core::AggregationPolicy::ba()
                                      : core::AggregationPolicy::na();
   cfg.traffic = topo::TrafficKind::kUdp;
   cfg.udp_duration = sim::Duration::seconds(5);

@@ -78,6 +78,40 @@ TEST(Snr, HonoursMaxIndex) {
   EXPECT_EQ(snr.mode_index(), 3u);
 }
 
+TEST(Snr, FallsToMinIndexWhenNothingQualifies) {
+  SnrAdapter snr({.margin_db = 2.0, .min_index = 2}, 5);
+  snr.on_feedback_snr(-10.0);  // nothing clears: floor at min_index
+  EXPECT_EQ(snr.mode_index(), 2u);
+}
+
+TEST(Snr, SelectsByRateNotTablePosition) {
+  // Regression: selection used to keep the *last* qualifying table
+  // index, which silently assumed the mode table is rate-sorted. The
+  // adapter must pick the maximum-rate qualifying mode whatever the
+  // order, so restricting the window anywhere in the table still yields
+  // the fastest qualifying entry of that window.
+  SnrAdapter snr({.margin_db = 2.0, .min_index = 1, .max_index = 6}, 1);
+  snr.on_feedback_snr(40.0);  // everything qualifies
+  const auto& chosen = proto::mode_by_index(snr.mode_index());
+  for (std::size_t i = 1; i <= 6; ++i) {
+    EXPECT_LE(proto::mode_by_index(i).rate.bits_per_second(),
+              chosen.rate.bits_per_second());
+  }
+}
+
+TEST(ModeTable, SortedByRateAndRequiredSnr) {
+  // The documented table-ordering invariant the SNR adapter no longer
+  // depends on, pinned so a future edit that breaks it is deliberate:
+  // rates strictly increase and required SNR never decreases.
+  const auto modes = proto::hydra_modes();
+  ASSERT_GE(modes.size(), 2u);
+  for (std::size_t i = 1; i < modes.size(); ++i) {
+    EXPECT_GT(modes[i].rate.bits_per_second(),
+              modes[i - 1].rate.bits_per_second());
+    EXPECT_GE(modes[i].required_snr_db, modes[i - 1].required_snr_db);
+  }
+}
+
 TEST(Factory, SchemeSelection) {
   EXPECT_EQ(make_rate_adapter(RateAdaptationScheme::kNone, 0), nullptr);
   auto arf = make_rate_adapter(RateAdaptationScheme::kArf, 2);
@@ -94,13 +128,12 @@ TEST(Factory, SchemeSelection) {
 topo::Scenario make_link(double distance_m,
                                  mac::RateAdaptationScheme scheme,
                                  std::size_t initial_mode) {
-  topo::ScenarioOptions opt;
-  opt.seed = 3;
-  opt.policy = core::AggregationPolicy::ua();
-  opt.rate_adaptation = scheme;
-  opt.unicast_mode = phy::mode_by_index(initial_mode);
-  opt.spacing_m = distance_m;
-  return topo::Scenario::chain(2, opt);
+  auto spec = topo::ScenarioSpec::chain(2);
+  spec.node.policy = core::AggregationPolicy::ua();
+  spec.node.rate_adaptation = scheme;
+  spec.node.unicast_mode = proto::mode_by_index(initial_mode);
+  spec.spacing_m = distance_m;
+  return topo::Scenario::build(spec, 3);
 }
 
 TEST(RateAdaptationE2E, SnrAdapterSettlesBelow64QamAtPaperSnr) {

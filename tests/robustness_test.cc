@@ -84,11 +84,11 @@ TEST_P(TcpRandomLoss, TransferIsExactDespiteLoss) {
   sim::Simulation sim(static_cast<std::uint64_t>(seed));
   sim::Rng drop_rng(static_cast<std::uint64_t>(seed) * 7919);
 
-  transport::TransportMux a(sim, net::Ipv4Address::for_node(0));
-  transport::TransportMux b(sim, net::Ipv4Address::for_node(1));
+  transport::TransportMux a(sim, proto::Ipv4Address::for_node(0));
+  transport::TransportMux b(sim, proto::Ipv4Address::for_node(1));
   const double p = loss_pct / 100.0;
   const auto pipe = [&](transport::TransportMux& dst) {
-    return [&sim, &dst, &drop_rng, p](net::PacketPtr pkt) {
+    return [&sim, &dst, &drop_rng, p](proto::PacketPtr pkt) {
       if (drop_rng.bernoulli(p)) return;
       sim.scheduler().schedule_in(sim::Duration::millis(5),
                                   [&dst, pkt] { dst.deliver(pkt); });
@@ -101,7 +101,7 @@ TEST_P(TcpRandomLoss, TransferIsExactDespiteLoss) {
   b.tcp_listen(5001, {}, [&](transport::TcpConnection& c) {
     c.on_data = [&](std::uint64_t n) { received += n; };
   });
-  auto& client = a.tcp_connect({net::Ipv4Address::for_node(1), 5001});
+  auto& client = a.tcp_connect({proto::Ipv4Address::for_node(1), 5001});
   client.send(120'000);
   sim.run_for(sim::Duration::seconds(600));
 
@@ -128,21 +128,21 @@ TEST_P(AirtimeCapProperty, FramesNeverExceedTheAirtimeBudget) {
   auto policy = core::AggregationPolicy::ba();
   policy.max_aggregate_airtime = sim::Duration::millis(48);
   core::Aggregator agg(policy);
-  const auto& mode = phy::mode_by_index(mode_idx);
+  const auto& mode = proto::mode_by_index(mode_idx);
   agg.set_modes(mode, mode);
 
   core::DualQueue q(256);
   for (int i = 0; i < 80; ++i) {
-    mac::MacSubframe data;
-    data.receiver = mac::MacAddress(1);
-    data.packet = net::make_udp_packet(net::Ipv4Address::for_node(0),
-                                       net::Ipv4Address::for_node(1), 1, 2,
+    proto::MacSubframe data;
+    data.receiver = proto::MacAddress(1);
+    data.packet = proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                                       proto::Ipv4Address::for_node(1), 1, 2,
                                        1048);
     q.unicast().push(data, {});
-    mac::MacSubframe ack;
-    ack.receiver = mac::MacAddress(2);
-    ack.packet = net::make_tcp_packet(net::Ipv4Address::for_node(1),
-                                      net::Ipv4Address::for_node(0), 2, 1, 0,
+    proto::MacSubframe ack;
+    ack.receiver = proto::MacAddress(2);
+    ack.packet = proto::make_tcp_packet(proto::Ipv4Address::for_node(1),
+                                      proto::Ipv4Address::for_node(0), 2, 1, 0,
                                       0, {.ack = true}, 100, 0);
     q.broadcast().push(ack, {});
   }
@@ -171,14 +171,14 @@ TEST(AirtimeCap, AdmitsMoreAtHigherRates) {
 
   const auto frames_at = [&](std::size_t mode_idx) {
     core::Aggregator agg(policy);
-    const auto& mode = phy::mode_by_index(mode_idx);
+    const auto& mode = proto::mode_by_index(mode_idx);
     agg.set_modes(mode, mode);
     core::DualQueue q(256);
     for (int i = 0; i < 40; ++i) {
-      mac::MacSubframe sf;
-      sf.receiver = mac::MacAddress(1);
-      sf.packet = net::make_udp_packet(net::Ipv4Address::for_node(0),
-                                       net::Ipv4Address::for_node(1), 1, 2,
+      proto::MacSubframe sf;
+      sf.receiver = proto::MacAddress(1);
+      sf.packet = proto::make_udp_packet(proto::Ipv4Address::for_node(0),
+                                       proto::Ipv4Address::for_node(1), 1, 2,
                                        1048);
       q.unicast().push(sf, {});
     }
@@ -217,6 +217,33 @@ TEST(Timeline, BinsAndTotals) {
   const auto series = tl.mbps_series();
   ASSERT_EQ(series.size(), 3u);
   EXPECT_DOUBLE_EQ(series[2], 2.0);
+}
+
+TEST(Timeline, LateSampleDoesNotAllocateEveryElapsedBin) {
+  // Regression: a single sample hours into a run used to resize the
+  // bin vector densely from t = 0 (one slot per elapsed millisecond
+  // here — O(sim-time) memory in long scenarios).
+  stats::ThroughputTimeline tl(sim::Duration::millis(1));
+  const auto late = sim::TimePoint::at(sim::Duration::seconds(7'200));
+  tl.record(late, 1'000);
+  EXPECT_EQ(tl.stored_bins(), 1u);
+  EXPECT_EQ(tl.first_bin(), 7'200'000u);
+  EXPECT_EQ(tl.bins(), 7'200'001u);
+  EXPECT_EQ(tl.bytes_in_bin(7'200'000), 1'000u);
+  EXPECT_EQ(tl.bytes_in_bin(0), 0u);
+  EXPECT_EQ(tl.total_bytes(), 1'000u);
+  // 1000 B in a 1 ms bin = 8 Mbps.
+  EXPECT_DOUBLE_EQ(tl.mbps_in_bin(7'200'000), 8.0);
+  EXPECT_EQ(tl.mbps_series().size(), 1u);
+
+  // An even-later sample extends storage by the sample span only; an
+  // earlier one grows the front without losing the offset.
+  tl.record(late + sim::Duration::millis(10), 500);
+  EXPECT_EQ(tl.stored_bins(), 11u);
+  tl.record(sim::TimePoint::at(sim::Duration::millis(7'199'998)), 250);
+  EXPECT_EQ(tl.first_bin(), 7'199'998u);
+  EXPECT_EQ(tl.stored_bins(), 13u);
+  EXPECT_EQ(tl.total_bytes(), 1'750u);
 }
 
 TEST(Timeline, SparklineRendersRelativeLevels) {

@@ -31,8 +31,8 @@ TEST(TableTest, Formatters) {
 
 TEST(Metrics, PhyHeaderByteEquivalent) {
   // 320 us of preamble at 0.65 Mbps is 26 bytes; at 2.6 Mbps, 104 bytes.
-  EXPECT_NEAR(phy_header_byte_equivalent(phy::mode_by_index(0)), 26.0, 0.5);
-  EXPECT_NEAR(phy_header_byte_equivalent(phy::mode_by_index(3)), 104.0, 1.0);
+  EXPECT_NEAR(phy_header_byte_equivalent(proto::mode_by_index(0)), 26.0, 0.5);
+  EXPECT_NEAR(phy_header_byte_equivalent(proto::mode_by_index(3)), 104.0, 1.0);
 }
 
 TEST(Metrics, SizeOverheadUsesMacAndPhyHeaders) {
@@ -40,13 +40,13 @@ TEST(Metrics, SizeOverheadUsesMacAndPhyHeaders) {
   s.data_frames_tx = 10;
   s.data_bytes_tx = 7650;          // 765 B average frame (paper NA)
   s.mac_header_bytes_tx = 900;     // 90 B per frame
-  const auto overhead = size_overhead(s, phy::mode_by_index(0));
+  const auto overhead = size_overhead(s, proto::mode_by_index(0));
   // (900 + 10*26) / (7650 + 10*26) ≈ 14.7% — close to the paper's 15.1%.
   EXPECT_NEAR(overhead, 0.147, 0.01);
 }
 
 TEST(Metrics, SizeOverheadZeroWhenIdle) {
-  EXPECT_EQ(size_overhead(mac::MacStats{}, phy::mode_by_index(0)), 0.0);
+  EXPECT_EQ(size_overhead(mac::MacStats{}, proto::mode_by_index(0)), 0.0);
 }
 
 TEST(Metrics, TxPercentage) {
@@ -78,17 +78,17 @@ TEST(Metrics, AvgFrameBytes) {
 }
 
 TEST(Topology, NodeCountsAndRelays) {
-  using topo::Topology;
-  EXPECT_EQ(topo::node_count(Topology::kOneHop), 2u);
-  EXPECT_EQ(topo::node_count(Topology::kTwoHop), 3u);
-  EXPECT_EQ(topo::node_count(Topology::kThreeHop), 4u);
-  EXPECT_EQ(topo::node_count(Topology::kStar), 4u);
-  EXPECT_TRUE(topo::relay_indices(Topology::kOneHop).empty());
-  EXPECT_EQ(topo::relay_indices(Topology::kTwoHop),
+  using topo::ScenarioSpec;
+  EXPECT_EQ(ScenarioSpec::one_hop().node_count(), 2u);
+  EXPECT_EQ(ScenarioSpec::two_hop().node_count(), 3u);
+  EXPECT_EQ(ScenarioSpec::three_hop().node_count(), 4u);
+  EXPECT_EQ(ScenarioSpec::fig6_star().node_count(), 4u);
+  EXPECT_TRUE(ScenarioSpec::one_hop().relay_indices().empty());
+  EXPECT_EQ(ScenarioSpec::two_hop().relay_indices(),
             (std::vector<std::uint32_t>{1}));
-  EXPECT_EQ(topo::relay_indices(Topology::kThreeHop),
+  EXPECT_EQ(ScenarioSpec::three_hop().relay_indices(),
             (std::vector<std::uint32_t>{1, 2}));
-  EXPECT_EQ(topo::relay_indices(Topology::kStar),
+  EXPECT_EQ(ScenarioSpec::fig6_star().relay_indices(),
             (std::vector<std::uint32_t>{1}));
 }
 

@@ -11,28 +11,28 @@
 namespace hydra::transport {
 namespace {
 
-const auto kIpA = net::Ipv4Address::for_node(0);
-const auto kIpB = net::Ipv4Address::for_node(1);
+const auto kIpA = proto::Ipv4Address::for_node(0);
+const auto kIpB = proto::Ipv4Address::for_node(1);
 
 // Records every packet crossing the pipe for post-hoc assertions.
 struct InspectedPipe {
   sim::Simulation sim{1};
   TransportMux a{sim, kIpA};
   TransportMux b{sim, kIpB};
-  std::vector<net::Packet> a_to_b;
-  std::vector<net::Packet> b_to_a;
-  std::function<bool(const net::Packet&)> drop_a_to_b = [](auto&) {
+  std::vector<proto::Packet> a_to_b;
+  std::vector<proto::Packet> b_to_a;
+  std::function<bool(const proto::Packet&)> drop_a_to_b = [](auto&) {
     return false;
   };
 
   InspectedPipe() {
-    a.send_packet = [this](net::PacketPtr p) {
+    a.send_packet = [this](proto::PacketPtr p) {
       a_to_b.push_back(*p);
       if (drop_a_to_b(*p)) return;
       sim.scheduler().schedule_in(sim::Duration::millis(5),
                                   [this, p] { b.deliver(p); });
     };
-    b.send_packet = [this](net::PacketPtr p) {
+    b.send_packet = [this](proto::PacketPtr p) {
       b_to_a.push_back(*p);
       sim.scheduler().schedule_in(sim::Duration::millis(5),
                                   [this, p] { a.deliver(p); });
@@ -104,7 +104,7 @@ TEST(TcpEdge, RtoBacksOffExponentiallyDuringBlackout) {
   pipe.b.tcp_listen(5001, {}, [](TcpConnection&) {});
   auto& client = pipe.a.tcp_connect({kIpB, 5001});
   bool blackout = false;
-  pipe.drop_a_to_b = [&](const net::Packet&) { return blackout; };
+  pipe.drop_a_to_b = [&](const proto::Packet&) { return blackout; };
   client.send(20 * 1357);
   pipe.sim.scheduler().schedule_in(sim::Duration::millis(30),
                                    [&] { blackout = true; });
@@ -129,7 +129,7 @@ TEST(TcpEdge, DuplicateDataIsAckedButNotRedelivered) {
   ASSERT_EQ(received, 2u * 1357);
 
   // Replay the first data segment at the server.
-  net::Packet replay;
+  proto::Packet replay;
   bool found = false;
   for (const auto& p : pipe.a_to_b) {
     if (p.payload_bytes > 0) {
@@ -149,10 +149,10 @@ TEST(TcpEdge, ReceiverMergesInterleavedOutOfOrderBlocks) {
   // Feed a server segments 1,3,5,2,4 directly and verify in-order
   // delivery with correct deltas.
   sim::Simulation sim(1);
-  std::vector<net::PacketPtr> out;
+  std::vector<proto::PacketPtr> out;
   TcpConnection server(sim, {}, {kIpB, 5001}, {kIpA, 40000},
-                       [&](net::PacketPtr p) { out.push_back(std::move(p)); });
-  net::TcpHeader syn;
+                       [&](proto::PacketPtr p) { out.push_back(std::move(p)); });
+  proto::TcpHeader syn;
   syn.src_port = 40000;
   syn.dst_port = 5001;
   syn.seq = 1000;
@@ -166,7 +166,7 @@ TEST(TcpEdge, ReceiverMergesInterleavedOutOfOrderBlocks) {
   // Segments must acknowledge the server's SYN-ACK (server ISS is
   // kClientIss + 10000 = 20000) or the kSynReceived state drops them.
   const auto seg = [&](std::uint32_t index) {
-    return net::make_tcp_packet(kIpA, kIpB, 40000, 5001,
+    return proto::make_tcp_packet(kIpA, kIpB, 40000, 5001,
                                 1001 + index * 100, 20'001, {.ack = true},
                                 65000, 100);
   };
@@ -183,22 +183,22 @@ TEST(TcpEdge, ReceiverMergesInterleavedOutOfOrderBlocks) {
 
 TEST(TcpEdge, ZeroWindowPeerStallsSender) {
   sim::Simulation sim(1);
-  std::vector<net::PacketPtr> out;
+  std::vector<proto::PacketPtr> out;
   TcpConnection client(sim, {}, {kIpA, 40000}, {kIpB, 5001},
-                       [&](net::PacketPtr p) { out.push_back(std::move(p)); });
+                       [&](proto::PacketPtr p) { out.push_back(std::move(p)); });
   client.connect();
   // Hand-craft a SYN-ACK advertising a zero window.
-  net::TcpHeader synack;
+  proto::TcpHeader synack;
   synack.src_port = 5001;
   synack.dst_port = 40000;
   synack.seq = 5000;
   synack.ack = 10'001;  // client ISS + 1
   synack.flags = {.syn = true, .ack = true};
   synack.window = 0;
-  net::Packet pkt;
+  proto::Packet pkt;
   pkt.ip.src = kIpB;
   pkt.ip.dst = kIpA;
-  pkt.ip.protocol = net::kProtoTcp;
+  pkt.ip.protocol = proto::kProtoTcp;
   pkt.tcp = synack;
   client.segment_arrived(pkt);
   ASSERT_EQ(client.state(), TcpConnection::State::kEstablished);

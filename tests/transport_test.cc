@@ -13,8 +13,8 @@
 namespace hydra::transport {
 namespace {
 
-const auto kIpA = net::Ipv4Address::for_node(0);
-const auto kIpB = net::Ipv4Address::for_node(1);
+const auto kIpA = proto::Ipv4Address::for_node(0);
+const auto kIpB = proto::Ipv4Address::for_node(1);
 
 // Bidirectional pipe between two muxes with per-direction drop hooks.
 struct Pipe {
@@ -23,21 +23,21 @@ struct Pipe {
   TransportMux b{sim, kIpB};
   sim::Duration delay = sim::Duration::millis(5);
   // Return true to drop; inspected per packet. Defaults keep everything.
-  std::function<bool(const net::Packet&)> drop_a_to_b = [](auto&) {
+  std::function<bool(const proto::Packet&)> drop_a_to_b = [](auto&) {
     return false;
   };
-  std::function<bool(const net::Packet&)> drop_b_to_a = [](auto&) {
+  std::function<bool(const proto::Packet&)> drop_b_to_a = [](auto&) {
     return false;
   };
   std::uint64_t forwarded = 0;
 
   Pipe() {
-    a.send_packet = [this](net::PacketPtr p) {
+    a.send_packet = [this](proto::PacketPtr p) {
       if (drop_a_to_b(*p)) return;
       ++forwarded;
       sim.scheduler().schedule_in(delay, [this, p] { b.deliver(p); });
     };
-    b.send_packet = [this](net::PacketPtr p) {
+    b.send_packet = [this](proto::PacketPtr p) {
       if (drop_b_to_a(*p)) return;
       ++forwarded;
       sim.scheduler().schedule_in(delay, [this, p] { a.deliver(p); });
@@ -61,7 +61,7 @@ TEST(Udp, DatagramDelivery) {
   auto& tx = pipe.a.open_udp(9000);
   auto& rx = pipe.b.open_udp(9001);
   std::uint64_t got = 0;
-  rx.on_receive = [&](const net::Packet& p) { got += p.payload_bytes; };
+  rx.on_receive = [&](const proto::Packet& p) { got += p.payload_bytes; };
 
   tx.send_to({kIpB, 9001}, 500);
   tx.send_to({kIpB, 9001}, 300);
@@ -156,7 +156,7 @@ TEST(Tcp, SingleDataLossRecoversByFastRetransmit) {
   // Drop exactly the 4th data segment once.
   int data_seen = 0;
   bool dropped = false;
-  f.pipe.drop_a_to_b = [&](const net::Packet& p) {
+  f.pipe.drop_a_to_b = [&](const proto::Packet& p) {
     if (p.payload_bytes > 0 && !dropped && ++data_seen == 4) {
       dropped = true;
       return true;
@@ -174,7 +174,7 @@ TEST(Tcp, SingleDataLossRecoversByFastRetransmit) {
 TEST(Tcp, PeriodicDataLossStillCompletes) {
   TcpFixture f;
   int n = 0;
-  f.pipe.drop_a_to_b = [&](const net::Packet& p) {
+  f.pipe.drop_a_to_b = [&](const proto::Packet& p) {
     return p.payload_bytes > 0 && (++n % 13 == 0);
   };
   f.client->send(100'000);
@@ -188,7 +188,7 @@ TEST(Tcp, AckLossIsAbsorbedByCumulativeAcks) {
   // (§3.3): dropping a fraction of pure ACKs must not break the flow.
   TcpFixture f;
   int n = 0;
-  f.pipe.drop_b_to_a = [&](const net::Packet& p) {
+  f.pipe.drop_b_to_a = [&](const proto::Packet& p) {
     return p.is_pure_tcp_ack() && (++n % 3 == 0);  // drop every 3rd ACK
   };
   f.client->send(100'000);
@@ -199,7 +199,7 @@ TEST(Tcp, AckLossIsAbsorbedByCumulativeAcks) {
 TEST(Tcp, BlackoutTriggersRtoAndRecovers) {
   TcpFixture f;
   bool blackout = false;
-  f.pipe.drop_a_to_b = [&](const net::Packet&) { return blackout; };
+  f.pipe.drop_a_to_b = [&](const proto::Packet&) { return blackout; };
   f.client->send(50 * 1357);
   // Let the handshake finish, cut the link mid-transfer, then restore.
   f.pipe.sim.scheduler().schedule_in(sim::Duration::millis(25),
@@ -216,7 +216,7 @@ TEST(Tcp, SynLossRetriesHandshake) {
   // connection's very first SYN.
   Pipe pipe;
   int syns = 0;
-  pipe.drop_a_to_b = [&](const net::Packet& p) {
+  pipe.drop_a_to_b = [&](const proto::Packet& p) {
     return p.tcp && p.tcp->flags.syn && ++syns == 1;  // drop first SYN
   };
   std::uint64_t received = 0;
@@ -234,7 +234,7 @@ TEST(Tcp, SynLossRetriesHandshake) {
 TEST(Tcp, SynAckLossRetries) {
   TcpFixture fixture;
   int synacks = 0;
-  fixture.pipe.drop_b_to_a = [&](const net::Packet& p) {
+  fixture.pipe.drop_b_to_a = [&](const proto::Packet& p) {
     return p.tcp && p.tcp->flags.syn && p.tcp->flags.ack && ++synacks == 1;
   };
   fixture.client->send(1357);
@@ -247,7 +247,7 @@ TEST(Tcp, HandshakeAckLossRecoveredByFirstDataSegment) {
   // without link-layer protection. Its loss must not wedge the server.
   TcpFixture fixture;
   bool dropped = false;
-  fixture.pipe.drop_a_to_b = [&](const net::Packet& p) {
+  fixture.pipe.drop_a_to_b = [&](const proto::Packet& p) {
     if (!dropped && p.is_pure_tcp_ack()) {
       dropped = true;
       return true;
@@ -276,7 +276,7 @@ TEST(Tcp, LossReducesCongestionWindow) {
   std::uint32_t cwnd_before = 0;
   bool drop_now = false;
   int dropped = 0;
-  f.pipe.drop_a_to_b = [&](const net::Packet& p) {
+  f.pipe.drop_a_to_b = [&](const proto::Packet& p) {
     if (drop_now && p.payload_bytes > 0 && dropped < 1) {
       ++dropped;
       return true;
@@ -300,8 +300,8 @@ TEST(Tcp, OutOfOrderSegmentsReassembled) {
   // Delay (rather than drop) one segment so it arrives out of order.
   TcpFixture f;
   int data_seen = 0;
-  net::PacketPtr held;
-  f.pipe.a.send_packet = [&](net::PacketPtr p) {
+  proto::PacketPtr held;
+  f.pipe.a.send_packet = [&](proto::PacketPtr p) {
     if (p->payload_bytes > 0 && ++data_seen == 3 && !held) {
       held = p;  // hold the 3rd data segment
       f.pipe.sim.scheduler().schedule_in(sim::Duration::millis(40), [&, p] {

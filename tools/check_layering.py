@@ -6,13 +6,20 @@ Layers, bottom to top:
     util -> sim -> proto -> phy -> core -> mac -> net -> transport
          -> stats -> topo -> app
 
-Two rules, both fatal:
+Four rules, all fatal:
 
   1. No file under src/<layer>/ may #include a header from a layer above
      it (tests/, bench/ and examples/ sit on top of everything and are
      exempt).
   2. No src/<layer>/CMakeLists.txt may link a hydra::<layer> target from
      a layer above it.
+  3. The retired compatibility aliases for the proto vocabulary
+     (net::Packet, mac::MacAddress, phy::PhyMode, ...) must not be
+     spelled anywhere — canonical proto:: names only. This covers
+     tests/, bench/ and examples/ too, so the aliases cannot creep back
+     through call sites.
+  4. src/proto/ headers must not declare other hydra namespaces (that is
+     how the aliases were implemented).
 
 Run from anywhere: paths are resolved relative to the repo root (the
 parent of this script's directory).
@@ -39,6 +46,40 @@ RANK = {name: i for i, name in enumerate(LAYERS)}
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
 LINK_RE = re.compile(r"hydra::(\w+)")
+
+# The proto vocabulary that used to be re-exported under net::/mac::/phy::.
+# These spellings are retired; only proto:: is canonical.
+ALIAS_NAMES = {
+    "net": [
+        "Packet", "PacketPtr", "Ipv4Header", "TcpHeader", "TcpFlags",
+        "UdpHeader", "DiscoveryHeader", "Ipv4Address", "Endpoint", "Port",
+        "make_udp_packet", "make_tcp_packet", "make_flood_packet",
+        "make_discovery_packet", "kProtoTcp", "kProtoUdp", "kProtoFlood",
+        "kProtoDiscovery",
+    ],
+    "mac": [
+        "MacAddress", "AggregateFrame", "ControlFrame", "FrameType",
+        "MacSubframe", "subframe_wire_bytes", "encode_duration_us",
+        "decode_duration_us", "kMacHeaderBytes", "kFcsBytes", "kEncapBytes",
+        "kMinSubframeBytes", "kSubframeAlign", "kRtsBytes", "kCtsBytes",
+        "kAckBytes", "kBlockAckBytes",
+    ],
+    "phy": [
+        "PhyMode", "CodeRate", "Modulation", "base_mode", "hydra_modes",
+        "mode_by_index", "mode_for_mbps_x100", "mode_index_of",
+    ],
+}
+ALIAS_RE = re.compile(
+    # The optional hydra:: prefix keeps fully-qualified spellings like
+    # hydra::net::Packet from slipping past the lookbehind.
+    r"(?<![:\w])(?:hydra::)?(?:"
+    + "|".join(
+        rf"{ns}::(?:{'|'.join(names)})\b" for ns, names in ALIAS_NAMES.items()
+    )
+    + ")"
+)
+# Rule 4: proto must not re-open other hydra namespaces.
+PROTO_NAMESPACE_RE = re.compile(r"namespace\s+hydra::(?!proto\b)(\w+)")
 
 
 def include_violations(src: Path) -> list[str]:
@@ -88,9 +129,42 @@ def link_violations(src: Path) -> list[str]:
     return problems
 
 
+def alias_violations(root: Path) -> list[str]:
+    problems = []
+    for tree in ("src", "tests", "bench", "examples"):
+        base = root / tree
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                for match in ALIAS_RE.finditer(line):
+                    problems.append(
+                        f"{path.relative_to(root)}:{lineno}: retired alias "
+                        f"spelling '{match.group(0)}' — use proto::"
+                    )
+    proto = root / "src" / "proto"
+    for path in sorted(proto.rglob("*.h")):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if match := PROTO_NAMESPACE_RE.search(line):
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: proto header opens "
+                    f"namespace hydra::{match.group(1)} (alias re-export?)"
+                )
+    return problems
+
+
 def main() -> int:
-    src = Path(__file__).resolve().parent.parent / "src"
-    problems = include_violations(src) + link_violations(src)
+    root = Path(__file__).resolve().parent.parent
+    src = root / "src"
+    problems = (
+        include_violations(src)
+        + link_violations(src)
+        + alias_violations(root)
+    )
     for problem in problems:
         print(f"layering: {problem}", file=sys.stderr)
     if problems:
