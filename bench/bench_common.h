@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cctype>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,15 +22,18 @@ namespace hydra::bench {
 
 namespace detail {
 
-// Accumulates the bench header and every table passed to emit() so the
-// process can mirror them to BENCH_<id>.json at exit (the `bench_all`
-// build target collects these). Free-form printf commentary — e.g. the
-// "Paper: ..." comparison footers — is stdout-only for now.
+// Accumulates the bench header, every table passed to emit() and every
+// bench::comment() line so the process can mirror them to
+// BENCH_<id>.json at exit (the `bench_all` build target collects
+// these). The comments carry the free-form commentary — the "Paper: ..."
+// comparison footers and expected-shape notes — so the JSON reports are
+// self-describing without the stdout stream.
 struct JsonReport {
   std::string id;
   std::string paper_result;
   std::string note;
   std::vector<std::string> tables_json;
+  std::vector<std::string> comments;
 };
 
 inline JsonReport& json_report() {
@@ -65,6 +69,11 @@ inline void write_json_report() {
     if (i > 0) doc += ", ";
     doc += report.tables_json[i];
   }
+  doc += "], \"comments\": [";
+  for (std::size_t i = 0; i < report.comments.size(); ++i) {
+    if (i > 0) doc += ", ";
+    append_json_string(doc, report.comments[i]);
+  }
   doc += "]}\n";
   const std::string path = "BENCH_" + slug(report.id) + ".json";
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
@@ -81,6 +90,31 @@ inline void write_json_report() {
 inline void emit(const stats::Table& table) {
   table.print();
   detail::json_report().tables_json.push_back(table.to_json());
+}
+
+// Prints a line of free-form commentary (paper comparisons, expected
+// shapes, sweep notes) and records it in the JSON report's "comments"
+// array. Leading/trailing whitespace is stripped from the recorded form
+// so callers can keep their stdout spacing (e.g. a leading "\n").
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline void
+comment(const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  const int written = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (written < 0) return;  // encoding error: buf is indeterminate
+  std::printf("%s\n", buf);
+  std::string recorded = buf;
+  const auto first = recorded.find_first_not_of(" \t\n");
+  const auto last = recorded.find_last_not_of(" \t\n");
+  recorded = first == std::string::npos
+                 ? std::string{}
+                 : recorded.substr(first, last - first + 1);
+  if (!recorded.empty()) detail::json_report().comments.push_back(recorded);
 }
 
 // The four rates the paper's experiments use (§5).

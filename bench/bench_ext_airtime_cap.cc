@@ -41,8 +41,8 @@ int main() {
                    stats::Table::num(cap_kb, 1)});
   }
   bench::emit(table);
-  std::printf("\nExpected: identical at 0.65 Mbps (both caps bind near the "
+  bench::comment("\nExpected: identical at 0.65 Mbps (both caps bind near the "
               "same size); growing gains at higher rates as the airtime cap "
-              "admits far larger aggregates.\n");
+              "admits far larger aggregates.");
   return 0;
 }

@@ -35,8 +35,8 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nExpected: BA's margin over UA exceeds the one-way case "
+  bench::comment("\nExpected: BA's margin over UA exceeds the one-way case "
               "(Fig. 11) because ACK-with-data aggregation opportunities "
-              "now exist at every node.\n");
+              "now exist at every node.");
   return 0;
 }

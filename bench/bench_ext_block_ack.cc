@@ -28,7 +28,7 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nExpected: identical below the cliff; block ACK degrades "
-              "gracefully beyond it instead of collapsing to ~0.\n");
+  bench::comment("\nExpected: identical below the cliff; block ACK degrades "
+              "gracefully beyond it instead of collapsing to ~0.");
   return 0;
 }

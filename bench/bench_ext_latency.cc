@@ -101,8 +101,8 @@ int main() {
                    stats::Table::num(mx, 1), stats::Table::percent(loss)});
   }
   bench::emit(table);
-  std::printf("\nExpected: aggregation reduces queueing RTT (fewer, larger "
+  bench::comment("\nExpected: aggregation reduces queueing RTT (fewer, larger "
               "transmissions drain the queue faster); DBA gives some of "
-              "that back by holding frames for aggregation.\n");
+              "that back by holding frames for aggregation.");
   return 0;
 }

@@ -58,7 +58,7 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nExpected: each fixed rate collapses past its SNR "
-              "threshold; the adapters track the best fixed rate.\n");
+  bench::comment("\nExpected: each fixed rate collapses past its SNR "
+              "threshold; the adapters track the best fixed rate.");
   return 0;
 }

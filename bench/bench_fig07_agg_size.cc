@@ -38,8 +38,8 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf(
+  bench::comment(
       "\nPaper thresholds: 5 KB @0.65, 11 KB @1.3, 15 KB @1.95 "
-      "(all ~120 Ksamples).\n");
+      "(all ~120 Ksamples).");
   return 0;
 }

@@ -29,7 +29,7 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nExpected shape: UA > NA everywhere; the gap widens as the "
-              "rate rises.\n");
+  bench::comment("\nExpected shape: UA > NA everywhere; the gap widens as the "
+              "rate rises.");
   return 0;
 }

@@ -29,7 +29,7 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nExpected shape: aggregation's margin over NA grows as the "
-              "interval shrinks.\n");
+  bench::comment("\nExpected shape: aggregation's margin over NA grows as the "
+              "interval shrinks.");
   return 0;
 }

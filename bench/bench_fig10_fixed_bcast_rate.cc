@@ -32,7 +32,7 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nExpected shape: BA(0.65) falls behind UA at high unicast "
-              "rates; BA(2.6) always ahead.\n");
+  bench::comment("\nExpected shape: BA(0.65) falls behind UA at high unicast "
+              "rates; BA(2.6) always ahead.");
   return 0;
 }

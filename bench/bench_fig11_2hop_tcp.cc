@@ -24,6 +24,6 @@ int main() {
                    stats::Table::percent((t_ba - t_ua) / t_ua)});
   }
   bench::emit(table);
-  std::printf("\nPaper: BA > UA at every rate, maximum gap ~10%%.\n");
+  bench::comment("\nPaper: BA > UA at every rate, maximum gap ~10%%.");
   return 0;
 }

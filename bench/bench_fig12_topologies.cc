@@ -41,6 +41,6 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nPaper: max BA-over-UA gap 12.2%% (3-hop), 11%% (star).\n");
+  bench::comment("\nPaper: max BA-over-UA gap 12.2%% (3-hop), 11%% (star).");
   return 0;
 }

@@ -30,7 +30,7 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nPaper: similar at low rates; DBA ahead by <=2%% (2-hop) "
-              "and <=4%% (3-hop) at high rates.\n");
+  bench::comment("\nPaper: similar at low rates; DBA ahead by <=2%% (2-hop) "
+              "and <=4%% (3-hop) at high rates.");
   return 0;
 }

@@ -29,7 +29,7 @@ int main() {
                    stats::Table::percent((t_f - t_b) / t_b)});
   }
   bench::emit(table);
-  std::printf("\nExpected shape: the full-vs-backward gap widens as the "
-              "rate increases.\n");
+  bench::comment("\nExpected shape: the full-vs-backward gap widens as the "
+              "rate increases.");
   return 0;
 }

@@ -22,7 +22,7 @@ int main() {
                    stats::Table::percent((thr_ua - thr_na) / thr_na)});
   }
   bench::emit(table);
-  std::printf("\nPaper: 0.253 -> 0.273 (+7.9%%) at 0.65; "
-              "0.430 -> 0.481 (+11.9%%) at 1.3.\n");
+  bench::comment("\nPaper: 0.253 -> 0.273 (+7.9%%) at 0.65; "
+              "0.430 -> 0.481 (+11.9%%) at 1.3.");
   return 0;
 }

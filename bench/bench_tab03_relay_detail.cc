@@ -38,7 +38,7 @@ int main() {
              stats::size_overhead(relay, proto::mode_by_index(kModeIdx)), 2)});
   }
   bench::emit(table);
-  std::printf("\nPaper:      765B / 2662B / 2727B / 3477B;"
-              "  100 / 33.7 / 26.7 / 21.1%%;  15.1 / 6.83 / 6.55 / 5.8%%.\n");
+  bench::comment("\nPaper:      765B / 2662B / 2727B / 3477B;"
+              "  100 / 33.7 / 26.7 / 21.1%%;  15.1 / 6.83 / 6.55 / 5.8%%.");
   return 0;
 }

@@ -35,7 +35,7 @@ int main() {
     table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::printf("\nPaper NA column: 22.4 / 34.9 / 44.4 / 52.1%%;"
-              "  DBA column: 5.2 / 10.3 / 14.3 / 17.7%%.\n");
+  bench::comment("\nPaper NA column: 22.4 / 34.9 / 44.4 / 52.1%%;"
+              "  DBA column: 5.2 / 10.3 / 14.3 / 17.7%%.");
   return 0;
 }

@@ -25,18 +25,18 @@ int main() {
   const auto bas = run(topo::ScenarioSpec::fig6_star(), core::AggregationPolicy::ba());
   const auto nas = run(topo::ScenarioSpec::fig6_star(), core::AggregationPolicy::na());
 
-  std::printf("\nTable 5: relay frame size\n");
   stats::Table t5({"Scheme", "2-hop", "Star"});
+  t5.set_title("Table 5: relay frame size");
   t5.add_row({"UA", stats::Table::bytes(ua2.relay_stats().avg_frame_bytes()),
               stats::Table::bytes(uas.relay_stats().avg_frame_bytes())});
   t5.add_row({"BA", stats::Table::bytes(ba2.relay_stats().avg_frame_bytes()),
               stats::Table::bytes(bas.relay_stats().avg_frame_bytes())});
   bench::emit(t5);
-  std::printf("Paper: UA 2662B/2651B;  BA 2727B/3432B.\n");
+  bench::comment("Paper: UA 2662B/2651B;  BA 2727B/3432B.");
 
-  std::printf("\nTable 6: relay size overhead\n");
   const auto& mode = proto::mode_by_index(kModeIdx);
   stats::Table t6({"Scheme", "2-hop", "Star"});
+  t6.set_title("Table 6: relay size overhead");
   t6.add_row(
       {"UA",
        stats::Table::percent(stats::size_overhead(ua2.relay_stats(), mode), 2),
@@ -48,10 +48,10 @@ int main() {
        stats::Table::percent(stats::size_overhead(bas.relay_stats(), mode),
                              2)});
   bench::emit(t6);
-  std::printf("Paper: UA 6.83%%/6.83%%;  BA 6.55%%/5.93%%.\n");
+  bench::comment("Paper: UA 6.83%%/6.83%%;  BA 6.55%%/5.93%%.");
 
-  std::printf("\nTable 7: relay transmissions (%% of NA)\n");
   stats::Table t7({"Scheme", "2-hop", "Star"});
+  t7.set_title("Table 7: relay transmissions (% of NA)");
   const auto pct = [](const topo::ExperimentResult& r,
                       const topo::ExperimentResult& na) {
     return stats::Table::percent(
@@ -61,6 +61,6 @@ int main() {
   t7.add_row({"UA", pct(ua2, na2), pct(uas, nas)});
   t7.add_row({"BA", pct(ba2, na2), pct(bas, nas)});
   bench::emit(t7);
-  std::printf("Paper: UA 33.7%%/30.7%%;  BA 26.7%%/22.5%%.\n");
+  bench::comment("Paper: UA 33.7%%/30.7%%;  BA 26.7%%/22.5%%.");
   return 0;
 }

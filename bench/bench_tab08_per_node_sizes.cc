@@ -35,7 +35,7 @@ int main() {
   table.add_row({"BA", size(ba2, 0), size(ba2, 1), size(ba2, 2), size(ba3, 0),
                  size(ba3, 1), size(ba3, 2), size(ba3, 3)});
   bench::emit(table);
-  std::printf("\nPaper UA: 3897 / 2662 / 463 / 3451 / 2384 / 2224 / 443 B\n"
-              "Paper BA: 3488 / 2727 / 447 / 3313 / 2538 / 2670 / 430 B\n");
+  bench::comment("\nPaper UA: 3897 / 2662 / 463 / 3451 / 2384 / 2224 / 443 B\n"
+              "Paper BA: 3488 / 2727 / 447 / 3313 / 2538 / 2670 / 430 B");
   return 0;
 }

@@ -1,36 +1,218 @@
 #include "app/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdarg>
+#include <cstdio>
 #include <thread>
 
 namespace hydra::app {
 
+namespace {
+
+// printf-style accumulator behind the cache-key fingerprints: chunked
+// appends into an unbounded string (each chunk clamped so a truncated
+// format can never read past the buffer). The serialized field values
+// go into the key verbatim — no hashing — so two distinct
+// configurations can never collide onto one cache slot.
+class Fingerprinter {
+ public:
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  void
+  add(const char* fmt, ...) {
+    char buf[192];
+    va_list args;
+    va_start(args, fmt);
+    const int written = std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    if (written <= 0) return;
+    blob_.append(buf, std::min(static_cast<std::size_t>(written),
+                               sizeof buf - 1));
+  }
+
+  std::string take() && { return std::move(blob_); }
+
+ private:
+  std::string blob_;
+};
+
+// Sync tripwires: the fingerprints below hand-enumerate every
+// outcome-affecting field of these structs. A new field added without
+// updating the matching fingerprint would silently alias cache keys
+// (stale results served for new configurations), so growing any of
+// them must fail the build here until the fingerprint — and then this
+// constant — is updated. Pinned sizes are ABI-specific, so the guard
+// only arms on the toolchain CI runs (x86-64 libstdc++ without debug
+// containers); elsewhere the fingerprints still work, they just lose
+// the compile-time reminder.
+#if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(topo::ScenarioSpec) == 264,
+              "ScenarioSpec changed: update spec_fingerprint");
+static_assert(sizeof(topo::NodeParams) == 128,
+              "NodeParams changed: update spec_fingerprint");
+static_assert(sizeof(core::AggregationPolicy) == 48,
+              "AggregationPolicy changed: update spec_fingerprint");
+static_assert(sizeof(topo::ExperimentConfig) == 400,
+              "ExperimentConfig changed: update workload_fingerprint");
+static_assert(sizeof(transport::TcpConfig) == 48,
+              "TcpConfig changed: update workload_fingerprint");
+#endif
+
+// Everything in a spec that changes the simulation's outcome but is not
+// named by an axis label: ScenarioSpec::label() encodes only family and
+// size (and a policy axis label is whatever the caller typed), so two
+// same-label grid entries differing in spacing, sessions, policy knobs
+// or placement would otherwise alias in the cache. The fingerprint runs
+// over the point's *resolved* spec — after the axes overwrite policy,
+// scheme and medium — so axis values are covered regardless of their
+// labels.
+std::string spec_fingerprint(const topo::ScenarioSpec& spec) {
+  Fingerprinter fp;
+  fp.add("f%d n%zu k%zu r%zux%zu sp%.17g rng%.17g ps%llu ",
+         static_cast<int>(spec.family), spec.nodes, spec.senders, spec.rows,
+         spec.cols, spec.spacing_m, spec.range_m,
+         static_cast<unsigned long long>(spec.placement_seed));
+  fp.add("w%d sr%d rd%d cm%.17g ", spec.neighbor_whitelist,
+         spec.static_routes, spec.route_discovery,
+         spec.medium.cull_margin_db);
+  fp.add("q%zu rts%d tpd%.17g ra%d ", spec.node.queue_limit,
+         spec.node.use_rts_cts, spec.node.tx_power_delta_db,
+         static_cast<int>(spec.node.rate_adaptation));
+  for (const auto* mode : {&spec.node.unicast_mode,
+                           &spec.node.broadcast_mode}) {
+    fp.add("m%d/%u-%u/%llu/%.17g ", static_cast<int>(mode->modulation),
+           static_cast<unsigned>(mode->code_rate.num),
+           static_cast<unsigned>(mode->code_rate.den),
+           static_cast<unsigned long long>(mode->rate.bits_per_second()),
+           mode->required_snr_db);
+  }
+  const auto& policy = spec.node.policy;
+  fp.add("pm%d mb%zu at%lld ack%d fw%d dmin%u dto%lld blk%d ",
+         static_cast<int>(policy.mode), policy.max_aggregate_bytes,
+         static_cast<long long>(policy.max_aggregate_airtime.ns()),
+         policy.tcp_ack_as_broadcast, policy.forward_aggregation,
+         policy.delay_min_subframes,
+         static_cast<long long>(policy.delay_timeout.ns()),
+         policy.block_ack);
+  for (const auto& session : spec.sessions) {
+    fp.add("s%u-%u ", session.sender, session.receiver);
+  }
+  for (const auto& pos : spec.positions_override) {
+    fp.add("p%.17g,%.17g ", pos.x_m, pos.y_m);
+  }
+  return std::move(fp).take();
+}
+
+// The workload side of a point: everything in ExperimentConfig outside
+// the scenario spec and the seed (both covered above). Keying on it lets
+// one cache serve sweeps with different base configs without aliasing.
+std::string workload_fingerprint(const topo::ExperimentConfig& config) {
+  Fingerprinter fp;
+  fp.add("t%d fb%llu mss%u rw%u cw%u rto%lld/%lld/%lld mr%u ",
+         static_cast<int>(config.traffic),
+         static_cast<unsigned long long>(config.tcp_file_bytes),
+         config.tcp.mss, config.tcp.recv_window,
+         config.tcp.initial_cwnd_segments,
+         static_cast<long long>(config.tcp.rto_initial.ns()),
+         static_cast<long long>(config.tcp.rto_min.ns()),
+         static_cast<long long>(config.tcp.rto_max.ns()),
+         config.tcp.max_retries);
+  fp.add("up%u ui%lld upt%u ud%lld ", config.udp_payload_bytes,
+         static_cast<long long>(config.udp_interval.ns()),
+         config.udp_packets_per_tick,
+         static_cast<long long>(config.udp_duration.ns()));
+  fp.add("fl%d fi%lld fp%u mst%lld", config.flooding,
+         static_cast<long long>(config.flood_interval.ns()),
+         config.flood_payload_bytes,
+         static_cast<long long>(config.max_sim_time.ns()));
+  return std::move(fp).take();
+}
+
+}  // namespace
+
 std::vector<SweepPoint> expand_sweep(const SweepGrid& grid) {
   std::vector<SweepPoint> points;
   points.reserve(grid.scenarios.size() * grid.policies.size() *
-                 grid.rate_adaptations.size());
+                 grid.rate_adaptations.size() * grid.mediums.size());
   for (const auto& [scenario_label, spec] : grid.scenarios) {
     for (const auto& [policy_label, policy] : grid.policies) {
       for (const auto scheme : grid.rate_adaptations) {
-        SweepPoint point;
-        point.scenario_label =
-            scenario_label.empty() ? spec.label() : scenario_label;
-        point.policy_label = policy_label;
-        point.rate_adaptation = scheme;
-        point.config = grid.base;
-        point.config.scenario = spec;
-        point.config.scenario.node.policy = policy;
-        point.config.scenario.node.rate_adaptation = scheme;
-        points.push_back(std::move(point));
+        for (const auto& [medium_label, medium_policy] : grid.mediums) {
+          SweepPoint point;
+          point.scenario_label =
+              scenario_label.empty() ? spec.label() : scenario_label;
+          point.policy_label = policy_label;
+          point.rate_adaptation = scheme;
+          point.medium_label = medium_label;
+          point.config = grid.base;
+          point.config.scenario = spec;
+          point.config.scenario.node.policy = policy;
+          point.config.scenario.node.rate_adaptation = scheme;
+          // kAuto axis entries defer to the spec's own MediumTuning (a
+          // spec that pinned full mesh stays pinned under the default
+          // axis); a concrete axis policy overrides it.
+          if (medium_policy != topo::MediumPolicy::kAuto) {
+            point.config.scenario.medium.policy = medium_policy;
+          }
+          points.push_back(std::move(point));
+        }
       }
     }
   }
   return points;
 }
 
+std::string SweepCache::key_of(const SweepPoint& point) {
+  // The rate-adaptation scheme is already serialized inside the spec
+  // fingerprint (expand_sweep resolves the axis into the spec). The
+  // medium rides here as the *resolved* delivery policy, so a point
+  // swept under kAuto and the same point swept under an explicit axis
+  // entry that resolves identically share one cache slot (the node
+  // count kAuto resolves through is already in the spec fingerprint).
+  char tail[64];
+  std::snprintf(
+      tail, sizeof tail, "|%s|seed%llu",
+      phy::to_string(point.config.scenario.medium_config().delivery),
+      static_cast<unsigned long long>(point.config.seed));
+  return point.scenario_label + '|' + point.policy_label + '|' +
+         spec_fingerprint(point.config.scenario) + '|' +
+         workload_fingerprint(point.config) + tail;
+}
+
+std::shared_ptr<const topo::ExperimentResult> SweepCache::find(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  if (it == results_.end()) return nullptr;
+  ++hits_;
+  return it->second;
+}
+
+void SweepCache::store(const std::string& key,
+                       const topo::ExperimentResult& result) {
+  // The deep copy happens outside the critical section; only the
+  // pointer moves under the lock.
+  auto copy = std::make_shared<const topo::ExperimentResult>(result);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  results_.insert_or_assign(key, std::move(copy));
+}
+
+std::size_t SweepCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+std::uint64_t SweepCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
 std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
-                                            unsigned threads) {
+                                            unsigned threads,
+                                            SweepCache* cache) {
   auto points = expand_sweep(grid);
   std::vector<SweepOutcome> outcomes(points.size());
   if (threads == 0) {
@@ -46,7 +228,18 @@ std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
          i = next.fetch_add(1)) {
       const auto started = std::chrono::steady_clock::now();
       SweepOutcome outcome;
-      outcome.result = run_experiment(points[i].config);
+      const std::string key =
+          cache ? SweepCache::key_of(points[i]) : std::string{};
+      if (cache) {
+        if (const auto cached = cache->find(key)) {
+          outcome.result = *cached;  // deep copy outside the cache lock
+          outcome.from_cache = true;
+        }
+      }
+      if (!outcome.from_cache) {
+        outcome.result = run_experiment(points[i].config);
+        if (cache) cache->store(key, outcome.result);
+      }
       outcome.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         started)

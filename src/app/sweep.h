@@ -1,13 +1,20 @@
 // Parameter-sweep driver: the cartesian product of scenario specs,
-// aggregation policies and rate-adaptation schemes, each point run
-// through app::run_experiment. Every simulation is self-contained (its
-// own Simulation, Medium and RNG; no mutable globals as long as
-// sim::Log stays quiet), so points execute in parallel across a thread
-// pool and results come back in deterministic grid order regardless of
-// scheduling.
+// aggregation policies, rate-adaptation schemes and medium delivery
+// policies, each point run through app::run_experiment. Every simulation
+// is self-contained (its own Simulation, Medium and RNG; no mutable
+// globals as long as sim::Log stays quiet), so points execute in
+// parallel across a thread pool and results come back in deterministic
+// grid order regardless of scheduling.
+//
+// A SweepCache memoizes results across sweep calls keyed on the axis
+// coordinates plus the seed, so figure-regeneration drivers that sweep
+// overlapping grids skip every point they have already simulated.
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +28,9 @@ struct SweepPoint {
   std::string scenario_label;
   std::string policy_label;
   mac::RateAdaptationScheme rate_adaptation = mac::RateAdaptationScheme::kNone;
+  // Label of the medium-policy axis entry ("" for the default axis, so
+  // single-policy sweeps keep their historical labels).
+  std::string medium_label;
   topo::ExperimentConfig config;
 };
 
@@ -28,30 +38,68 @@ struct SweepOutcome {
   SweepPoint point;
   topo::ExperimentResult result;
   // Wall-clock cost of this point's simulation (scaling benches chart
-  // it against topology size).
+  // it against topology size). ~0 when served from a SweepCache.
   double wall_seconds = 0.0;
+  bool from_cache = false;
 };
 
 // The sweep axes. `base` supplies the workload (traffic kind, file
 // sizes, seed, time cap); each point overwrites base.scenario with the
-// axis spec, then the spec's policy and rate adaptation with the other
-// two axes.
+// axis spec, then the spec's policy, rate adaptation and medium policy
+// with the other axes.
 struct SweepGrid {
   std::vector<std::pair<std::string, topo::ScenarioSpec>> scenarios;
   std::vector<std::pair<std::string, core::AggregationPolicy>> policies = {
       {"ba", core::AggregationPolicy::ba()}};
   std::vector<mac::RateAdaptationScheme> rate_adaptations = {
       mac::RateAdaptationScheme::kNone};
+  // Medium delivery axis. kAuto entries never overwrite the spec: the
+  // default single-entry axis leaves each spec's own MediumTuning in
+  // charge (a pinned policy stays pinned); kFullMesh/kCulled entries
+  // force that policy onto every spec of the grid.
+  std::vector<std::pair<std::string, topo::MediumPolicy>> mediums = {
+      {"", topo::MediumPolicy::kAuto}};
   topo::ExperimentConfig base;
 };
 
-// Expands the grid scenario-major (policies, then rate adaptations
-// innermost) without running anything.
+// Memoizes experiment results across sweep invocations, keyed on
+// (scenario label, aggregation policy label, rate-adaptation scheme,
+// medium policy, seed) plus fingerprints of the resolved scenario spec
+// and the workload base config, so same-label points describing
+// different worlds or workloads never alias — one cache can safely
+// serve every sweep in a process. Thread-safe; sweep workers consult it
+// concurrently.
+class SweepCache {
+ public:
+  static std::string key_of(const SweepPoint& point);
+
+  // nullptr on miss. Results are shared immutably, so the critical
+  // section stays O(1) — callers copy outside the lock if they need to.
+  std::shared_ptr<const topo::ExperimentResult> find(
+      const std::string& key) const;
+  void store(const std::string& key, const topo::ExperimentResult& result);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const topo::ExperimentResult>>
+      results_;
+  // Mutated by the (const) find path; lookups are logically read-only.
+  mutable std::uint64_t hits_ = 0;
+};
+
+// Expands the grid scenario-major (policies, rate adaptations, then
+// medium policies innermost) without running anything.
 std::vector<SweepPoint> expand_sweep(const SweepGrid& grid);
 
 // Runs every point of the grid, `threads` simulations at a time
 // (0 = hardware concurrency). Outcomes are indexed like expand_sweep.
+// With `cache`, previously simulated points are served from it and new
+// results are stored back.
 std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
-                                            unsigned threads = 0);
+                                            unsigned threads = 0,
+                                            SweepCache* cache = nullptr);
 
 }  // namespace hydra::app

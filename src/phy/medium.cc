@@ -1,6 +1,9 @@
 #include "phy/medium.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <unordered_map>
 
 #include "phy/phy.h"
 #include "util/assert.h"
@@ -13,24 +16,247 @@ double distance_m(Position a, Position b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
+const char* to_string(DeliveryPolicy policy) {
+  switch (policy) {
+    case DeliveryPolicy::kFullMesh: return "full-mesh";
+    case DeliveryPolicy::kCulled: return "culled";
+  }
+  HYDRA_UNREACHABLE("bad delivery policy");
+}
+
+double path_loss_db(const MediumConfig& config, double distance) {
+  const double d = std::max(1.0, distance);
+  return config.path_loss_at_1m_db +
+         10.0 * config.path_loss_exponent * std::log10(d);
+}
+
+sim::Duration propagation_delay(const MediumConfig& config, double distance) {
+  const double d = std::max(1.0, distance);
+  return sim::Duration::nanos(
+      std::llround(d / config.propagation_speed_mps * 1e9));
+}
+
+double cull_floor_dbm(const MediumConfig& config) {
+  // Clamped to the CCA threshold: anything quieter than CCA can neither
+  // assert the channel nor collide nor decode, so a floor at or below it
+  // culls only behaviourally inert deliveries.
+  return std::min(config.noise_floor_dbm - config.cull_margin_db,
+                  config.cca_threshold_dbm);
+}
+
+double reach_radius_m(const MediumConfig& config, double tx_power_dbm) {
+  const double budget =
+      tx_power_dbm - cull_floor_dbm(config) - config.path_loss_at_1m_db;
+  if (budget <= 0.0) return 1.0;  // below the floor beyond the 1 m clamp
+  return std::pow(10.0, budget / (10.0 * config.path_loss_exponent));
+}
+
+namespace {
+
+Delivery make_delivery(const MediumConfig& config, Phy& src, Phy& dst) {
+  const double d =
+      distance_m(src.config().position, dst.config().position);
+  return Delivery{&dst, src.config().tx_power_dbm - path_loss_db(config, d),
+                  propagation_delay(config, d)};
+}
+
+// Shared bookkeeping for backends that precompute one delivery list per
+// source, keyed by attach order.
+class PrecomputedBackend : public DeliveryBackend {
+ public:
+  const std::vector<Delivery>& deliveries(const Phy& src) const override {
+    return lists_[index_.at(&src)];
+  }
+
+ protected:
+  // Starts a rebuild: empty per-source lists + the attach-order index.
+  void reset(const std::vector<Phy*>& phys) {
+    lists_.clear();
+    lists_.resize(phys.size());
+    index_.clear();
+    for (std::size_t s = 0; s < phys.size(); ++s) index_[phys[s]] = s;
+  }
+
+  std::vector<std::vector<Delivery>> lists_;
+  // Pointer-hashed: the per-transmission src -> attach-index lookup is
+  // on the hot path this layer exists to keep O(1).
+  std::unordered_map<const Phy*, std::size_t> index_;
+};
+
+// Exact paper behaviour: every attached PHY hears every transmission.
+// Still caches the per-pair receive power and propagation delay so the
+// per-frame path does no trigonometry or log10.
+class FullMeshBackend final : public PrecomputedBackend {
+ public:
+  const char* name() const override { return "full-mesh"; }
+
+  void rebuild(const std::vector<Phy*>& phys,
+               const MediumConfig& config) override {
+    reset(phys);
+    for (std::size_t s = 0; s < phys.size(); ++s) {
+      lists_[s].reserve(phys.size() - 1);
+      for (Phy* dst : phys) {
+        if (dst == phys[s]) continue;
+        lists_[s].push_back(make_delivery(config, *phys[s], *dst));
+      }
+    }
+  }
+};
+
+// Uniform-grid spatial index: cells at least `min_cell_m` wide, so every
+// receiver a source can possibly reach lives in the 3×3 cell
+// neighborhood of the source's cell.
+class SpatialGrid {
+ public:
+  void build(const std::vector<Phy*>& phys, double min_cell_m) {
+    HYDRA_ASSERT(min_cell_m > 0.0);
+    min_ = {0.0, 0.0};
+    Position max = min_;
+    if (!phys.empty()) {
+      min_ = max = phys.front()->config().position;
+      for (const Phy* phy : phys) {
+        const auto p = phy->config().position;
+        min_.x_m = std::min(min_.x_m, p.x_m);
+        min_.y_m = std::min(min_.y_m, p.y_m);
+        max.x_m = std::max(max.x_m, p.x_m);
+        max.y_m = std::max(max.y_m, p.y_m);
+      }
+    }
+    // Cells may only be *wider* than requested — never narrower, or the
+    // 3×3 query would miss in-reach receivers. The per-axis cap keeps a
+    // far-flung outlier from exploding the cell table.
+    constexpr double kMaxCellsPerAxis = 64.0;
+    cell_m_ = std::max({min_cell_m, (max.x_m - min_.x_m) / kMaxCellsPerAxis,
+                        (max.y_m - min_.y_m) / kMaxCellsPerAxis});
+    if (!phys.empty()) {
+      nx_ = cell_of(max.x_m - min_.x_m) + 1;
+      ny_ = cell_of(max.y_m - min_.y_m) + 1;
+    }
+    cells_.assign(static_cast<std::size_t>(nx_) * ny_, {});
+    for (std::size_t i = 0; i < phys.size(); ++i) {
+      const auto p = phys[i]->config().position;
+      cells_[cell_index(cell_of(p.x_m - min_.x_m), cell_of(p.y_m - min_.y_m))]
+          .push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Calls `visit` with every PHY index in the 3×3 neighborhood of `p`.
+  template <typename Visit>
+  void neighborhood(Position p, Visit&& visit) const {
+    const int cx = cell_of(p.x_m - min_.x_m);
+    const int cy = cell_of(p.y_m - min_.y_m);
+    for (int y = std::max(0, cy - 1); y <= std::min(ny_ - 1, cy + 1); ++y) {
+      for (int x = std::max(0, cx - 1); x <= std::min(nx_ - 1, cx + 1); ++x) {
+        for (const std::uint32_t i : cells_[cell_index(x, y)]) visit(i);
+      }
+    }
+  }
+
+ private:
+  int cell_of(double offset_m) const {
+    return static_cast<int>(std::floor(offset_m / cell_m_));
+  }
+  std::size_t cell_index(int x, int y) const {
+    return static_cast<std::size_t>(y) * nx_ + x;
+  }
+
+  double cell_m_ = 1.0;
+  Position min_;
+  int nx_ = 1;
+  int ny_ = 1;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+// Reachability-culled delivery: receivers below the cull floor are
+// skipped, and candidates come from the spatial index instead of an
+// O(N) scan per source.
+class CulledBackend final : public PrecomputedBackend {
+ public:
+  const char* name() const override { return "culled"; }
+
+  void rebuild(const std::vector<Phy*>& phys,
+               const MediumConfig& config) override {
+    reset(phys);
+
+    // Cells as wide as the widest reach among attached transmitters, so
+    // every possible receiver sits in the 3×3 neighborhood.
+    double reach = 1.0;
+    for (const Phy* phy : phys) {
+      reach = std::max(reach,
+                       reach_radius_m(config, phy->config().tx_power_dbm));
+    }
+    grid_.build(phys, reach);
+
+    const double floor = cull_floor_dbm(config);
+    std::vector<std::uint32_t> candidates;
+    for (std::size_t s = 0; s < phys.size(); ++s) {
+      candidates.clear();
+      grid_.neighborhood(phys[s]->config().position,
+                         [&](std::uint32_t i) { candidates.push_back(i); });
+      // Attach order, so scheduling (and therefore RNG draw) order
+      // matches the full-mesh backend exactly.
+      std::sort(candidates.begin(), candidates.end());
+      for (const std::uint32_t i : candidates) {
+        if (i == s) continue;
+        const auto delivery = make_delivery(config, *phys[s], *phys[i]);
+        if (delivery.rx_power_dbm >= floor) lists_[s].push_back(delivery);
+      }
+    }
+  }
+
+ private:
+  SpatialGrid grid_;
+};
+
+}  // namespace
+
+std::unique_ptr<DeliveryBackend> make_delivery_backend(DeliveryPolicy policy) {
+  switch (policy) {
+    case DeliveryPolicy::kFullMesh:
+      return std::make_unique<FullMeshBackend>();
+    case DeliveryPolicy::kCulled:
+      return std::make_unique<CulledBackend>();
+  }
+  HYDRA_UNREACHABLE("bad delivery policy");
+}
+
 Medium::Medium(sim::Simulation& simulation, MediumConfig config,
                ErrorModel error_model)
     : sim_(simulation), config_(config), error_model_(error_model) {}
+
+Medium::~Medium() = default;
 
 void Medium::attach(Phy& phy) {
   for (const auto* existing : phys_) {
     HYDRA_ASSERT_MSG(existing != &phy, "phy attached twice");
   }
   phys_.push_back(&phy);
+  backend_dirty_ = true;
+}
+
+void Medium::set_backend(std::unique_ptr<DeliveryBackend> backend) {
+  HYDRA_ASSERT_MSG(backend != nullptr, "null delivery backend");
+  backend_ = std::move(backend);
+  backend_dirty_ = true;
+}
+
+const DeliveryBackend& Medium::backend() {
+  ensure_backend();
+  return *backend_;
+}
+
+void Medium::ensure_backend() {
+  if (!backend_) backend_ = make_delivery_backend(config_.delivery);
+  if (backend_dirty_) {
+    backend_->rebuild(phys_, config_);
+    backend_dirty_ = false;
+  }
 }
 
 double Medium::rx_power_dbm(const Phy& src, const Phy& dst) const {
   const double d =
-      std::max(1.0, distance_m(src.config().position, dst.config().position));
-  const double path_loss_db = config_.path_loss_at_1m_db +
-                              10.0 * config_.path_loss_exponent *
-                                  std::log10(d);
-  return src.config().tx_power_dbm - path_loss_db;
+      distance_m(src.config().position, dst.config().position);
+  return src.config().tx_power_dbm - path_loss_db(config_, d);
 }
 
 double Medium::snr_db(const Phy& src, const Phy& dst) const {
@@ -38,6 +264,7 @@ double Medium::snr_db(const Phy& src, const Phy& dst) const {
 }
 
 sim::Duration Medium::start_transmission(Phy& src, PhyFrame frame) {
+  ensure_backend();
   const auto timing =
       frame_timing(frame.broadcast, frame.unicast, src.config().timings);
   auto tx = std::make_shared<Transmission>();
@@ -48,15 +275,14 @@ sim::Duration Medium::start_transmission(Phy& src, PhyFrame frame) {
   tx->start = sim_.now();
 
   auto& sched = sim_.scheduler();
-  for (Phy* dst : phys_) {
-    if (dst == &src) continue;
-    const double power = rx_power_dbm(src, *dst);
-    const double dist =
-        distance_m(src.config().position, dst->config().position);
-    const auto prop = sim::Duration::nanos(static_cast<std::int64_t>(
-        dist / config_.propagation_speed_mps * 1e9));
-    sched.schedule_in(prop, [dst, tx, power] { dst->rx_start(tx, power); });
-    sched.schedule_in(prop + timing.total,
+  const auto& deliveries = backend_->deliveries(src);
+  deliveries_scheduled_ += deliveries.size();
+  for (const Delivery& delivery : deliveries) {
+    Phy* dst = delivery.destination;
+    const double power = delivery.rx_power_dbm;
+    sched.schedule_in(delivery.propagation,
+                      [dst, tx, power] { dst->rx_start(tx, power); });
+    sched.schedule_in(delivery.propagation + timing.total,
                       [dst, tx, power] { dst->rx_end(tx, power); });
   }
   return timing.total;

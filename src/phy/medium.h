@@ -3,6 +3,26 @@
 // Log-distance path loss calibrated to the paper's operating point:
 // 7.7 mW transmit power and 2.5 m node spacing give 25 dB SNR over
 // a 1 MHz channel.
+//
+// Delivery is pluggable. A transmission fans out to the receivers a
+// DeliveryBackend selects:
+//
+//   kFullMesh  every other attached PHY — exact paper parity; O(N) events
+//              per frame regardless of geometry.
+//   kCulled    only PHYs whose receive power clears the cull floor
+//              (noise floor − cull_margin_db, never above the CCA
+//              threshold). Receivers below the CCA threshold are
+//              behaviourally inert — they cannot assert CCA, collide, or
+//              decode — so culling them is bit-identical to full mesh
+//              while cutting event traffic to O(k) reachable neighbors.
+//
+// Both backends precompute a per-source delivery list (receive power and
+// propagation delay per pair) once per topology — positions are static —
+// so the per-frame hot path does no log10 at all. kCulled additionally
+// builds a uniform-grid spatial index with cells at least one reach
+// radius wide, so candidate receivers come from the 3×3 cell
+// neighborhood instead of an O(N) scan. The DeliveryBackend seam is the
+// interface a future sharded/partitioned medium slots in behind.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +44,10 @@ struct Position {
 
 double distance_m(Position a, Position b);
 
+enum class DeliveryPolicy { kFullMesh, kCulled };
+
+const char* to_string(DeliveryPolicy policy);
+
 struct MediumConfig {
   double path_loss_at_1m_db = 73.0;
   double path_loss_exponent = 3.0;
@@ -34,7 +58,31 @@ struct MediumConfig {
   // every transmission.
   double cca_threshold_dbm = -95.0;
   double propagation_speed_mps = 3.0e8;
+
+  // Which receivers a transmission is delivered to.
+  DeliveryPolicy delivery = DeliveryPolicy::kFullMesh;
+  // kCulled drops receivers more than this margin below the noise floor.
+  // The effective floor is additionally clamped to the CCA threshold
+  // (see cull_floor_dbm), which is what guarantees culled delivery stays
+  // bit-identical to full mesh.
+  double cull_margin_db = 10.0;
 };
+
+// Path loss over `distance` under `config`'s log-distance model; the
+// model stops being meaningful below 1 m, so distance clamps there.
+double path_loss_db(const MediumConfig& config, double distance);
+
+// Propagation delay over `distance`, rounded to the nearest nanosecond
+// and clamped to the same 1 m floor as the path-loss model.
+sim::Duration propagation_delay(const MediumConfig& config, double distance);
+
+// The receive-power floor below which kCulled skips delivery: noise
+// floor − cull margin, but never above the CCA threshold.
+double cull_floor_dbm(const MediumConfig& config);
+
+// The largest distance at which a transmitter at `tx_power_dbm` still
+// clears the cull floor (≥ 1 m; the path-loss clamp).
+double reach_radius_m(const MediumConfig& config, double tx_power_dbm);
 
 // One in-flight transmission, shared by every receiver's bookkeeping.
 struct Transmission {
@@ -45,10 +93,41 @@ struct Transmission {
   sim::TimePoint start;
 };
 
+// One precomputed receiver of a given source PHY.
+struct Delivery {
+  Phy* destination = nullptr;
+  double rx_power_dbm = 0.0;
+  sim::Duration propagation;
+};
+
+// The seam between the medium and its receiver-selection strategy.
+// Implementations precompute per-source delivery lists in rebuild();
+// the medium calls deliveries() once per transmission. Lists must be
+// ordered by attach index — scheduling order at equal timestamps decides
+// RNG draw order, so every backend has to agree on it.
+class DeliveryBackend {
+ public:
+  virtual ~DeliveryBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // Recomputes the delivery lists from the attached PHY set (called
+  // lazily after attachment changes; positions are static afterwards).
+  virtual void rebuild(const std::vector<Phy*>& phys,
+                       const MediumConfig& config) = 0;
+
+  // The receivers a transmission from `src` fans out to.
+  virtual const std::vector<Delivery>& deliveries(const Phy& src) const = 0;
+};
+
+// Creates the backend implementing `policy`.
+std::unique_ptr<DeliveryBackend> make_delivery_backend(DeliveryPolicy policy);
+
 class Medium {
  public:
   Medium(sim::Simulation& simulation, MediumConfig config = {},
          ErrorModel error_model = ErrorModel{});
+  ~Medium();
 
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
@@ -56,8 +135,8 @@ class Medium {
   // Registers a PHY; it must outlive the medium's last event.
   void attach(Phy& phy);
 
-  // Begins delivering `frame` from `src` to every other attached PHY.
-  // Returns the frame's on-air duration.
+  // Begins delivering `frame` from `src` to every receiver the delivery
+  // backend selects. Returns the frame's on-air duration.
   sim::Duration start_transmission(Phy& src, PhyFrame frame);
 
   double rx_power_dbm(const Phy& src, const Phy& dst) const;
@@ -67,14 +146,28 @@ class Medium {
   const ErrorModel& error_model() const { return error_model_; }
   sim::Simulation& simulation() { return sim_; }
 
+  // Replaces the delivery backend (tests, future sharded backends). The
+  // default is the backend for config().delivery.
+  void set_backend(std::unique_ptr<DeliveryBackend> backend);
+  const DeliveryBackend& backend();
+
   std::uint64_t transmissions_started() const { return next_tx_id_ - 1; }
+  // Receiver deliveries scheduled so far (each is one rx_start/rx_end
+  // event pair); deliveries ÷ transmissions is the per-frame fan-out the
+  // scale bench charts.
+  std::uint64_t deliveries_scheduled() const { return deliveries_scheduled_; }
 
  private:
+  void ensure_backend();
+
   sim::Simulation& sim_;
   MediumConfig config_;
   ErrorModel error_model_;
   std::vector<Phy*> phys_;
+  std::unique_ptr<DeliveryBackend> backend_;
+  bool backend_dirty_ = true;
   std::uint64_t next_tx_id_ = 1;
+  std::uint64_t deliveries_scheduled_ = 0;
 };
 
 }  // namespace hydra::phy

@@ -45,6 +45,7 @@ void Phy::update_cca() {
 
 void Phy::rx_start(const std::shared_ptr<const Transmission>& tx,
                    double rx_power_dbm) {
+  ++rx_starts_;
   const bool audible = rx_power_dbm >= medium_.config().cca_threshold_dbm;
   bool doomed = transmitting_;
   if (audible) {

@@ -95,8 +95,19 @@ void append_json_array(std::string& out, const std::vector<std::string>& v) {
 
 }  // namespace
 
+Table& Table::set_title(std::string title) {
+  title_ = std::move(title);
+  return *this;
+}
+
 std::string Table::to_json() const {
-  std::string out = "{\"headers\": ";
+  std::string out = "{";
+  if (!title_.empty()) {
+    out += "\"title\": ";
+    append_json_string(out, title_);
+    out += ", ";
+  }
+  out += "\"headers\": ";
   append_json_array(out, headers_);
   out += ", \"rows\": [";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
@@ -108,6 +119,7 @@ std::string Table::to_json() const {
 }
 
 void Table::print(std::FILE* out) const {
+  if (!title_.empty()) std::fprintf(out, "\n%s\n", title_.c_str());
   const auto s = to_string();
   std::fwrite(s.data(), 1, s.size(), out);
 }

@@ -18,18 +18,29 @@ class Table {
 
   Table& add_row(std::vector<std::string> cells);
 
+  // Optional caption ("Table 5: relay frame size"). Printed above the
+  // table (after a separating blank line) and carried as "title" in the
+  // JSON form, so multi-table reports keep each caption attached to its
+  // table instead of stranding it in the surrounding commentary.
+  Table& set_title(std::string title);
+  const std::string& title() const { return title_; }
+
   // Formatting helpers for cells.
   static std::string num(double v, int decimals = 3);
   static std::string percent(double fraction, int decimals = 1);
   static std::string bytes(double v);
 
-  // Renders with aligned columns to `out` (defaults to stdout).
+  // Renders with aligned columns to `out` (defaults to stdout); a set
+  // title precedes the table.
   void print(std::FILE* out = stdout) const;
+  // The table body alone (no title), aligned like print().
   std::string to_string() const;
-  // Machine-readable form: {"headers": [...], "rows": [[...], ...]}.
+  // Machine-readable form: {"headers": [...], "rows": [[...], ...]},
+  // plus "title" when one is set.
   std::string to_json() const;
 
  private:
+  std::string title_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };

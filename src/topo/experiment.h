@@ -64,6 +64,13 @@ struct ExperimentResult {
   std::vector<std::uint32_t> relay_indices;
   sim::Duration sim_time;
 
+  // Medium accounting: frames put on the air and receiver deliveries the
+  // medium scheduled for them. deliveries ÷ transmissions is the
+  // per-frame fan-out — N−1 under full mesh, the in-reach neighbor count
+  // under culled delivery (what bench_ext_medium_scale charts).
+  std::uint64_t phy_transmissions = 0;
+  std::uint64_t phy_deliveries = 0;
+
   // Slowest session (the paper reports worst-case for the star).
   double worst_throughput_mbps() const;
   double total_throughput_mbps() const;

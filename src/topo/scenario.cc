@@ -40,6 +40,19 @@ std::string to_string(Family family) {
   HYDRA_UNREACHABLE("bad scenario family");
 }
 
+std::string to_string(MediumPolicy policy) {
+  switch (policy) {
+    case MediumPolicy::kAuto: return "auto";
+    case MediumPolicy::kFullMesh: return "full-mesh";
+    case MediumPolicy::kCulled: return "culled";
+  }
+  HYDRA_UNREACHABLE("bad medium policy");
+}
+
+double WorldBounds::diagonal_m() const {
+  return std::sqrt(width_m() * width_m() + height_m() * height_m());
+}
+
 ScenarioSpec ScenarioSpec::chain(std::size_t n) {
   HYDRA_ASSERT(n >= 2);
   ScenarioSpec spec;
@@ -376,6 +389,44 @@ std::vector<std::uint32_t> ScenarioSpec::relay_indices(
   return relays;
 }
 
+phy::MediumConfig ScenarioSpec::medium_config() const {
+  phy::MediumConfig mc;
+  mc.cull_margin_db = medium.cull_margin_db;
+  switch (medium.policy) {
+    case MediumPolicy::kAuto:
+      mc.delivery = node_count() >= kCullAutoThreshold
+                        ? phy::DeliveryPolicy::kCulled
+                        : phy::DeliveryPolicy::kFullMesh;
+      break;
+    case MediumPolicy::kFullMesh:
+      mc.delivery = phy::DeliveryPolicy::kFullMesh;
+      break;
+    case MediumPolicy::kCulled:
+      mc.delivery = phy::DeliveryPolicy::kCulled;
+      break;
+  }
+  return mc;
+}
+
+WorldBounds ScenarioSpec::world_bounds() const {
+  const auto pos = positions();
+  HYDRA_ASSERT_MSG(!pos.empty(), "world_bounds of an empty scenario");
+  WorldBounds bounds{pos.front(), pos.front()};
+  for (const auto& p : pos) {
+    bounds.min.x_m = std::min(bounds.min.x_m, p.x_m);
+    bounds.min.y_m = std::min(bounds.min.y_m, p.y_m);
+    bounds.max.x_m = std::max(bounds.max.x_m, p.x_m);
+    bounds.max.y_m = std::max(bounds.max.y_m, p.y_m);
+  }
+  return bounds;
+}
+
+double ScenarioSpec::max_reach_m() const {
+  const double tx_power_dbm =
+      net::NodeConfig{}.tx_power_dbm + node.tx_power_delta_db;
+  return phy::reach_radius_m(medium_config(), tx_power_dbm);
+}
+
 std::string ScenarioSpec::label() const {
   char buf[48];
   switch (family) {
@@ -402,7 +453,7 @@ std::string ScenarioSpec::label() const {
 Scenario::Scenario(const ScenarioSpec& spec, std::uint64_t seed)
     : spec_(spec),
       sim_(std::make_unique<sim::Simulation>(seed)),
-      medium_(std::make_unique<phy::Medium>(*sim_)),
+      medium_(std::make_unique<phy::Medium>(*sim_, spec.medium_config())),
       trace_(std::make_shared<std::vector<std::string>>()) {}
 
 Scenario Scenario::build(const ScenarioSpec& spec, std::uint64_t seed) {

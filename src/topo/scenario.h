@@ -37,6 +37,36 @@ enum class Family { kChain, kStar, kGrid, kRing, kRandom };
 
 std::string to_string(Family family);
 
+// How the scenario's medium selects receivers per transmission. kAuto
+// keeps exact-paper full mesh for small topologies and switches to
+// reachability culling (bit-identical, O(k) fan-out; see phy/medium.h)
+// at kCullAutoThreshold nodes — the point where O(N²) event traffic
+// starts to dominate grid/random scenarios.
+enum class MediumPolicy { kAuto, kFullMesh, kCulled };
+
+inline constexpr std::size_t kCullAutoThreshold = 32;
+
+std::string to_string(MediumPolicy policy);
+
+// The scenario-level medium knobs; ScenarioSpec::medium_config resolves
+// them (plus the topology's size) into a phy::MediumConfig.
+struct MediumTuning {
+  MediumPolicy policy = MediumPolicy::kAuto;
+  // Passed through to phy::MediumConfig::cull_margin_db.
+  double cull_margin_db = 10.0;
+};
+
+// Axis-aligned bounding box of a scenario's node placement.
+struct WorldBounds {
+  phy::Position min;
+  phy::Position max;
+  double width_m() const { return max.x_m - min.x_m; }
+  double height_m() const { return max.y_m - min.y_m; }
+  // Corner-to-corner span: when it fits inside the reach radius, culled
+  // delivery degenerates to full mesh (every node reaches every other).
+  double diagonal_m() const;
+};
+
 // One traffic session, as node indices. The workload layer (app) decides
 // what actually flows between them.
 struct Session {
@@ -83,6 +113,9 @@ struct ScenarioSpec {
   double range_m = 3.5;
 
   NodeParams node;
+
+  // Medium delivery policy and cull tuning (see MediumTuning).
+  MediumTuning medium;
 
   // MAC link whitelist restricted to topological neighbours: every radio
   // still hears every frame, but only adjacent links deliver — the
@@ -141,6 +174,16 @@ struct ScenarioSpec {
       const std::vector<std::vector<std::uint32_t>>& adjacency) const;
   std::vector<std::uint32_t> relay_indices(
       const std::vector<std::vector<std::uint32_t>>& next_hops) const;
+
+  // The medium configuration this spec resolves to: kAuto picks culled
+  // delivery at kCullAutoThreshold nodes and full mesh below it.
+  phy::MediumConfig medium_config() const;
+  // Bounding box of the node placement (positions_override included).
+  WorldBounds world_bounds() const;
+  // The largest reach radius of this spec's transmitters under the
+  // resolved medium config (node tx power + tx_power_delta_db).
+  double max_reach_m() const;
+
   // Compact description for sweep tables: "chain-8", "grid-3x4", ...
   std::string label() const;
 };

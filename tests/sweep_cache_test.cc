@@ -1,0 +1,166 @@
+// The sweep cache: figure-regeneration sweeps must be able to re-run a
+// grid and get byte-identical results out of the cache without
+// re-simulating, and the key must separate every axis that changes the
+// outcome.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "app/sweep.h"
+
+namespace hydra::app {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.scenarios = {{"", topo::ScenarioSpec::two_hop()},
+                    {"", topo::ScenarioSpec::grid(2, 2)}};
+  grid.policies = {{"na", core::AggregationPolicy::na()},
+                   {"ba", core::AggregationPolicy::ba()}};
+  grid.base.traffic = topo::TrafficKind::kTcp;
+  grid.base.tcp_file_bytes = 20'000;
+  return grid;
+}
+
+void expect_equal_results(const topo::ExperimentResult& a,
+                          const topo::ExperimentResult& b) {
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    EXPECT_EQ(a.flows[f].completed, b.flows[f].completed);
+    EXPECT_EQ(a.flows[f].bytes, b.flows[f].bytes);
+    EXPECT_EQ(a.flows[f].elapsed.ns(), b.flows[f].elapsed.ns());
+    EXPECT_DOUBLE_EQ(a.flows[f].throughput_mbps, b.flows[f].throughput_mbps);
+  }
+  EXPECT_EQ(a.phy_transmissions, b.phy_transmissions);
+  EXPECT_EQ(a.phy_deliveries, b.phy_deliveries);
+  ASSERT_EQ(a.node_stats.size(), b.node_stats.size());
+  for (std::size_t n = 0; n < a.node_stats.size(); ++n) {
+    EXPECT_EQ(a.node_stats[n].data_frames_tx, b.node_stats[n].data_frames_tx);
+    EXPECT_EQ(a.node_stats[n].data_bytes_tx, b.node_stats[n].data_bytes_tx);
+  }
+}
+
+TEST(SweepCache, CacheHitEqualsRecompute) {
+  const auto grid = small_grid();
+  const auto reference = sweep_experiments(grid, 2);
+
+  SweepCache cache;
+  const auto first = sweep_experiments(grid, 2, &cache);
+  ASSERT_EQ(first.size(), reference.size());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), first.size());
+  for (const auto& outcome : first) EXPECT_FALSE(outcome.from_cache);
+
+  const auto second = sweep_experiments(grid, 2, &cache);
+  ASSERT_EQ(second.size(), reference.size());
+  EXPECT_EQ(cache.hits(), second.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].from_cache);
+    // A cached point is indistinguishable from a recomputed one.
+    expect_equal_results(second[i].result, reference[i].result);
+    expect_equal_results(second[i].result, first[i].result);
+  }
+}
+
+TEST(SweepCache, KeySeparatesEveryAxisAndSeed) {
+  auto grid = small_grid();
+  grid.mediums = {{"full", topo::MediumPolicy::kFullMesh},
+                  {"cull", topo::MediumPolicy::kCulled}};
+  grid.rate_adaptations = {mac::RateAdaptationScheme::kNone,
+                           mac::RateAdaptationScheme::kSnr};
+  const auto points = expand_sweep(grid);
+  ASSERT_EQ(points.size(), 2u * 2u * 2u * 2u);
+  std::set<std::string> keys;
+  for (const auto& point : points) keys.insert(SweepCache::key_of(point));
+  EXPECT_EQ(keys.size(), points.size());
+
+  // The seed rides in the key too: one topology, many workload seeds.
+  auto a = points.front();
+  auto b = a;
+  b.config.seed = a.config.seed + 1;
+  EXPECT_NE(SweepCache::key_of(a), SweepCache::key_of(b));
+}
+
+TEST(SweepCache, KeyFingerprintsSpecFieldsTheLabelOmits) {
+  // Two grid entries can share a label ("grid-10x10") while describing
+  // different worlds; the key must not alias them or the cache would
+  // serve one point's result for the other.
+  SweepGrid grid;
+  auto near = topo::ScenarioSpec::grid(10, 10);
+  auto far = topo::ScenarioSpec::grid(10, 10);
+  far.spacing_m = 10.0;
+  grid.scenarios = {{"", near}, {"", far}};
+  const auto points = expand_sweep(grid);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].scenario_label, points[1].scenario_label);
+  EXPECT_NE(SweepCache::key_of(points[0]), SweepCache::key_of(points[1]));
+
+  // Same for session lists and pinned placements.
+  auto resessioned = near;
+  resessioned.sessions = {{0, 5}};
+  auto sp = points[0];
+  sp.config.scenario = resessioned;
+  EXPECT_NE(SweepCache::key_of(points[0]), SweepCache::key_of(sp));
+}
+
+TEST(SweepCache, KeyFingerprintsTheWorkloadBaseConfig) {
+  // Two sweeps sharing one cache may differ only in the workload base;
+  // the key covers it, so they must not serve each other's results.
+  SweepGrid grid = small_grid();
+  const auto points = expand_sweep(grid);
+  auto a = points.front();
+  auto b = a;
+  b.config.tcp_file_bytes = 200'000;
+  EXPECT_NE(SweepCache::key_of(a), SweepCache::key_of(b));
+  auto c = a;
+  c.config.traffic = topo::TrafficKind::kUdp;
+  EXPECT_NE(SweepCache::key_of(a), SweepCache::key_of(c));
+}
+
+TEST(SweepCache, KeyDedupesAutoAgainstItsResolvedPolicy) {
+  // kAuto resolves by node count; a point swept under the default axis
+  // and the same point swept under an explicit entry that resolves to
+  // the same delivery policy describe one simulation and must share a
+  // cache slot.
+  SweepGrid grid;
+  grid.scenarios = {{"", topo::ScenarioSpec::two_hop()}};  // auto -> full
+  auto auto_point = expand_sweep(grid).front();
+  grid.mediums = {{"full", topo::MediumPolicy::kFullMesh}};
+  auto pinned_point = expand_sweep(grid).front();
+  EXPECT_EQ(SweepCache::key_of(auto_point), SweepCache::key_of(pinned_point));
+}
+
+TEST(SweepCache, KeyFingerprintsPolicyKnobsBehindEqualLabels) {
+  // Two axis entries may reuse a label while tuning different policy
+  // knobs; the key runs over the resolved spec, so they must not alias.
+  auto short_delay = core::AggregationPolicy::dba();
+  auto long_delay = core::AggregationPolicy::dba();
+  short_delay.delay_min_subframes = 2;
+  long_delay.delay_min_subframes = 8;
+  SweepGrid grid;
+  grid.scenarios = {{"", topo::ScenarioSpec::two_hop()}};
+  grid.policies = {{"dba", short_delay}, {"dba", long_delay}};
+  const auto points = expand_sweep(grid);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].policy_label, points[1].policy_label);
+  EXPECT_NE(SweepCache::key_of(points[0]), SweepCache::key_of(points[1]));
+}
+
+TEST(SweepCache, MediumAxisExpandsAndLabels) {
+  SweepGrid grid;
+  grid.scenarios = {{"", topo::ScenarioSpec::two_hop()}};
+  grid.mediums = {{"full", topo::MediumPolicy::kFullMesh},
+                  {"cull", topo::MediumPolicy::kCulled}};
+  const auto points = expand_sweep(grid);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].medium_label, "full");
+  EXPECT_EQ(points[0].config.scenario.medium.policy,
+            topo::MediumPolicy::kFullMesh);
+  EXPECT_EQ(points[1].medium_label, "cull");
+  EXPECT_EQ(points[1].config.scenario.medium.policy,
+            topo::MediumPolicy::kCulled);
+}
+
+}  // namespace
+}  // namespace hydra::app

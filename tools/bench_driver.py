@@ -2,11 +2,16 @@
 """Runs every paper-reproduction bench in parallel and aggregates their
 per-bench BENCH_*.json reports into one BENCH_REPORT.json.
 
-Each bench binary mirrors its tables to BENCH_<id>.json in its working
-directory (see bench/bench_common.h); this driver gives every binary a
-private scratch directory so concurrent runs cannot collide, then folds
-the collected reports — plus run metadata (wall time, exit status) —
-into a single document, ready for figure regeneration.
+Each bench binary mirrors its tables — and its free-form commentary
+(the "Paper: ..." comparison footers and expected-shape notes, recorded
+by bench::comment into the report's "comments" array) — to
+BENCH_<id>.json in its working directory (see bench/bench_common.h);
+this driver gives every binary a private scratch directory so
+concurrent runs cannot collide, then folds the collected reports — plus
+run metadata (wall time, exit status) — into a single document, ready
+for figure regeneration. The aggregate is self-describing: tables,
+paper comparisons and commentary all ride in the JSON, so nothing of
+the bench output lives only on stdout.
 
 Usage:
     tools/bench_driver.py [--build-dir build] [--jobs N] [--output PATH]
@@ -158,8 +163,9 @@ def run_one(binary: Path) -> dict:
         "exit_code": exit_code,
         "seconds": round(time.monotonic() - started, 3),
         "reports": reports,
-        # stdout is mostly the rendered tables (already in the JSON);
-        # keep a tail for diagnosing failures without bloating the file.
+        # stdout is the rendered tables and commentary (both already in
+        # the JSON report); keep a tail for diagnosing failures without
+        # bloating the file.
         "output_tail": output.splitlines()[-20:] if exit_code != 0 else [],
     }
 
