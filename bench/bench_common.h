@@ -32,6 +32,10 @@ struct JsonReport {
   std::string id;
   std::string paper_result;
   std::string note;
+  // Worker threads the bench's parallel sections used (1 = serial);
+  // bench_driver.py folds it into the per-bench metadata so baseline
+  // diffs across machines stay interpretable.
+  unsigned threads = 1;
   std::vector<std::string> tables_json;
   std::vector<std::string> comments;
 };
@@ -64,6 +68,7 @@ inline void write_json_report() {
   append_json_string(doc, report.paper_result);
   doc += ", \"note\": ";
   append_json_string(doc, report.note);
+  doc += ", \"threads\": " + std::to_string(report.threads);
   doc += ", \"tables\": [";
   for (std::size_t i = 0; i < report.tables_json.size(); ++i) {
     if (i > 0) doc += ", ";
@@ -90,6 +95,14 @@ inline void write_json_report() {
 inline void emit(const stats::Table& table) {
   table.print();
   detail::json_report().tables_json.push_back(table.to_json());
+}
+
+// Records the worker-thread count a bench's parallel sections ran with
+// (the JSON report's "threads" field; defaults to 1 for the serial
+// benches). Wall-clock columns from a 4-thread run and a 1-thread run
+// are not comparable — this is the metadata that says which is which.
+inline void record_threads(unsigned threads) {
+  detail::json_report().threads = threads == 0 ? 1 : threads;
 }
 
 // Prints a line of free-form commentary (paper comparisons, expected

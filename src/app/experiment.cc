@@ -159,6 +159,9 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
   result.sim_time = simulation.now().since_origin();
   result.phy_transmissions = scenario.medium().transmissions_started();
   result.phy_deliveries = scenario.medium().deliveries_scheduled();
+  result.phy_shards = scenario.medium().shards();
+  result.phy_rebuilds = scenario.medium().rebuilds();
+  result.phy_incremental_attaches = scenario.medium().incremental_attaches();
   for (std::size_t i = 0; i < node_count; ++i) {
     result.node_stats.push_back(scenario.node(i).mac_stats());
   }

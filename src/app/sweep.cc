@@ -1,11 +1,12 @@
 #include "app/sweep.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <thread>
+
+#include "util/task_pool.h"
 
 namespace hydra::app {
 
@@ -49,13 +50,13 @@ class Fingerprinter {
 // containers); elsewhere the fingerprints still work, they just lose
 // the compile-time reminder.
 #if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(topo::ScenarioSpec) == 264,
+static_assert(sizeof(topo::ScenarioSpec) == 272,
               "ScenarioSpec changed: update spec_fingerprint");
 static_assert(sizeof(topo::NodeParams) == 128,
               "NodeParams changed: update spec_fingerprint");
 static_assert(sizeof(core::AggregationPolicy) == 48,
               "AggregationPolicy changed: update spec_fingerprint");
-static_assert(sizeof(topo::ExperimentConfig) == 400,
+static_assert(sizeof(topo::ExperimentConfig) == 408,
               "ExperimentConfig changed: update workload_fingerprint");
 static_assert(sizeof(transport::TcpConfig) == 48,
               "TcpConfig changed: update workload_fingerprint");
@@ -75,9 +76,12 @@ std::string spec_fingerprint(const topo::ScenarioSpec& spec) {
          static_cast<int>(spec.family), spec.nodes, spec.senders, spec.rows,
          spec.cols, spec.spacing_m, spec.range_m,
          static_cast<unsigned long long>(spec.placement_seed));
-  fp.add("w%d sr%d rd%d cm%.17g ", spec.neighbor_whitelist,
+  // shard_threads rides along even though the determinism contract
+  // makes it outcome-neutral: a fingerprint that hand-waves "this field
+  // can't matter" is how aliasing bugs start.
+  fp.add("w%d sr%d rd%d cm%.17g sh%zu ", spec.neighbor_whitelist,
          spec.static_routes, spec.route_discovery,
-         spec.medium.cull_margin_db);
+         spec.medium.cull_margin_db, spec.medium.shard_threads);
   fp.add("q%zu rts%d tpd%.17g ra%d ", spec.node.queue_limit,
          spec.node.use_rts_cts, spec.node.tx_power_delta_db,
          static_cast<int>(spec.node.rate_adaptation));
@@ -220,43 +224,33 @@ std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
   }
   threads = std::min<unsigned>(threads, points.size() ? points.size() : 1u);
 
-  // Work-stealing over a shared index; each slot is written by exactly
-  // one worker, so no further synchronization is needed.
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < points.size();
-         i = next.fetch_add(1)) {
-      const auto started = std::chrono::steady_clock::now();
-      SweepOutcome outcome;
-      const std::string key =
-          cache ? SweepCache::key_of(points[i]) : std::string{};
-      if (cache) {
-        if (const auto cached = cache->find(key)) {
-          outcome.result = *cached;  // deep copy outside the cache lock
-          outcome.from_cache = true;
-        }
+  // One point per pool task, stolen dynamically; each outcome slot is
+  // written by exactly one worker, so the pool's batch barrier is the
+  // only synchronization needed. A pool of concurrency 1 runs the batch
+  // inline on this thread.
+  util::TaskPool pool(threads);
+  pool.parallel_for(points.size(), [&](std::size_t i) {
+    const auto started = std::chrono::steady_clock::now();
+    SweepOutcome outcome;
+    const std::string key =
+        cache ? SweepCache::key_of(points[i]) : std::string{};
+    if (cache) {
+      if (const auto cached = cache->find(key)) {
+        outcome.result = *cached;  // deep copy outside the cache lock
+        outcome.from_cache = true;
       }
-      if (!outcome.from_cache) {
-        outcome.result = run_experiment(points[i].config);
-        if (cache) cache->store(key, outcome.result);
-      }
-      outcome.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        started)
-              .count();
-      outcome.point = std::move(points[i]);
-      outcomes[i] = std::move(outcome);
     }
-  };
-
-  if (threads <= 1) {
-    worker();
-    return outcomes;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+    if (!outcome.from_cache) {
+      outcome.result = run_experiment(points[i].config);
+      if (cache) cache->store(key, outcome.result);
+    }
+    outcome.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    outcome.point = std::move(points[i]);
+    outcomes[i] = std::move(outcome);
+  });
   return outcomes;
 }
 

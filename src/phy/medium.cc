@@ -3,23 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <thread>
 #include <unordered_map>
 
 #include "phy/phy.h"
 #include "util/assert.h"
+#include "util/task_pool.h"
 
 namespace hydra::phy {
-
-double distance_m(Position a, Position b) {
-  const double dx = a.x_m - b.x_m;
-  const double dy = a.y_m - b.y_m;
-  return std::sqrt(dx * dx + dy * dy);
-}
 
 const char* to_string(DeliveryPolicy policy) {
   switch (policy) {
     case DeliveryPolicy::kFullMesh: return "full-mesh";
     case DeliveryPolicy::kCulled: return "culled";
+    case DeliveryPolicy::kSharded: return "sharded";
   }
   HYDRA_UNREACHABLE("bad delivery policy");
 }
@@ -51,6 +48,14 @@ double reach_radius_m(const MediumConfig& config, double tx_power_dbm) {
   return std::pow(10.0, budget / (10.0 * config.path_loss_exponent));
 }
 
+std::size_t resolve_shard_threads(const MediumConfig& config) {
+  if (config.shard_threads != 0) return config.shard_threads;
+  // Capped: the stripe computation saturates long before it can use a
+  // many-core host, and oversubscribing stripes shrinks each below the
+  // wake-up cost of its worker.
+  return std::clamp<std::size_t>(std::thread::hardware_concurrency(), 1, 8);
+}
+
 namespace {
 
 Delivery make_delivery(const MediumConfig& config, Phy& src, Phy& dst) {
@@ -77,6 +82,15 @@ class PrecomputedBackend : public DeliveryBackend {
     for (std::size_t s = 0; s < phys.size(); ++s) index_[phys[s]] = s;
   }
 
+  // Registers a newly attached PHY (the next attach index) with an
+  // empty list; returns its index.
+  std::size_t register_attached(Phy& phy) {
+    const std::size_t s = lists_.size();
+    lists_.emplace_back();
+    index_[&phy] = s;
+    return s;
+  }
+
   std::vector<std::vector<Delivery>> lists_;
   // Pointer-hashed: the per-transmission src -> attach-index lookup is
   // on the hot path this layer exists to keep O(1).
@@ -101,111 +115,155 @@ class FullMeshBackend final : public PrecomputedBackend {
       }
     }
   }
+
+  bool attach_incremental(Phy& phy, const std::vector<Phy*>& phys,
+                          const MediumConfig& config) override {
+    // The newcomer holds the highest attach index, so appending it to
+    // every existing list keeps them attach-ordered.
+    const std::size_t s = register_attached(phy);
+    auto& list = lists_[s];
+    list.reserve(phys.size() - 1);
+    for (std::size_t i = 0; i + 1 < phys.size(); ++i) {
+      list.push_back(make_delivery(config, phy, *phys[i]));
+      lists_[i].push_back(make_delivery(config, *phys[i], phy));
+    }
+    return true;
+  }
 };
 
-// Uniform-grid spatial index: cells at least `min_cell_m` wide, so every
-// receiver a source can possibly reach lives in the 3×3 cell
-// neighborhood of the source's cell.
-class SpatialGrid {
- public:
-  void build(const std::vector<Phy*>& phys, double min_cell_m) {
-    HYDRA_ASSERT(min_cell_m > 0.0);
-    min_ = {0.0, 0.0};
-    Position max = min_;
-    if (!phys.empty()) {
-      min_ = max = phys.front()->config().position;
-      for (const Phy* phy : phys) {
-        const auto p = phy->config().position;
-        min_.x_m = std::min(min_.x_m, p.x_m);
-        min_.y_m = std::min(min_.y_m, p.y_m);
-        max.x_m = std::max(max.x_m, p.x_m);
-        max.y_m = std::max(max.y_m, p.y_m);
-      }
+// Shared machinery of the culled backends: the reach-sized spatial grid
+// and the per-source candidate/rx-power/delay computation. kCulled runs
+// compute_list serially; kSharded fans the same computation out one
+// grid stripe per worker — identical per-pair arithmetic in identical
+// per-list order, which is what makes the two bit-identical.
+class CulledBackendBase : public PrecomputedBackend {
+ protected:
+  // Rebuild prologue: reset + a grid whose cells span the widest reach
+  // among the attached transmitters, so every possible receiver sits in
+  // the 3×3 neighborhood of its source's cell.
+  void prepare(const std::vector<Phy*>& phys, const MediumConfig& config) {
+    reset(phys);
+    std::vector<Position> positions;
+    positions.reserve(phys.size());
+    double reach = 1.0;
+    for (const Phy* phy : phys) {
+      positions.push_back(phy->config().position);
+      reach = std::max(reach,
+                       reach_radius_m(config, phy->config().tx_power_dbm));
     }
-    // Cells may only be *wider* than requested — never narrower, or the
-    // 3×3 query would miss in-reach receivers. The per-axis cap keeps a
-    // far-flung outlier from exploding the cell table.
-    constexpr double kMaxCellsPerAxis = 64.0;
-    cell_m_ = std::max({min_cell_m, (max.x_m - min_.x_m) / kMaxCellsPerAxis,
-                        (max.y_m - min_.y_m) / kMaxCellsPerAxis});
-    if (!phys.empty()) {
-      nx_ = cell_of(max.x_m - min_.x_m) + 1;
-      ny_ = cell_of(max.y_m - min_.y_m) + 1;
-    }
-    cells_.assign(static_cast<std::size_t>(nx_) * ny_, {});
-    for (std::size_t i = 0; i < phys.size(); ++i) {
-      const auto p = phys[i]->config().position;
-      cells_[cell_index(cell_of(p.x_m - min_.x_m), cell_of(p.y_m - min_.y_m))]
-          .push_back(static_cast<std::uint32_t>(i));
+    grid_.build(positions, reach);
+  }
+
+  // Computes source s's delivery list: grid candidates, sorted to
+  // attach order (scheduling — and therefore RNG draw — order must
+  // match the full-mesh backend exactly), culled against the floor.
+  void compute_list(std::size_t s, const std::vector<Phy*>& phys,
+                    const MediumConfig& config,
+                    std::vector<std::uint32_t>& candidates) {
+    candidates.clear();
+    grid_.neighborhood(phys[s]->config().position,
+                       [&](std::uint32_t i) { candidates.push_back(i); });
+    std::sort(candidates.begin(), candidates.end());
+    const double floor = cull_floor_dbm(config);
+    for (const std::uint32_t i : candidates) {
+      if (i == s) continue;
+      const auto delivery = make_delivery(config, *phys[s], *phys[i]);
+      if (delivery.rx_power_dbm >= floor) lists_[s].push_back(delivery);
     }
   }
 
-  // Calls `visit` with every PHY index in the 3×3 neighborhood of `p`.
-  template <typename Visit>
-  void neighborhood(Position p, Visit&& visit) const {
-    const int cx = cell_of(p.x_m - min_.x_m);
-    const int cy = cell_of(p.y_m - min_.y_m);
-    for (int y = std::max(0, cy - 1); y <= std::min(ny_ - 1, cy + 1); ++y) {
-      for (int x = std::max(0, cx - 1); x <= std::min(nx_ - 1, cx + 1); ++x) {
-        for (const std::uint32_t i : cells_[cell_index(x, y)]) visit(i);
-      }
+  bool attach_incremental(Phy& phy, const std::vector<Phy*>& phys,
+                          const MediumConfig& config) override {
+    // Local only when the newcomer sits inside the built grid and its
+    // own reach fits one cell (so the 3×3 query stays sufficient in
+    // both directions); anything else rebuilds from scratch.
+    const Position p = phy.config().position;
+    if (!grid_.contains(p)) return false;
+    if (reach_radius_m(config, phy.config().tx_power_dbm) > grid_.cell_m()) {
+      return false;
     }
+    const auto s = static_cast<std::uint32_t>(register_attached(phy));
+    grid_.insert(p, s);
+    std::vector<std::uint32_t> candidates;
+    compute_list(s, phys, config, candidates);
+    // Reverse direction: every in-reach existing source gains the
+    // newcomer. It holds the highest attach index, so push_back keeps
+    // each list attach-ordered; the power filter is the same exact cull
+    // a full rebuild would apply.
+    const double floor = cull_floor_dbm(config);
+    grid_.neighborhood(p, [&](std::uint32_t i) {
+      if (i == s) return;
+      const auto delivery = make_delivery(config, *phys[i], phy);
+      if (delivery.rx_power_dbm >= floor) lists_[i].push_back(delivery);
+    });
+    return true;
   }
 
- private:
-  int cell_of(double offset_m) const {
-    return static_cast<int>(std::floor(offset_m / cell_m_));
-  }
-  std::size_t cell_index(int x, int y) const {
-    return static_cast<std::size_t>(y) * nx_ + x;
-  }
-
-  double cell_m_ = 1.0;
-  Position min_;
-  int nx_ = 1;
-  int ny_ = 1;
-  std::vector<std::vector<std::uint32_t>> cells_;
+  SpatialGrid grid_;
 };
 
 // Reachability-culled delivery: receivers below the cull floor are
 // skipped, and candidates come from the spatial index instead of an
 // O(N) scan per source.
-class CulledBackend final : public PrecomputedBackend {
+class CulledBackend final : public CulledBackendBase {
  public:
   const char* name() const override { return "culled"; }
 
   void rebuild(const std::vector<Phy*>& phys,
                const MediumConfig& config) override {
-    reset(phys);
-
-    // Cells as wide as the widest reach among attached transmitters, so
-    // every possible receiver sits in the 3×3 neighborhood.
-    double reach = 1.0;
-    for (const Phy* phy : phys) {
-      reach = std::max(reach,
-                       reach_radius_m(config, phy->config().tx_power_dbm));
-    }
-    grid_.build(phys, reach);
-
-    const double floor = cull_floor_dbm(config);
+    prepare(phys, config);
     std::vector<std::uint32_t> candidates;
     for (std::size_t s = 0; s < phys.size(); ++s) {
-      candidates.clear();
-      grid_.neighborhood(phys[s]->config().position,
-                         [&](std::uint32_t i) { candidates.push_back(i); });
-      // Attach order, so scheduling (and therefore RNG draw) order
-      // matches the full-mesh backend exactly.
-      std::sort(candidates.begin(), candidates.end());
-      for (const std::uint32_t i : candidates) {
-        if (i == s) continue;
-        const auto delivery = make_delivery(config, *phys[s], *phys[i]);
-        if (delivery.rx_power_dbm >= floor) lists_[s].push_back(delivery);
-      }
+      compute_list(s, phys, config, candidates);
     }
+  }
+};
+
+// The culled receiver sets, computed in parallel: grid cell columns are
+// cut into stripes (one per worker) and each worker computes the lists
+// of the sources located in its stripe. Workers write disjoint lists_
+// slots, so the only synchronization is the pool's batch barrier; the
+// canonical merge is free — lists_ is indexed by attach order and each
+// list is receiver-attach-ordered, exactly the sequence the serial
+// backend produces.
+class ShardedBackend final : public CulledBackendBase {
+ public:
+  const char* name() const override { return "sharded"; }
+
+  std::size_t shards() const override { return plan_.stripes(); }
+
+  void rebuild(const std::vector<Phy*>& phys,
+               const MediumConfig& config) override {
+    prepare(phys, config);
+    const std::size_t threads = resolve_shard_threads(config);
+    if (!pool_ || pool_->concurrency() != threads) {
+      pool_ = std::make_unique<util::TaskPool>(
+          static_cast<unsigned>(threads));
+    }
+    plan_ = ShardPlan(grid_.cells_x(), threads);
+
+    // Sources grouped by the stripe owning their cell column; the plan
+    // partitions the columns exactly, so every source lands in exactly
+    // one group and no list is written twice.
+    std::vector<std::vector<std::uint32_t>> stripe_sources(plan_.stripes());
+    for (std::size_t s = 0; s < phys.size(); ++s) {
+      const int col = grid_.clamped_cell_x(phys[s]->config().position);
+      stripe_sources[plan_.stripe_of(col)].push_back(
+          static_cast<std::uint32_t>(s));
+    }
+    pool_->parallel_for(plan_.stripes(), [&](std::size_t stripe) {
+      std::vector<std::uint32_t> candidates;
+      for (const std::uint32_t s : stripe_sources[stripe]) {
+        compute_list(s, phys, config, candidates);
+      }
+    });
   }
 
  private:
-  SpatialGrid grid_;
+  // Persistent across rebuilds — the thread spawn cost is paid once per
+  // backend, not per topology change.
+  std::unique_ptr<util::TaskPool> pool_;
+  ShardPlan plan_;
 };
 
 }  // namespace
@@ -216,6 +274,8 @@ std::unique_ptr<DeliveryBackend> make_delivery_backend(DeliveryPolicy policy) {
       return std::make_unique<FullMeshBackend>();
     case DeliveryPolicy::kCulled:
       return std::make_unique<CulledBackend>();
+    case DeliveryPolicy::kSharded:
+      return std::make_unique<ShardedBackend>();
   }
   HYDRA_UNREACHABLE("bad delivery policy");
 }
@@ -231,6 +291,11 @@ void Medium::attach(Phy& phy) {
     HYDRA_ASSERT_MSG(existing != &phy, "phy attached twice");
   }
   phys_.push_back(&phy);
+  if (backend_ && !backend_dirty_ &&
+      backend_->attach_incremental(phy, phys_, config_)) {
+    ++incremental_attaches_;
+    return;
+  }
   backend_dirty_ = true;
 }
 
@@ -245,11 +310,17 @@ const DeliveryBackend& Medium::backend() {
   return *backend_;
 }
 
+std::size_t Medium::shards() {
+  ensure_backend();
+  return backend_->shards();
+}
+
 void Medium::ensure_backend() {
   if (!backend_) backend_ = make_delivery_backend(config_.delivery);
   if (backend_dirty_) {
     backend_->rebuild(phys_, config_);
     backend_dirty_ = false;
+    ++rebuilds_;
   }
 }
 
@@ -274,17 +345,24 @@ sim::Duration Medium::start_transmission(Phy& src, PhyFrame frame) {
   tx->timing = timing;
   tx->start = sim_.now();
 
-  auto& sched = sim_.scheduler();
   const auto& deliveries = backend_->deliveries(src);
   deliveries_scheduled_ += deliveries.size();
+  // The whole fan-out commits as one batch: rx_start/rx_end pairs in
+  // delivery-list (canonical attach) order, exactly the sequence — and
+  // sequence numbers — that per-delivery schedule_in calls would have
+  // produced.
+  const auto now = sim_.now();
+  batch_.clear();
+  batch_.reserve(2 * deliveries.size());
   for (const Delivery& delivery : deliveries) {
     Phy* dst = delivery.destination;
     const double power = delivery.rx_power_dbm;
-    sched.schedule_in(delivery.propagation,
-                      [dst, tx, power] { dst->rx_start(tx, power); });
-    sched.schedule_in(delivery.propagation + timing.total,
-                      [dst, tx, power] { dst->rx_end(tx, power); });
+    batch_.push_back({now + delivery.propagation,
+                      [dst, tx, power] { dst->rx_start(tx, power); }});
+    batch_.push_back({now + delivery.propagation + timing.total,
+                      [dst, tx, power] { dst->rx_end(tx, power); }});
   }
+  sim_.scheduler().schedule_batch(batch_);
   return timing.total;
 }
 

@@ -15,14 +15,25 @@
 //              behaviourally inert — they cannot assert CCA, collide, or
 //              decode — so culling them is bit-identical to full mesh
 //              while cutting event traffic to O(k) reachable neighbors.
+//   kSharded   the culled receiver set, computed in parallel: the
+//              spatial grid's cell columns are cut into stripes
+//              (ShardPlan) and a persistent util::TaskPool computes the
+//              per-source candidate/rx-power/delay lists one stripe per
+//              worker. The lists commit in canonical order — indexed by
+//              attach order, each sorted by receiver attach index — so
+//              the scheduler sees exactly the event sequence the serial
+//              kCulled backend would have produced. Bit-identical trace
+//              digests are the contract, pinned by the
+//              shard_determinism suite (`ctest -L shard`).
 //
-// Both backends precompute a per-source delivery list (receive power and
-// propagation delay per pair) once per topology — positions are static —
-// so the per-frame hot path does no log10 at all. kCulled additionally
-// builds a uniform-grid spatial index with cells at least one reach
-// radius wide, so candidate receivers come from the 3×3 cell
-// neighborhood instead of an O(N) scan. The DeliveryBackend seam is the
-// interface a future sharded/partitioned medium slots in behind.
+// Every backend precomputes its per-source delivery lists (receive power
+// and propagation delay per pair) once per topology — positions are
+// static — so the per-frame hot path does no log10 at all, and a whole
+// transmission's fan-out commits through one Scheduler::schedule_batch.
+// Attaching a PHY after the lists exist extends them incrementally for
+// the newcomer alone whenever the backend can prove the update local
+// (inside the grid's bounding box, reach within one cell); otherwise it
+// falls back to a full rebuild.
 #pragma once
 
 #include <cstdint>
@@ -31,20 +42,14 @@
 
 #include "phy/error_model.h"
 #include "phy/frame.h"
+#include "phy/spatial_index.h"
 #include "sim/simulation.h"
 
 namespace hydra::phy {
 
 class Phy;
 
-struct Position {
-  double x_m = 0.0;
-  double y_m = 0.0;
-};
-
-double distance_m(Position a, Position b);
-
-enum class DeliveryPolicy { kFullMesh, kCulled };
+enum class DeliveryPolicy { kFullMesh, kCulled, kSharded };
 
 const char* to_string(DeliveryPolicy policy);
 
@@ -61,11 +66,15 @@ struct MediumConfig {
 
   // Which receivers a transmission is delivered to.
   DeliveryPolicy delivery = DeliveryPolicy::kFullMesh;
-  // kCulled drops receivers more than this margin below the noise floor.
-  // The effective floor is additionally clamped to the CCA threshold
-  // (see cull_floor_dbm), which is what guarantees culled delivery stays
-  // bit-identical to full mesh.
+  // kCulled/kSharded drop receivers more than this margin below the
+  // noise floor. The effective floor is additionally clamped to the CCA
+  // threshold (see cull_floor_dbm), which is what guarantees culled
+  // delivery stays bit-identical to full mesh.
   double cull_margin_db = 10.0;
+  // kSharded: worker count (== stripe count, further capped by the
+  // grid's column count). 0 resolves to the hardware concurrency,
+  // capped at 8 — see resolve_shard_threads.
+  std::size_t shard_threads = 0;
 };
 
 // Path loss over `distance` under `config`'s log-distance model; the
@@ -83,6 +92,10 @@ double cull_floor_dbm(const MediumConfig& config);
 // The largest distance at which a transmitter at `tx_power_dbm` still
 // clears the cull floor (≥ 1 m; the path-loss clamp).
 double reach_radius_m(const MediumConfig& config, double tx_power_dbm);
+
+// The worker count the sharded backend runs with: the configured
+// shard_threads, or (when 0) the hardware concurrency capped at 8.
+std::size_t resolve_shard_threads(const MediumConfig& config);
 
 // One in-flight transmission, shared by every receiver's bookkeeping.
 struct Transmission {
@@ -104,7 +117,9 @@ struct Delivery {
 // Implementations precompute per-source delivery lists in rebuild();
 // the medium calls deliveries() once per transmission. Lists must be
 // ordered by attach index — scheduling order at equal timestamps decides
-// RNG draw order, so every backend has to agree on it.
+// RNG draw order, so every backend has to agree on it. That canonical
+// order is the determinism contract every parallel backend must commit
+// its results through.
 class DeliveryBackend {
  public:
   virtual ~DeliveryBackend() = default;
@@ -116,8 +131,23 @@ class DeliveryBackend {
   virtual void rebuild(const std::vector<Phy*>& phys,
                        const MediumConfig& config) = 0;
 
+  // Extends the existing lists for `phy`, just attached as phys.back(),
+  // without touching any other pair. Returns false when the backend
+  // cannot prove the update local (then the caller falls back to a full
+  // rebuild). Only meaningful after a rebuild().
+  virtual bool attach_incremental(Phy& phy, const std::vector<Phy*>& phys,
+                                  const MediumConfig& config) {
+    (void)phy;
+    (void)phys;
+    (void)config;
+    return false;
+  }
+
   // The receivers a transmission from `src` fans out to.
   virtual const std::vector<Delivery>& deliveries(const Phy& src) const = 0;
+
+  // How many stripes rebuild() fans out across (1 for serial backends).
+  virtual std::size_t shards() const { return 1; }
 };
 
 // Creates the backend implementing `policy`.
@@ -157,6 +187,13 @@ class Medium {
   // scale bench charts.
   std::uint64_t deliveries_scheduled() const { return deliveries_scheduled_; }
 
+  // Delivery-list accounting: full rebuilds performed, attaches the
+  // backend absorbed incrementally instead, and the stripe count the
+  // current backend fans rebuilds across (1 for the serial backends).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  std::uint64_t incremental_attaches() const { return incremental_attaches_; }
+  std::size_t shards();
+
  private:
   void ensure_backend();
 
@@ -168,6 +205,12 @@ class Medium {
   bool backend_dirty_ = true;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t deliveries_scheduled_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t incremental_attaches_ = 0;
+  // Reused per transmission: the batch the delivery fan-out commits
+  // through (one schedule_batch call instead of 2·k schedule_in heap
+  // pushes).
+  std::vector<sim::Scheduler::BatchEvent> batch_;
 };
 
 }  // namespace hydra::phy

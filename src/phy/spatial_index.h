@@ -1,0 +1,104 @@
+// Geometry support for the delivery backends: node positions, a
+// uniform-grid spatial index, and the stripe partition the sharded
+// backend fans out over.
+//
+// The grid stores point indices in cells at least one query radius
+// wide, so every point within that radius of a query position lives in
+// the 3×3 cell neighborhood — candidate sets are supersets of the
+// in-reach sets, never subsets (the property test pins this). A
+// ShardPlan cuts the grid's cell columns into contiguous stripes that
+// partition the cell set exactly: every column — and so every receiver
+// — belongs to exactly one stripe, the unit of parallelism for the
+// sharded delivery backend.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hydra::phy {
+
+struct Position {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+double distance_m(Position a, Position b);
+
+// Uniform-grid spatial index over static points.
+class SpatialGrid {
+ public:
+  // Builds over `points`; cells at least `min_cell_m` wide.
+  void build(const std::vector<Position>& points, double min_cell_m);
+
+  // The realized cell width (>= the requested minimum; the per-axis cap
+  // can widen cells further when the world is very elongated).
+  double cell_m() const { return cell_m_; }
+  int cells_x() const { return nx_; }
+  int cells_y() const { return ny_; }
+
+  // True when `p` lies inside the built bounding box — the precondition
+  // for insert() and for the incremental-attach fast path.
+  bool contains(Position p) const;
+
+  // Adds one point with the given payload index; requires contains(p).
+  void insert(Position p, std::uint32_t index);
+
+  // Cell coordinates of `p`, clamped into the grid — out-of-box
+  // positions map to the nearest boundary cell, which keeps
+  // neighborhood() a superset query for any position within one cell
+  // width of the box.
+  int clamped_cell_x(Position p) const;
+  int clamped_cell_y(Position p) const;
+
+  // Calls `visit` with every point index in the 3×3 neighborhood of the
+  // (clamped) cell containing `p`.
+  template <typename Visit>
+  void neighborhood(Position p, Visit&& visit) const {
+    const int cx = clamped_cell_x(p);
+    const int cy = clamped_cell_y(p);
+    for (int y = std::max(0, cy - 1); y <= std::min(ny_ - 1, cy + 1); ++y) {
+      for (int x = std::max(0, cx - 1); x <= std::min(nx_ - 1, cx + 1); ++x) {
+        for (const std::uint32_t i : cells_[cell_index(x, y)]) visit(i);
+      }
+    }
+  }
+
+ private:
+  int cell_of(double offset_m) const;
+  std::size_t cell_index(int x, int y) const {
+    return static_cast<std::size_t>(y) * nx_ + x;
+  }
+
+  double cell_m_ = 1.0;
+  Position min_;
+  Position max_;
+  int nx_ = 1;
+  int ny_ = 1;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+// Contiguous stripes of grid cell columns. Stripes partition the column
+// range [0, cells_x) exactly — no column (and so no receiver) is owned
+// by two stripes or by none — which is what lets the sharded backend
+// hand each stripe to a worker without synchronizing writes.
+class ShardPlan {
+ public:
+  // The trivial plan: one stripe over one column.
+  ShardPlan() = default;
+  // Splits `cells_x` columns into min(max_stripes, cells_x) stripes of
+  // near-equal width (at least 1).
+  ShardPlan(int cells_x, std::size_t max_stripes);
+
+  std::size_t stripes() const { return bounds_.size() - 1; }
+  // The stripe owning `cell_x` (clamped into the column range).
+  std::size_t stripe_of(int cell_x) const;
+  // Column range [first, last) of `stripe`.
+  std::pair<int, int> stripe_columns(std::size_t stripe) const;
+
+ private:
+  std::vector<int> bounds_ = {0, 1};
+};
+
+}  // namespace hydra::phy

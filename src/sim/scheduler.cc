@@ -1,5 +1,7 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace hydra::sim {
@@ -13,9 +15,7 @@ constexpr std::uint64_t pack_id(std::uint32_t generation,
 
 }  // namespace
 
-EventId Scheduler::schedule_at(TimePoint at, Callback cb) {
-  HYDRA_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  HYDRA_ASSERT(cb != nullptr);
+std::uint32_t Scheduler::acquire_slot() {
   std::uint32_t slot;
   if (free_slots_.empty()) {
     slot = static_cast<std::uint32_t>(slots_.size());
@@ -26,7 +26,15 @@ EventId Scheduler::schedule_at(TimePoint at, Callback cb) {
   }
   slots_[slot].pending = true;
   ++pending_count_;
-  heap_.push(Entry{at, next_seq_++, slot, std::move(cb)});
+  return slot;
+}
+
+EventId Scheduler::schedule_at(TimePoint at, Callback cb) {
+  HYDRA_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  HYDRA_ASSERT(cb != nullptr);
+  const std::uint32_t slot = acquire_slot();
+  heap_.push_back(Entry{at, next_seq_++, slot, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   // generation >= 1 always, so a packed id is never 0 (the invalid id).
   return EventId(pack_id(slots_[slot].generation, slot));
 }
@@ -34,6 +42,32 @@ EventId Scheduler::schedule_at(TimePoint at, Callback cb) {
 EventId Scheduler::schedule_in(Duration delay, Callback cb) {
   HYDRA_ASSERT_MSG(!delay.is_negative(), "negative delay");
   return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Scheduler::schedule_batch(std::vector<BatchEvent>& events) {
+  if (events.empty()) return;
+  const std::size_t existing = heap_.size();
+  heap_.reserve(existing + events.size());
+  for (auto& event : events) {
+    HYDRA_ASSERT_MSG(event.at >= now_, "cannot schedule into the past");
+    HYDRA_ASSERT(event.cb != nullptr);
+    heap_.push_back(
+        Entry{event.at, next_seq_++, acquire_slot(), std::move(event.cb)});
+  }
+  // Restore the heap invariant: k sift-ups cost O(k log n) and one
+  // make_heap pass costs O(n), so a batch that is small next to the
+  // heap sifts and a dominating one (a large delivery fan-out into a
+  // quiet heap) heapifies in one sweep.
+  if (events.size() >= existing / 8) {
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  } else {
+    for (std::size_t i = existing; i < heap_.size(); ++i) {
+      std::push_heap(heap_.begin(),
+                     heap_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     Later{});
+    }
+  }
+  events.clear();
 }
 
 bool Scheduler::cancel(EventId id) {
@@ -66,8 +100,9 @@ void Scheduler::vacate(std::uint32_t slot) {
 }
 
 void Scheduler::pop_and_run() {
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   const bool live = slots_[entry.slot].pending;
   vacate(entry.slot);
   if (!live) return;  // cancelled; already discounted from pending_count_
@@ -86,7 +121,7 @@ std::size_t Scheduler::run() {
 
 std::size_t Scheduler::run_until(TimePoint deadline) {
   const auto before = executed_;
-  while (!heap_.empty() && heap_.top().at <= deadline) pop_and_run();
+  while (!heap_.empty() && heap_.front().at <= deadline) pop_and_run();
   if (now_ < deadline) now_ = deadline;
   return executed_ - before;
 }

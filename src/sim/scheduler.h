@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
@@ -41,6 +40,20 @@ class Scheduler {
   EventId schedule_at(TimePoint at, Callback cb);
   // Schedules `cb` to run `delay` from now.
   EventId schedule_in(Duration delay, Callback cb);
+
+  // One event of a batch commit.
+  struct BatchEvent {
+    TimePoint at;
+    Callback cb;
+  };
+  // Commits every event of `events` (in order — the sequence numbers are
+  // assigned contiguously, so same-instant FIFO semantics match N
+  // schedule_at calls exactly) and restores the heap in one pass when
+  // the batch is large relative to it, instead of N sift-ups. The medium
+  // uses this to commit a whole transmission's delivery fan-out at once.
+  // Batch events hand out no EventIds: they are for fire-and-forget
+  // work that is never cancelled. `events` is left cleared for reuse.
+  void schedule_batch(std::vector<BatchEvent>& events);
 
   // Cancels a pending event. Returns false if the event already ran, was
   // already cancelled, or the id is invalid.
@@ -80,13 +93,17 @@ class Scheduler {
   };
 
   void pop_and_run();
+  std::uint32_t acquire_slot();
   void vacate(std::uint32_t slot);
 
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t pending_count_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Kept in heap order by the std::*_heap algorithms (not a
+  // priority_queue: batch commits need to append a run of entries and
+  // restore the invariant in one make_heap pass).
+  std::vector<Entry> heap_;
   // Slot storage grows to the high-water mark of concurrently scheduled
   // events and is then recycled through the free list; cancelled heap
   // entries are dropped lazily when popped.

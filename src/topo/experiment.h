@@ -71,6 +71,16 @@ struct ExperimentResult {
   std::uint64_t phy_transmissions = 0;
   std::uint64_t phy_deliveries = 0;
 
+  // Sharded-medium accounting: stripes the delivery backend fanned its
+  // list computation across (1 for the serial backends), full
+  // delivery-list rebuilds, and attaches absorbed incrementally without
+  // one (a built scenario attaches every node before the first
+  // transmission, so rebuilds is 1 and incremental attaches N−1 once
+  // the backend's fast path applies).
+  std::uint64_t phy_shards = 1;
+  std::uint64_t phy_rebuilds = 0;
+  std::uint64_t phy_incremental_attaches = 0;
+
   // Slowest session (the paper reports worst-case for the star).
   double worst_throughput_mbps() const;
   double total_throughput_mbps() const;

@@ -45,6 +45,7 @@ std::string to_string(MediumPolicy policy) {
     case MediumPolicy::kAuto: return "auto";
     case MediumPolicy::kFullMesh: return "full-mesh";
     case MediumPolicy::kCulled: return "culled";
+    case MediumPolicy::kSharded: return "sharded";
   }
   HYDRA_UNREACHABLE("bad medium policy");
 }
@@ -392,6 +393,7 @@ std::vector<std::uint32_t> ScenarioSpec::relay_indices(
 phy::MediumConfig ScenarioSpec::medium_config() const {
   phy::MediumConfig mc;
   mc.cull_margin_db = medium.cull_margin_db;
+  mc.shard_threads = medium.shard_threads;
   switch (medium.policy) {
     case MediumPolicy::kAuto:
       mc.delivery = node_count() >= kCullAutoThreshold
@@ -403,6 +405,9 @@ phy::MediumConfig ScenarioSpec::medium_config() const {
       break;
     case MediumPolicy::kCulled:
       mc.delivery = phy::DeliveryPolicy::kCulled;
+      break;
+    case MediumPolicy::kSharded:
+      mc.delivery = phy::DeliveryPolicy::kSharded;
       break;
   }
   return mc;

@@ -8,8 +8,8 @@ by bench::comment into the report's "comments" array) — to
 BENCH_<id>.json in its working directory (see bench/bench_common.h);
 this driver gives every binary a private scratch directory so
 concurrent runs cannot collide, then folds the collected reports — plus
-run metadata (wall time, exit status) — into a single document, ready
-for figure regeneration. The aggregate is self-describing: tables,
+run metadata (wall time, exit status, worker-thread count, host core
+count) — into a single document, ready for figure regeneration. The aggregate is self-describing: tables,
 paper comparisons and commentary all ride in the JSON, so nothing of
 the bench output lives only on stdout.
 
@@ -162,6 +162,11 @@ def run_one(binary: Path) -> dict:
         "binary": binary.name,
         "exit_code": exit_code,
         "seconds": round(time.monotonic() - started, 3),
+        # Worker threads the bench's parallel sections used (recorded by
+        # bench::record_threads; 1 = serial). Wall columns are already
+        # excluded from baseline diffs, but a human comparing reports
+        # across machines needs to know which walls were parallel.
+        "threads": max((r.get("threads", 1) for r in reports), default=1),
         "reports": reports,
         # stdout is the rendered tables and commentary (both already in
         # the JSON report); keep a tail for diagnosing failures without
@@ -201,6 +206,10 @@ def main() -> int:
     report = {
         "total_seconds": round(elapsed, 3),
         "bench_count": len(results),
+        # The host's core count: the denominator for interpreting the
+        # per-bench "threads" metadata (a 4-thread bench on a 1-core
+        # container cannot show a speedup).
+        "host_cpus": os.cpu_count(),
         "failed": failed,
         "benches": results,
     }
