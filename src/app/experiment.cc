@@ -162,6 +162,10 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
   result.phy_shards = scenario.medium().shards();
   result.phy_rebuilds = scenario.medium().rebuilds();
   result.phy_incremental_attaches = scenario.medium().incremental_attaches();
+  result.phy_detaches = scenario.medium().detaches();
+  result.phy_moves = scenario.medium().moves();
+  result.phy_incremental_detaches = scenario.medium().incremental_detaches();
+  result.phy_incremental_moves = scenario.medium().incremental_moves();
   for (std::size_t i = 0; i < node_count; ++i) {
     result.node_stats.push_back(scenario.node(i).mac_stats());
   }

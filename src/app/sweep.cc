@@ -50,13 +50,15 @@ class Fingerprinter {
 // containers); elsewhere the fingerprints still work, they just lose
 // the compile-time reminder.
 #if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(topo::ScenarioSpec) == 272,
+static_assert(sizeof(topo::ScenarioSpec) == 368,
               "ScenarioSpec changed: update spec_fingerprint");
+static_assert(sizeof(topo::MobilitySpec) == 96,
+              "MobilitySpec changed: update spec_fingerprint");
 static_assert(sizeof(topo::NodeParams) == 128,
               "NodeParams changed: update spec_fingerprint");
 static_assert(sizeof(core::AggregationPolicy) == 48,
               "AggregationPolicy changed: update spec_fingerprint");
-static_assert(sizeof(topo::ExperimentConfig) == 408,
+static_assert(sizeof(topo::ExperimentConfig) == 504,
               "ExperimentConfig changed: update workload_fingerprint");
 static_assert(sizeof(transport::TcpConfig) == 48,
               "TcpConfig changed: update workload_fingerprint");
@@ -82,6 +84,18 @@ std::string spec_fingerprint(const topo::ScenarioSpec& spec) {
   fp.add("w%d sr%d rd%d cm%.17g sh%zu ", spec.neighbor_whitelist,
          spec.static_routes, spec.route_discovery,
          spec.medium.cull_margin_db, spec.medium.shard_threads);
+  // Mobility changes the outcome through node motion and churn; every
+  // knob (including the explicit mobile list) feeds the key.
+  const auto& mob = spec.mobility;
+  fp.add("mk%d mi%lld ma%lld mo%lld v%.17g stp%.17g out%u dn%lld mseed%llu ",
+         static_cast<int>(mob.kind),
+         static_cast<long long>(mob.update_interval.ns()),
+         static_cast<long long>(mob.start_after.ns()),
+         static_cast<long long>(mob.stop_after.ns()), mob.speed_mps,
+         mob.step_m, mob.steps_out,
+         static_cast<long long>(mob.down_time.ns()),
+         static_cast<unsigned long long>(mob.seed));
+  for (const std::uint32_t i : mob.mobile) fp.add("mn%u ", i);
   fp.add("q%zu rts%d tpd%.17g ra%d ", spec.node.queue_limit,
          spec.node.use_rts_cts, spec.node.tx_power_delta_db,
          static_cast<int>(spec.node.rate_adaptation));

@@ -45,7 +45,11 @@ double reach_radius_m(const MediumConfig& config, double tx_power_dbm) {
   const double budget =
       tx_power_dbm - cull_floor_dbm(config) - config.path_loss_at_1m_db;
   if (budget <= 0.0) return 1.0;  // below the floor beyond the 1 m clamp
-  return std::pow(10.0, budget / (10.0 * config.path_loss_exponent));
+  // The pow branch is clamped too: the path-loss model floors distance
+  // at 1 m, so a reach below that would under-size grid cells for no
+  // physical reason (the documented contract is "≥ 1 m" either way).
+  return std::max(1.0,
+                  std::pow(10.0, budget / (10.0 * config.path_loss_exponent)));
 }
 
 std::size_t resolve_shard_threads(const MediumConfig& config) {
@@ -91,6 +95,27 @@ class PrecomputedBackend : public DeliveryBackend {
     return s;
   }
 
+  // Mirror of register_attached for a detach: drops `phy`'s own list,
+  // renumbers the attach indices above it down by one, and strips it
+  // from every remaining list. Relative attach order is untouched, so
+  // the surviving lists stay canonically ordered without recomputation.
+  // Returns the index `phy` held.
+  std::size_t unregister_detached(Phy& phy) {
+    const auto it = index_.find(&phy);
+    HYDRA_ASSERT_MSG(it != index_.end(), "detach of an unknown phy");
+    const std::size_t s = it->second;
+    index_.erase(it);
+    lists_.erase(lists_.begin() + static_cast<std::ptrdiff_t>(s));
+    for (auto& [p, i] : index_) {
+      if (i > s) --i;
+    }
+    for (auto& list : lists_) {
+      std::erase_if(list,
+                    [&](const Delivery& d) { return d.destination == &phy; });
+    }
+    return s;
+  }
+
   std::vector<std::vector<Delivery>> lists_;
   // Pointer-hashed: the per-transmission src -> attach-index lookup is
   // on the hot path this layer exists to keep O(1).
@@ -126,6 +151,30 @@ class FullMeshBackend final : public PrecomputedBackend {
     for (std::size_t i = 0; i + 1 < phys.size(); ++i) {
       list.push_back(make_delivery(config, phy, *phys[i]));
       lists_[i].push_back(make_delivery(config, *phys[i], phy));
+    }
+    return true;
+  }
+
+  bool detach_incremental(Phy& phy, const std::vector<Phy*>&,
+                          const MediumConfig&) override {
+    unregister_detached(phy);
+    return true;
+  }
+
+  bool move_incremental(Phy& phy, Position, const std::vector<Phy*>& phys,
+                        const MediumConfig& config) override {
+    const std::size_t s = index_.at(&phy);
+    auto& own = lists_[s];
+    own.clear();
+    for (std::size_t i = 0; i < phys.size(); ++i) {
+      if (i == s) continue;
+      own.push_back(make_delivery(config, phy, *phys[i]));
+      // A full-mesh list holds every other PHY in attach order, so the
+      // mover's reverse entry sits at a computable offset — rewrite it
+      // in place instead of searching.
+      auto& entry = lists_[i][s < i ? s : s - 1];
+      HYDRA_ASSERT(entry.destination == &phy);
+      entry = make_delivery(config, *phys[i], phy);
     }
     return true;
   }
@@ -196,6 +245,55 @@ class CulledBackendBase : public PrecomputedBackend {
       const auto delivery = make_delivery(config, *phys[i], phy);
       if (delivery.rx_power_dbm >= floor) lists_[i].push_back(delivery);
     });
+    return true;
+  }
+
+  bool detach_incremental(Phy& phy, const std::vector<Phy*>&,
+                          const MediumConfig&) override {
+    // Always local: removing a node can only shrink candidate sets, and
+    // erase_and_renumber keeps the grid aligned with the compacted
+    // attach index space (the over-wide bounding box and cell width stay
+    // valid — fewer nodes never need a larger reach).
+    grid_.erase_and_renumber(static_cast<std::uint32_t>(index_.at(&phy)));
+    unregister_detached(phy);
+    return true;
+  }
+
+  bool move_incremental(Phy& phy, Position old_position,
+                        const std::vector<Phy*>& phys,
+                        const MediumConfig& config) override {
+    // Local only inside the built bounding box: neighborhood()'s 3×3
+    // superset guarantee holds for clamped queries near the box but NOT
+    // for far-out positions (the clamp would silently hand back a
+    // boundary cell's neighbors), so those force a rebuild, which
+    // re-derives the box. Reach must still fit one cell, as for attach.
+    const Position p = phy.config().position;
+    if (!grid_.contains(p)) return false;
+    if (reach_radius_m(config, phy.config().tx_power_dbm) > grid_.cell_m()) {
+      return false;
+    }
+    const auto s = static_cast<std::uint32_t>(index_.at(&phy));
+    grid_.erase(old_position, s);
+    grid_.insert(p, s);
+    // The lists a from-scratch rebuild could change are exactly those of
+    // sources whose 3×3 candidate set saw the old cell or sees the new
+    // one; cell adjacency is symmetric, so those sources are the grid
+    // neighborhoods of the two positions (the mover's own list included,
+    // via the new neighborhood). Recomputing each through the same
+    // compute_list path a rebuild uses makes the patch bit-identical to
+    // rebuilding.
+    std::vector<std::uint32_t> affected;
+    grid_.neighborhood(old_position,
+                       [&](std::uint32_t i) { affected.push_back(i); });
+    grid_.neighborhood(p, [&](std::uint32_t i) { affected.push_back(i); });
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    std::vector<std::uint32_t> candidates;
+    for (const std::uint32_t i : affected) {
+      lists_[i].clear();
+      compute_list(i, phys, config, candidates);
+    }
     return true;
   }
 
@@ -291,11 +389,57 @@ void Medium::attach(Phy& phy) {
     HYDRA_ASSERT_MSG(existing != &phy, "phy attached twice");
   }
   phys_.push_back(&phy);
+  phy.attached_ = true;
   if (backend_ && !backend_dirty_ &&
       backend_->attach_incremental(phy, phys_, config_)) {
     ++incremental_attaches_;
     return;
   }
+  backend_dirty_ = true;
+}
+
+bool Medium::detach(Phy& phy) {
+  const auto it = std::find(phys_.begin(), phys_.end(), &phy);
+  if (it == phys_.end()) return false;
+  cancel_pending_rx(phy);
+  phy.abort_receptions();
+  phy.attached_ = false;
+  phys_.erase(it);
+  ++detaches_;
+  if (backend_ && !backend_dirty_ &&
+      backend_->detach_incremental(phy, phys_, config_)) {
+    ++incremental_detaches_;
+  } else {
+    backend_dirty_ = true;
+  }
+  return true;
+}
+
+void Medium::move_node(Phy& phy, Position position) {
+  const Position old = phy.config_.position;
+  phy.config_.position = position;
+  if (!phy.attached_) return;  // takes effect when the PHY re-attaches
+  ++moves_;
+  if (backend_ && !backend_dirty_ &&
+      backend_->move_incremental(phy, old, phys_, config_)) {
+    ++incremental_moves_;
+    return;
+  }
+  backend_dirty_ = true;
+}
+
+void Medium::cancel_pending_rx(Phy& phy) {
+  for (const auto id : phy.pending_rx_events_) sim_.scheduler().cancel(id);
+  phy.pending_rx_events_.clear();
+}
+
+void Medium::on_phy_destroyed(Phy& phy) {
+  const auto it = std::find(phys_.begin(), phys_.end(), &phy);
+  // Already detach()ed explicitly: the pending events were cancelled
+  // then, and a detached PHY accrues no new ones.
+  if (it == phys_.end()) return;
+  cancel_pending_rx(phy);
+  phys_.erase(it);
   backend_dirty_ = true;
 }
 
@@ -335,9 +479,12 @@ double Medium::snr_db(const Phy& src, const Phy& dst) const {
 }
 
 sim::Duration Medium::start_transmission(Phy& src, PhyFrame frame) {
-  ensure_backend();
   const auto timing =
       frame_timing(frame.broadcast, frame.unicast, src.config().timings);
+  // A detached radio still burns airtime — the MAC's timing machinery
+  // keeps running — but reaches nobody.
+  if (!src.attached_) return timing.total;
+  ensure_backend();
   auto tx = std::make_shared<Transmission>();
   tx->id = next_tx_id_++;
   tx->source = &src;
@@ -362,7 +509,20 @@ sim::Duration Medium::start_transmission(Phy& src, PhyFrame frame) {
     batch_.push_back({now + delivery.propagation + timing.total,
                       [dst, tx, power] { dst->rx_end(tx, power); }});
   }
-  sim_.scheduler().schedule_batch(batch_);
+  batch_ids_.clear();
+  sim_.scheduler().schedule_batch(batch_, &batch_ids_);
+  // Hand each receiver the ids of its rx pair so detach() can cancel
+  // in-flight deliveries. Ids whose events already ran are compacted
+  // out first, keeping each vector at the live in-flight count instead
+  // of growing with history.
+  auto& scheduler = sim_.scheduler();
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    auto& pend = deliveries[i].destination->pending_rx_events_;
+    std::erase_if(pend,
+                  [&](sim::EventId id) { return !scheduler.pending(id); });
+    pend.push_back(batch_ids_[2 * i]);
+    pend.push_back(batch_ids_[2 * i + 1]);
+  }
   return timing.total;
 }
 

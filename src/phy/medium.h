@@ -27,13 +27,20 @@
 //              shard_determinism suite (`ctest -L shard`).
 //
 // Every backend precomputes its per-source delivery lists (receive power
-// and propagation delay per pair) once per topology — positions are
-// static — so the per-frame hot path does no log10 at all, and a whole
-// transmission's fan-out commits through one Scheduler::schedule_batch.
-// Attaching a PHY after the lists exist extends them incrementally for
-// the newcomer alone whenever the backend can prove the update local
-// (inside the grid's bounding box, reach within one cell); otherwise it
-// falls back to a full rebuild.
+// and propagation delay per pair) once per topology, so the per-frame
+// hot path does no log10 at all, and a whole transmission's fan-out
+// commits through one Scheduler::schedule_batch. Positions are no longer
+// frozen at build time: attach(), detach() and move_node() patch the
+// lists incrementally for the touched node alone whenever the backend
+// can prove the update local (inside the grid's bounding box, reach
+// within one cell); otherwise they fall back to a full rebuild. The
+// determinism contract extends to motion — after any incremental patch
+// the lists are bit-identical to a from-scratch rebuild at the current
+// positions, pinned by the mobility determinism suite (`ctest -L
+// mobility`). Detaching (or destroying) a PHY cancels its in-flight
+// rx_start/rx_end events through the scheduler's generation-stamped
+// cancel path, so no scheduled event ever touches a PHY the medium no
+// longer knows.
 #pragma once
 
 #include <cstdint>
@@ -90,7 +97,9 @@ sim::Duration propagation_delay(const MediumConfig& config, double distance);
 double cull_floor_dbm(const MediumConfig& config);
 
 // The largest distance at which a transmitter at `tx_power_dbm` still
-// clears the cull floor (≥ 1 m; the path-loss clamp).
+// clears the cull floor (≥ 1 m; the path-loss clamp applies to both
+// branches — a cull floor barely under the tx power must not yield a
+// sub-metre reach).
 double reach_radius_m(const MediumConfig& config, double tx_power_dbm);
 
 // The worker count the sharded backend runs with: the configured
@@ -126,8 +135,9 @@ class DeliveryBackend {
 
   virtual const char* name() const = 0;
 
-  // Recomputes the delivery lists from the attached PHY set (called
-  // lazily after attachment changes; positions are static afterwards).
+  // Recomputes the delivery lists from the attached PHY set at their
+  // current positions (called lazily after a membership or position
+  // change the backend could not absorb incrementally).
   virtual void rebuild(const std::vector<Phy*>& phys,
                        const MediumConfig& config) = 0;
 
@@ -138,6 +148,35 @@ class DeliveryBackend {
   virtual bool attach_incremental(Phy& phy, const std::vector<Phy*>& phys,
                                   const MediumConfig& config) {
     (void)phy;
+    (void)phys;
+    (void)config;
+    return false;
+  }
+
+  // Removes `phy` — already erased from `phys` — from both delivery
+  // directions: its own list goes away and it is stripped from every
+  // remaining list, without recomputing any surviving pair. Same
+  // contract as attach_incremental: false means "rebuild instead".
+  virtual bool detach_incremental(Phy& phy, const std::vector<Phy*>& phys,
+                                  const MediumConfig& config) {
+    (void)phy;
+    (void)phys;
+    (void)config;
+    return false;
+  }
+
+  // Repositions `phy` (its config already holds the new position;
+  // `old_position` is where the lists last saw it) and patches both
+  // directions — the node's own list and its entry in every list that
+  // can observe the move — so the result is bit-identical to a rebuild
+  // at the new positions. False means "rebuild instead"; backends must
+  // refuse moves they cannot prove local (e.g. outside the grid's
+  // bounding box, where the 3×3 superset guarantee no longer holds).
+  virtual bool move_incremental(Phy& phy, Position old_position,
+                                const std::vector<Phy*>& phys,
+                                const MediumConfig& config) {
+    (void)phy;
+    (void)old_position;
     (void)phys;
     (void)config;
     return false;
@@ -162,8 +201,24 @@ class Medium {
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
 
-  // Registers a PHY; it must outlive the medium's last event.
+  // Registers a PHY. A PHY that is destroyed while attached detaches
+  // itself (and cancels its in-flight deliveries), so outliving the
+  // medium's events is no longer the caller's problem.
   void attach(Phy& phy);
+
+  // Unregisters `phy`: cancels its pending rx_start/rx_end events,
+  // aborts its in-progress receptions, and removes it from both
+  // delivery-list directions — incrementally when the backend can prove
+  // the update local, via a deferred full rebuild otherwise. Idempotent;
+  // returns false when `phy` was not attached. A detached PHY may keep
+  // transmitting (the MAC's timing machinery keeps running) but reaches
+  // nobody until re-attach()ed.
+  bool detach(Phy& phy);
+
+  // Repositions `phy` and patches the delivery lists under the same
+  // incremental-or-rebuild contract as detach(). Works on detached PHYs
+  // too (the position just updates for a later re-attach).
+  void move_node(Phy& phy, Position position);
 
   // Begins delivering `frame` from `src` to every receiver the delivery
   // backend selects. Returns the frame's on-air duration.
@@ -187,15 +242,35 @@ class Medium {
   // scale bench charts.
   std::uint64_t deliveries_scheduled() const { return deliveries_scheduled_; }
 
-  // Delivery-list accounting: full rebuilds performed, attaches the
-  // backend absorbed incrementally instead, and the stripe count the
-  // current backend fans rebuilds across (1 for the serial backends).
+  // Delivery-list accounting: full rebuilds performed; attaches, detaches
+  // and moves the backend absorbed incrementally instead of rebuilding;
+  // total detach()/move_node() calls on attached PHYs; and the stripe
+  // count the current backend fans rebuilds across (1 for the serial
+  // backends).
   std::uint64_t rebuilds() const { return rebuilds_; }
   std::uint64_t incremental_attaches() const { return incremental_attaches_; }
+  std::uint64_t detaches() const { return detaches_; }
+  std::uint64_t moves() const { return moves_; }
+  std::uint64_t incremental_detaches() const { return incremental_detaches_; }
+  std::uint64_t incremental_moves() const { return incremental_moves_; }
   std::size_t shards();
 
+  // The attached PHYs in attach order — the canonical index space the
+  // delivery lists use (tests compare incremental lists against a
+  // from-scratch rebuild over exactly this set).
+  const std::vector<Phy*>& attached() const { return phys_; }
+
  private:
+  friend class Phy;
+
   void ensure_backend();
+  // Cancels every still-queued rx event scheduled for `phy`.
+  void cancel_pending_rx(Phy& phy);
+  // Destructor-path detach: unregister and cancel, but skip the
+  // incremental patch (teardown destroys nodes one by one — patching N
+  // lists per destruction is O(N²) work nobody will read) and skip the
+  // CCA callback (the owning node is mid-destruction).
+  void on_phy_destroyed(Phy& phy);
 
   sim::Simulation& sim_;
   MediumConfig config_;
@@ -207,10 +282,15 @@ class Medium {
   std::uint64_t deliveries_scheduled_ = 0;
   std::uint64_t rebuilds_ = 0;
   std::uint64_t incremental_attaches_ = 0;
+  std::uint64_t detaches_ = 0;
+  std::uint64_t moves_ = 0;
+  std::uint64_t incremental_detaches_ = 0;
+  std::uint64_t incremental_moves_ = 0;
   // Reused per transmission: the batch the delivery fan-out commits
   // through (one schedule_batch call instead of 2·k schedule_in heap
-  // pushes).
+  // pushes), and the ids it hands back for per-receiver cancellation.
   std::vector<sim::Scheduler::BatchEvent> batch_;
+  std::vector<sim::EventId> batch_ids_;
 };
 
 }  // namespace hydra::phy

@@ -10,6 +10,11 @@ Phy::Phy(sim::Simulation& simulation, Medium& medium, PhyConfig config,
   medium_.attach(*this);
 }
 
+Phy::~Phy() {
+  sim_.scheduler().cancel(tx_complete_event_);
+  medium_.on_phy_destroyed(*this);
+}
+
 void Phy::transmit(PhyFrame frame) {
   HYDRA_ASSERT_MSG(!transmitting_, "transmit while already transmitting");
   HYDRA_ASSERT_MSG(!frame.empty(), "empty phy frame");
@@ -20,7 +25,7 @@ void Phy::transmit(PhyFrame frame) {
   update_cca();
 
   const auto airtime = medium_.start_transmission(*this, std::move(frame));
-  sim_.scheduler().schedule_in(airtime, [this] {
+  tx_complete_event_ = sim_.scheduler().schedule_in(airtime, [this] {
     transmitting_ = false;
     update_cca();
     if (on_tx_complete) on_tx_complete();
@@ -41,6 +46,11 @@ void Phy::update_cca() {
     last_cca_busy_ = busy;
     if (on_cca_change) on_cca_change(busy);
   }
+}
+
+void Phy::abort_receptions() {
+  incoming_.clear();
+  update_cca();
 }
 
 void Phy::rx_start(const std::shared_ptr<const Transmission>& tx,

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "phy/frame.h"
 #include "phy/medium.h"
@@ -25,6 +26,10 @@ class Phy {
  public:
   Phy(sim::Simulation& simulation, Medium& medium, PhyConfig config,
       std::uint32_t id);
+  // Detaches from the medium and cancels every event that still names
+  // this PHY (in-flight deliveries, the tx-complete timer), so a node
+  // may be destroyed mid-simulation without leaving dangling callbacks.
+  ~Phy();
 
   Phy(const Phy&) = delete;
   Phy& operator=(const Phy&) = delete;
@@ -54,6 +59,10 @@ class Phy {
 
   const PhyConfig& config() const { return config_; }
   std::uint32_t id() const { return id_; }
+  // False after Medium::detach() until the next attach(). Position
+  // changes go through Medium::move_node (the medium owns the delivery
+  // lists the position feeds).
+  bool attached() const { return attached_; }
 
   // Diagnostics.
   std::uint64_t frames_sent() const { return frames_sent_; }
@@ -65,12 +74,20 @@ class Phy {
   std::uint64_t rx_starts() const { return rx_starts_; }
 
  private:
+  // The medium manages attachment state, the position (via move_node)
+  // and the pending-delivery handles it needs to cancel on detach.
+  friend class Medium;
+
   struct Incoming {
     double power_dbm;
     bool doomed;  // overlapped another reception or our own transmission
   };
 
   void update_cca();
+  // Detach path: drops every in-progress reception and re-evaluates CCA
+  // (the matching rx_end events have just been cancelled, so nothing
+  // else would ever clear them).
+  void abort_receptions();
   RxReport evaluate(const Transmission& tx, double rx_power_dbm,
                     bool collided);
 
@@ -81,7 +98,13 @@ class Phy {
 
   bool transmitting_ = false;
   bool last_cca_busy_ = false;
+  bool attached_ = false;
   std::map<std::uint64_t, Incoming> incoming_;
+  // Scheduler handles for events that capture `this`: the rx_start /
+  // rx_end pairs of in-flight deliveries (written by the medium,
+  // compacted as events run) and the tx-complete timer.
+  std::vector<sim::EventId> pending_rx_events_;
+  sim::EventId tx_complete_event_;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;

@@ -52,6 +52,29 @@ void SpatialGrid::insert(Position p, std::uint32_t index) {
   cells_[cell_index(clamped_cell_x(p), clamped_cell_y(p))].push_back(index);
 }
 
+void SpatialGrid::erase(Position p, std::uint32_t index) {
+  auto& cell = cells_[cell_index(clamped_cell_x(p), clamped_cell_y(p))];
+  const auto it = std::find(cell.begin(), cell.end(), index);
+  HYDRA_ASSERT_MSG(it != cell.end(), "erase of a point the grid never held");
+  cell.erase(it);
+}
+
+void SpatialGrid::erase_and_renumber(std::uint32_t index) {
+  bool found = false;
+  for (auto& cell : cells_) {
+    for (auto it = cell.begin(); it != cell.end();) {
+      if (*it == index) {
+        it = cell.erase(it);
+        found = true;
+      } else {
+        if (*it > index) --*it;
+        ++it;
+      }
+    }
+  }
+  HYDRA_ASSERT_MSG(found, "erase of a point the grid never held");
+}
+
 int SpatialGrid::clamped_cell_x(Position p) const {
   return std::clamp(cell_of(p.x_m - min_.x_m), 0, nx_ - 1);
 }

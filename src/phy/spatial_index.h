@@ -45,6 +45,17 @@ class SpatialGrid {
   // Adds one point with the given payload index; requires contains(p).
   void insert(Position p, std::uint32_t index);
 
+  // Removes payload `index` from the cell containing `p` (it must have
+  // been inserted there). O(cell occupancy); the cell's remaining
+  // entries keep their relative order.
+  void erase(Position p, std::uint32_t index);
+
+  // Removes payload `index` from wherever it sits and renumbers every
+  // stored index above it down by one — the mirror of erasing element
+  // `index` from the payload vector the grid indexes into (a detach).
+  // O(total points); cell-local order is preserved.
+  void erase_and_renumber(std::uint32_t index);
+
   // Cell coordinates of `p`, clamped into the grid — out-of-box
   // positions map to the nearest boundary cell, which keeps
   // neighborhood() a superset query for any position within one cell

@@ -44,15 +44,18 @@ EventId Scheduler::schedule_in(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-void Scheduler::schedule_batch(std::vector<BatchEvent>& events) {
+void Scheduler::schedule_batch(std::vector<BatchEvent>& events,
+                               std::vector<EventId>* ids) {
   if (events.empty()) return;
   const std::size_t existing = heap_.size();
   heap_.reserve(existing + events.size());
+  if (ids) ids->reserve(ids->size() + events.size());
   for (auto& event : events) {
     HYDRA_ASSERT_MSG(event.at >= now_, "cannot schedule into the past");
     HYDRA_ASSERT(event.cb != nullptr);
-    heap_.push_back(
-        Entry{event.at, next_seq_++, acquire_slot(), std::move(event.cb)});
+    const std::uint32_t slot = acquire_slot();
+    if (ids) ids->push_back(EventId(pack_id(slots_[slot].generation, slot)));
+    heap_.push_back(Entry{event.at, next_seq_++, slot, std::move(event.cb)});
   }
   // Restore the heap invariant: k sift-ups cost O(k log n) and one
   // make_heap pass costs O(n), so a batch that is small next to the
@@ -85,6 +88,15 @@ bool Scheduler::cancel(EventId id) {
   s.pending = false;
   --pending_count_;
   return true;
+}
+
+bool Scheduler::pending(EventId id) const {
+  if (!id.valid()) return false;
+  const auto slot = static_cast<std::uint32_t>(id.id_);
+  const auto generation = static_cast<std::uint32_t>(id.id_ >> 32);
+  if (slot >= slots_.size()) return false;
+  const auto& s = slots_[slot];
+  return s.generation == generation && s.pending;
 }
 
 void Scheduler::vacate(std::uint32_t slot) {

@@ -51,13 +51,21 @@ class Scheduler {
   // schedule_at calls exactly) and restores the heap in one pass when
   // the batch is large relative to it, instead of N sift-ups. The medium
   // uses this to commit a whole transmission's delivery fan-out at once.
-  // Batch events hand out no EventIds: they are for fire-and-forget
-  // work that is never cancelled. `events` is left cleared for reuse.
-  void schedule_batch(std::vector<BatchEvent>& events);
+  // With `ids`, the EventId of every committed event is appended in
+  // batch order (the ids cost nothing extra — batch events already
+  // occupy cancel slots), so callers can cancel individual deliveries
+  // later; without it the batch is fire-and-forget. `events` is left
+  // cleared for reuse; `ids` is appended to, not cleared.
+  void schedule_batch(std::vector<BatchEvent>& events,
+                      std::vector<EventId>* ids = nullptr);
 
   // Cancels a pending event. Returns false if the event already ran, was
   // already cancelled, or the id is invalid.
   bool cancel(EventId id);
+
+  // True while the event is still queued (not yet run, not cancelled).
+  // Stale-handle-safe, like cancel(): a reused slot reports false.
+  bool pending(EventId id) const;
 
   // Runs events until the queue is empty. Returns the number executed.
   std::size_t run();

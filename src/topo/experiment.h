@@ -81,6 +81,15 @@ struct ExperimentResult {
   std::uint64_t phy_rebuilds = 0;
   std::uint64_t phy_incremental_attaches = 0;
 
+  // Mobility accounting: detach()/move_node() calls the medium saw on
+  // attached PHYs, and how many of each its backend absorbed
+  // incrementally instead of falling back to a rebuild. All zero for
+  // static scenarios (MobilityKind::kNone).
+  std::uint64_t phy_detaches = 0;
+  std::uint64_t phy_moves = 0;
+  std::uint64_t phy_incremental_detaches = 0;
+  std::uint64_t phy_incremental_moves = 0;
+
   // Slowest session (the paper reports worst-case for the star).
   double worst_throughput_mbps() const;
   double total_throughput_mbps() const;

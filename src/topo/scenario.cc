@@ -510,6 +510,36 @@ Scenario Scenario::build(const ScenarioSpec& spec, std::uint64_t seed) {
       s.discovery_.push_back(std::make_unique<net::RouteDiscovery>(*s.sim_, *node));
     }
   }
+
+  if (spec.mobility.kind != MobilityKind::kNone) {
+    std::vector<phy::Phy*> targets;
+    if (spec.mobility.mobile.empty()) {
+      // Default mobile set: everything that is neither a session
+      // endpoint nor a relay, so motion never severs the traffic paths
+      // themselves. When the topology is all endpoints and relays
+      // (small chains), every node moves instead of none.
+      std::vector<bool> fixed(n, false);
+      for (const auto& session : spec.sessions) {
+        fixed[session.sender] = fixed[session.receiver] = true;
+      }
+      for (const std::uint32_t r : s.relays_) fixed[r] = true;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!fixed[i]) targets.push_back(&s.nodes_[i]->phy());
+      }
+      if (targets.empty()) {
+        for (auto& node : s.nodes_) targets.push_back(&node->phy());
+      }
+    } else {
+      for (const std::uint32_t i : spec.mobility.mobile) {
+        targets.push_back(&s.nodes_.at(i)->phy());
+      }
+    }
+    const auto bounds = spec.world_bounds();
+    s.mobility_ = std::make_unique<MobilityDriver>(
+        *s.sim_, *s.medium_, spec.mobility, bounds.min, bounds.max,
+        std::move(targets));
+    s.mobility_->start();
+  }
   return s;
 }
 

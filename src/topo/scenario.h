@@ -30,6 +30,7 @@
 #include "phy/medium.h"
 #include "proto/mode.h"
 #include "sim/simulation.h"
+#include "topo/mobility.h"
 
 namespace hydra::topo {
 
@@ -126,6 +127,11 @@ struct ScenarioSpec {
   // Medium delivery policy and cull tuning (see MediumTuning).
   MediumTuning medium;
 
+  // Motion/churn while traffic runs (see topo/mobility.h); kNone keeps
+  // the topology static. The driver starts with the scenario and ticks
+  // until MobilitySpec::stop_after.
+  MobilitySpec mobility;
+
   // MAC link whitelist restricted to topological neighbours: every radio
   // still hears every frame, but only adjacent links deliver — the
   // standard trick for forcing multi-hop on a single channel.
@@ -215,6 +221,8 @@ class Scenario {
   net::Node& node(std::size_t i) { return *nodes_.at(i); }
   net::RouteDiscovery& discovery(std::size_t i) { return *discovery_.at(i); }
   const std::vector<std::uint32_t>& relay_indices() const { return relays_; }
+  // Null when spec().mobility.kind == kNone.
+  const MobilityDriver* mobility() const { return mobility_.get(); }
 
   void run_for(sim::Duration d) { sim_->run_for(d); }
   void run() { sim_->run(); }
@@ -241,6 +249,9 @@ class Scenario {
   std::vector<std::unique_ptr<net::Node>> nodes_;
   std::vector<std::unique_ptr<net::RouteDiscovery>> discovery_;
   std::vector<std::uint32_t> relays_;
+  // Declared after nodes_: its tick events reference the PHYs, so it
+  // must stop existing no later than they do.
+  std::unique_ptr<MobilityDriver> mobility_;
   // Shared so the trace callbacks installed by capture_traces() stay
   // valid even if the Scenario object is moved afterwards.
   std::shared_ptr<std::vector<std::string>> trace_;

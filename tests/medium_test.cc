@@ -56,6 +56,27 @@ TEST(MediumMath, ReachRadiusInvertsThePathLossModel) {
   EXPECT_NEAR(reach, 36.5, 0.5);
 }
 
+TEST(MediumMath, ReachRadiusNeverDropsBelowOneMetre) {
+  // A cull floor sitting just under the transmit power leaves almost no
+  // link budget; the documented contract is reach >= 1 m (the same floor
+  // the path-loss model clamps to), because the spatial grid's cell
+  // width — and the incremental-move locality checks — are derived from
+  // it. Sweep the budget through and across zero.
+  phy::MediumConfig config;
+  config.path_loss_at_1m_db = 40.0;
+  config.noise_floor_dbm = -50.0;
+  config.cull_margin_db = 0.0;
+  config.cca_threshold_dbm = -50.0;  // floor = -50 dBm
+  // tx power barely above floor + 1 m loss: budget = tx - (-50) - 40.
+  for (const double tx_dbm : {-10.5, -10.1, -10.0, -9.999, -9.9, -9.0}) {
+    const double reach = phy::reach_radius_m(config, tx_dbm);
+    EXPECT_GE(reach, 1.0) << "tx " << tx_dbm << " dBm";
+  }
+  // At and below zero budget the clamp pins exactly 1 m.
+  EXPECT_DOUBLE_EQ(phy::reach_radius_m(config, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(phy::reach_radius_m(config, -60.0), 1.0);
+}
+
 TEST(MediumMath, CullFloorNeverRisesAboveCcaThreshold) {
   phy::MediumConfig config;
   config.cull_margin_db = -50.0;  // would put the floor above CCA
@@ -255,6 +276,212 @@ TEST(MediumIncrementalAttach, OutOfBoundsAttachFallsBackToRebuild) {
 }
 
 // ---------------------------------------------------------------------
+// Detach: both delivery directions go away, incrementally
+// ---------------------------------------------------------------------
+
+TEST(MediumDetach, DetachRemovesBothDirectionsWithoutRebuilding) {
+  for (const auto policy :
+       {phy::DeliveryPolicy::kFullMesh, phy::DeliveryPolicy::kCulled,
+        phy::DeliveryPolicy::kSharded}) {
+    phy::MediumConfig config;
+    config.delivery = policy;
+    sim::Simulation s(1);
+    phy::Medium medium(s, config);
+    phy::Phy a(s, medium, {.position = {0, 0}}, 0);
+    phy::Phy b(s, medium, {.position = {10, 0}}, 1);
+    phy::Phy c(s, medium, {.position = {20, 0}}, 2);
+    a.transmit(test_frame());
+    s.run();
+    EXPECT_EQ(medium.rebuilds(), 1u) << phy::to_string(policy);
+    EXPECT_EQ(b.rx_starts(), 1u);
+
+    EXPECT_TRUE(medium.detach(b));
+    EXPECT_FALSE(b.attached());
+    EXPECT_EQ(medium.attached().size(), 2u);
+    // Inbound direction: b no longer hears a.
+    a.transmit(test_frame());
+    s.run();
+    EXPECT_EQ(b.rx_starts(), 1u) << phy::to_string(policy);
+    EXPECT_EQ(c.rx_starts(), 2u) << phy::to_string(policy);
+    // Outbound direction: a detached b transmits into the void.
+    const auto scheduled = medium.deliveries_scheduled();
+    b.transmit(test_frame());
+    s.run();
+    EXPECT_EQ(medium.deliveries_scheduled(), scheduled)
+        << phy::to_string(policy);
+    EXPECT_EQ(a.rx_starts(), 0u);
+    // The patch was absorbed without a second rebuild.
+    EXPECT_EQ(medium.rebuilds(), 1u) << phy::to_string(policy);
+    EXPECT_EQ(medium.detaches(), 1u);
+    EXPECT_EQ(medium.incremental_detaches(), 1u) << phy::to_string(policy);
+  }
+}
+
+TEST(MediumDetach, DetachIsIdempotentAndReattachRestoresDelivery) {
+  sim::Simulation s(1);
+  phy::MediumConfig config;
+  config.delivery = phy::DeliveryPolicy::kCulled;
+  phy::Medium medium(s, config);
+  phy::Phy a(s, medium, {.position = {0, 0}}, 0);
+  phy::Phy b(s, medium, {.position = {10, 0}}, 1);
+  a.transmit(test_frame());
+  s.run();
+
+  EXPECT_TRUE(medium.detach(b));
+  EXPECT_FALSE(medium.detach(b));  // second detach: not attached, no-op
+  EXPECT_EQ(medium.detaches(), 1u);
+
+  medium.attach(b);
+  EXPECT_TRUE(b.attached());
+  a.transmit(test_frame());
+  s.run();
+  EXPECT_EQ(b.rx_starts(), 2u);
+}
+
+TEST(MediumDetach, DetachCancelsInFlightDeliveries) {
+  // a's frame is mid-air at b (rx_start ran, rx_end still queued) when b
+  // detaches: the queued rx_end must be cancelled — not delivered to a
+  // PHY the medium no longer knows — and the half-open reception must be
+  // aborted so CCA clears.
+  sim::Simulation s(1);
+  phy::MediumConfig config;
+  config.delivery = phy::DeliveryPolicy::kCulled;
+  phy::Medium medium(s, config);
+  phy::Phy a(s, medium, {.position = {0, 0}}, 0);
+  phy::Phy b(s, medium, {.position = {10, 0}}, 1);
+  a.transmit(test_frame());
+  s.run_until(s.now() + sim::Duration::micros(5));
+  ASSERT_EQ(b.rx_starts(), 1u);
+  ASSERT_TRUE(b.cca_busy()) << "reception should be in progress";
+
+  EXPECT_TRUE(medium.detach(b));
+  EXPECT_FALSE(b.cca_busy()) << "detach must abort the open reception";
+  s.run();
+  EXPECT_EQ(b.frames_received(), 0u) << "cancelled rx_end must not decode";
+}
+
+TEST(MediumDetach, DestroyingAPhyMidFlightLeavesNoDanglingEvents) {
+  // The lifecycle bug this PR flushes out: a Phy destroyed while
+  // rx_start/rx_end events are queued for it left dangling Phy*
+  // callbacks in the scheduler (ASan catches the use-after-free when the
+  // suite runs sanitized). Destroy a mid-flight receiver AND a
+  // mid-flight transmitter, then drain the queue.
+  sim::Simulation s(1);
+  phy::MediumConfig config;
+  config.delivery = phy::DeliveryPolicy::kCulled;
+  phy::Medium medium(s, config);
+  phy::Phy a(s, medium, {.position = {0, 0}}, 0);
+  auto b = std::make_unique<phy::Phy>(
+      s, medium, phy::PhyConfig{.position = {10, 0}}, 1);
+  auto c = std::make_unique<phy::Phy>(
+      s, medium, phy::PhyConfig{.position = {20, 0}}, 2);
+  a.transmit(test_frame());
+  c->transmit(test_frame());
+  s.run_until(s.now() + sim::Duration::micros(5));
+  ASSERT_GT(b->rx_starts(), 0u);
+
+  b.reset();  // receiver dies with rx_end queued
+  c.reset();  // transmitter dies with its tx-complete timer queued
+  s.run();    // must drain without touching either
+  EXPECT_GT(a.rx_starts(), 0u);  // a's own reception from c still ran
+}
+
+// ---------------------------------------------------------------------
+// Move: lists patch in place, far-out positions force a rebuild
+// ---------------------------------------------------------------------
+
+TEST(MediumMove, MoveNodePatchesListsIncrementally) {
+  // 0/30/60 m spread: cells are one ~36.5 m reach wide, so the world
+  // spans multiple cells and moving b from mid-span to the far end
+  // changes who hears whom. In-box moves must patch incrementally.
+  for (const auto policy :
+       {phy::DeliveryPolicy::kFullMesh, phy::DeliveryPolicy::kCulled,
+        phy::DeliveryPolicy::kSharded}) {
+    phy::MediumConfig config;
+    config.delivery = policy;
+    sim::Simulation s(1);
+    phy::Medium medium(s, config);
+    phy::Phy a(s, medium, {.position = {0, 0}}, 0);
+    phy::Phy b(s, medium, {.position = {30, 0}}, 1);
+    phy::Phy c(s, medium, {.position = {60, 0}}, 2);
+    a.transmit(test_frame());
+    s.run();
+    EXPECT_EQ(b.rx_starts(), 1u) << phy::to_string(policy);
+    EXPECT_EQ(medium.rebuilds(), 1u);
+
+    medium.move_node(b, {58, 0});  // in-box, out of a's ~36.5 m reach
+    EXPECT_DOUBLE_EQ(b.config().position.x_m, 58.0);
+    a.transmit(test_frame());
+    b.transmit(test_frame());
+    s.run();
+    if (policy == phy::DeliveryPolicy::kFullMesh) {
+      // Full mesh still delivers everywhere; the patched entries carry
+      // the new (inert) receive powers.
+      EXPECT_EQ(b.rx_starts(), 2u);
+      EXPECT_EQ(c.rx_starts(), 3u);
+    } else {
+      EXPECT_EQ(b.rx_starts(), 1u) << "58 m from a: culled";
+      // c heard nothing before the move (60 m from a) and hears the
+      // moved b from 2 m now.
+      EXPECT_EQ(c.rx_starts(), 1u) << phy::to_string(policy);
+    }
+    EXPECT_EQ(medium.rebuilds(), 1u) << phy::to_string(policy);
+    EXPECT_EQ(medium.moves(), 1u);
+    EXPECT_EQ(medium.incremental_moves(), 1u) << phy::to_string(policy);
+  }
+}
+
+TEST(MediumMove, FarOutOfBoxMoveForcesRebuild) {
+  // The spatial grid's clamped 3×3 query is only a guaranteed superset
+  // near the bounding box, and an out-of-box point cannot even be
+  // inserted — so a move leaving the box must fall back to a rebuild
+  // (which re-derives the box) instead of patching.
+  sim::Simulation s(1);
+  phy::MediumConfig config;
+  config.delivery = phy::DeliveryPolicy::kCulled;
+  phy::Medium medium(s, config);
+  phy::Phy a(s, medium, {.position = {0, 0}}, 0);
+  phy::Phy b(s, medium, {.position = {30, 0}}, 1);
+  a.transmit(test_frame());
+  s.run();
+  EXPECT_EQ(medium.rebuilds(), 1u);
+
+  medium.move_node(b, {200, 0});  // several cell widths past max.x
+  a.transmit(test_frame());
+  s.run();
+  EXPECT_EQ(medium.moves(), 1u);
+  EXPECT_EQ(medium.incremental_moves(), 0u);
+  EXPECT_EQ(medium.rebuilds(), 2u);
+  EXPECT_EQ(b.rx_starts(), 1u) << "200 m away: correctly culled";
+
+  // And back in: the rebuilt grid covers the new box, delivery resumes.
+  medium.move_node(b, {10, 0});
+  a.transmit(test_frame());
+  s.run();
+  EXPECT_EQ(b.rx_starts(), 2u);
+}
+
+TEST(MediumMove, MoveOfDetachedPhyTakesEffectOnReattach) {
+  sim::Simulation s(1);
+  phy::MediumConfig config;
+  config.delivery = phy::DeliveryPolicy::kCulled;
+  phy::Medium medium(s, config);
+  phy::Phy a(s, medium, {.position = {0, 0}}, 0);
+  phy::Phy b(s, medium, {.position = {10, 0}}, 1);
+  a.transmit(test_frame());
+  s.run();
+  EXPECT_EQ(b.rx_starts(), 1u);
+
+  medium.detach(b);
+  medium.move_node(b, {200, 0});  // while detached: position only
+  EXPECT_EQ(medium.moves(), 0u) << "detached moves are not patch work";
+  medium.attach(b);
+  a.transmit(test_frame());
+  s.run();
+  EXPECT_EQ(b.rx_starts(), 1u) << "reattached 200 m away: out of reach";
+}
+
+// ---------------------------------------------------------------------
 // Spatial-index property: candidates ⊇ every in-reach receiver
 // ---------------------------------------------------------------------
 
@@ -283,6 +510,49 @@ TEST(SpatialIndexProperty, NeighborhoodCoversEveryInReachPair) {
           EXPECT_TRUE(candidates.count(static_cast<std::uint32_t>(j)))
               << "seed " << seed << ": node " << j << " in reach of " << i
               << " but missing from its candidate set";
+        }
+      }
+    }
+  }
+}
+
+TEST(SpatialIndexProperty, NearBoxQueriesStaySupersets_FartherOutIsUnproven) {
+  // The clamped query's superset guarantee is documented for positions
+  // within one cell width of the bounding box — the widest excursion an
+  // incremental move may rely on without re-deriving the box. Pin the
+  // guaranteed band with random out-of-box offsets up to one cell width;
+  // beyond it move_node must (and does) force a rebuild, which the
+  // medium-level FarOutOfBoxMoveForcesRebuild test covers.
+  const double reach = 36.5;
+  for (const std::uint64_t seed : {11, 12, 13}) {
+    sim::Rng rng(seed);
+    std::vector<phy::Position> points;
+    for (int i = 0; i < 60; ++i) {
+      points.push_back({rng.uniform() * 220.0, rng.uniform() * 160.0});
+    }
+    phy::SpatialGrid grid;
+    grid.build(points, reach);
+    const double cell = grid.cell_m();
+
+    for (int q = 0; q < 40; ++q) {
+      // A query position pushed out of the box by up to one cell width
+      // on a random side (mixing an out-of-box axis with an in-box one).
+      phy::Position p{rng.uniform() * 220.0, rng.uniform() * 160.0};
+      const double off = rng.uniform() * cell;
+      switch (q % 4) {
+        case 0: p.x_m = 220.0 + off; break;
+        case 1: p.x_m = -off; break;
+        case 2: p.y_m = 160.0 + off; break;
+        case 3: p.y_m = -off; break;
+      }
+      EXPECT_FALSE(grid.contains(p));
+      std::set<std::uint32_t> candidates;
+      grid.neighborhood(p, [&](std::uint32_t j) { candidates.insert(j); });
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        if (phy::distance_m(p, points[j]) <= reach) {
+          EXPECT_TRUE(candidates.count(static_cast<std::uint32_t>(j)))
+              << "seed " << seed << ": in-reach point " << j
+              << " missing from a near-box out-of-box query";
         }
       }
     }

@@ -1,0 +1,281 @@
+// The mobility determinism suite: the medium's incremental detach/move
+// maintenance must be indistinguishable from rebuilding, and trace
+// digests must stay bit-identical across every backend while nodes
+// move, teleport and churn.
+//
+// Two layers of differential testing:
+//
+//   1. List-level: a Medium driven through a randomized schedule of
+//      moves (in-box and far-out), detaches and re-attaches must, after
+//      EVERY step, hold delivery lists equal — destination, bit-exact
+//      receive power, delay — to a from-scratch rebuild over the same
+//      attached set, for all three backends.
+//   2. Scenario-level: flood traffic over waypoint / distance-step /
+//      churn mobility models must produce the same trace digest and
+//      byte-identical stats tables under full-mesh, culled and
+//      sharded@1/2/4, across a seed sweep.
+//
+// Registered under the `mobility` ctest label; CI runs it under TSan
+// alongside the shard slice.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/flood.h"
+#include "phy/medium.h"
+#include "phy/phy.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "topo/mobility.h"
+#include "topo/scenario.h"
+
+namespace hydra {
+namespace {
+
+// ---------------------------------------------------------------------
+// List-level: incremental patches == from-scratch rebuild, every step
+// ---------------------------------------------------------------------
+
+void expect_lists_match_rebuild(phy::Medium& medium, const std::string& ctx) {
+  const auto& attached = medium.attached();
+  const auto& live = medium.backend();
+  const auto reference = phy::make_delivery_backend(medium.config().delivery);
+  reference->rebuild(attached, medium.config());
+  for (const phy::Phy* src : attached) {
+    const auto& got = live.deliveries(*src);
+    const auto& want = reference->deliveries(*src);
+    ASSERT_EQ(got.size(), want.size())
+        << ctx << ": source " << src->id() << " list length diverged";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].destination, want[i].destination)
+          << ctx << ": source " << src->id() << " entry " << i;
+      // Bit-exact, not approximately: the patched entry must have come
+      // through the same arithmetic as a rebuild's.
+      EXPECT_EQ(got[i].rx_power_dbm, want[i].rx_power_dbm)
+          << ctx << ": source " << src->id() << " entry " << i;
+      EXPECT_EQ(got[i].propagation.ns(), want[i].propagation.ns())
+          << ctx << ": source " << src->id() << " entry " << i;
+    }
+  }
+}
+
+TEST(MobilityDeterminism, EveryStepMatchesAFromScratchRebuild) {
+  for (const auto policy :
+       {phy::DeliveryPolicy::kFullMesh, phy::DeliveryPolicy::kCulled,
+        phy::DeliveryPolicy::kSharded}) {
+    for (const std::uint64_t seed : {1, 2, 3}) {
+      sim::Simulation s(seed);
+      phy::MediumConfig config;
+      config.delivery = policy;
+      config.shard_threads = 2;
+      phy::Medium medium(s, config);
+
+      // 6×4 grid at 8 m: spans two reach-radius cells, so culled moves
+      // cross cell boundaries and the lists genuinely differ by cell.
+      std::vector<std::unique_ptr<phy::Phy>> phys;
+      for (std::uint32_t i = 0; i < 24; ++i) {
+        phys.push_back(std::make_unique<phy::Phy>(
+            s, medium,
+            phy::PhyConfig{.position = {8.0 * (i % 6), 8.0 * (i / 6)}}, i));
+      }
+      expect_lists_match_rebuild(medium, "initial build");
+
+      sim::Rng rng(seed * 977 + 13);
+      for (int op = 0; op < 60; ++op) {
+        const std::string ctx = std::string(phy::to_string(policy)) +
+                                " seed " + std::to_string(seed) + " op " +
+                                std::to_string(op);
+        phy::Phy& target =
+            *phys[static_cast<std::size_t>(rng.uniform() * 24) % 24];
+        const double r = rng.uniform();
+        if (r < 0.45) {
+          // In-box move (the incremental path for every backend).
+          medium.move_node(target,
+                           {rng.uniform() * 40.0, rng.uniform() * 24.0});
+        } else if (r < 0.6) {
+          // Far out of the bounding box: must fall back to a rebuild.
+          medium.move_node(target, {200.0 + rng.uniform() * 50.0, 0.0});
+        } else if (r < 0.8) {
+          medium.detach(target);  // no-op when already detached
+        } else {
+          if (!target.attached()) medium.attach(target);
+        }
+        expect_lists_match_rebuild(medium, ctx);
+      }
+      // The schedule must have exercised both maintenance paths.
+      EXPECT_GT(medium.moves(), 0u);
+      EXPECT_GT(medium.detaches(), 0u);
+      if (policy == phy::DeliveryPolicy::kFullMesh) {
+        EXPECT_EQ(medium.incremental_moves(), medium.moves())
+            << "full mesh has no geometry to fall back over";
+      } else {
+        EXPECT_GT(medium.incremental_moves(), 0u);
+        EXPECT_LT(medium.incremental_moves(), medium.moves())
+            << "far-out moves should have forced rebuilds";
+      }
+      EXPECT_GT(medium.incremental_detaches(), 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scenario-level: digests bit-identical across backends under motion
+// ---------------------------------------------------------------------
+
+struct RunFingerprint {
+  std::uint32_t digest = 0;
+  std::string stats;
+  std::uint64_t transmissions = 0;
+  std::uint64_t detaches = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t incremental_moves = 0;
+  std::uint64_t rebuilds = 0;
+};
+
+RunFingerprint run_mobile(topo::ScenarioSpec spec, topo::MediumPolicy policy,
+                          std::size_t threads, std::uint64_t seed) {
+  spec.medium.policy = policy;
+  spec.medium.shard_threads = threads;
+  auto s = topo::Scenario::build(spec, seed);
+  s.capture_traces();
+
+  std::vector<std::unique_ptr<app::FloodApp>> flooders;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    app::FloodConfig fc;
+    fc.interval = sim::Duration::millis(400);
+    fc.initial_offset = sim::Duration::millis(17) * (i + 1);
+    flooders.push_back(std::make_unique<app::FloodApp>(s.sim(), s.node(i), fc));
+    flooders.back()->start();
+  }
+  s.run_for(sim::Duration::seconds(3));
+
+  EXPECT_FALSE(s.trace().empty()) << spec.label();
+  RunFingerprint fp;
+  fp.digest = s.trace_digest();
+  fp.stats = s.metrics_summary();
+  fp.transmissions = s.medium().transmissions_started();
+  fp.detaches = s.medium().detaches();
+  fp.moves = s.medium().moves();
+  fp.incremental_moves = s.medium().incremental_moves();
+  fp.rebuilds = s.medium().rebuilds();
+  return fp;
+}
+
+// Runs `spec` under every backend × thread count and asserts the
+// determinism-under-motion contract; returns the culled fingerprint for
+// extra model-specific assertions.
+RunFingerprint assert_backends_agree_in_motion(const topo::ScenarioSpec& spec,
+                                               std::uint64_t seed) {
+  const auto reference =
+      run_mobile(spec, topo::MediumPolicy::kCulled, 0, seed);
+
+  const auto full_mesh =
+      run_mobile(spec, topo::MediumPolicy::kFullMesh, 0, seed);
+  EXPECT_EQ(full_mesh.digest, reference.digest)
+      << spec.label() << " seed " << seed << ": full-mesh digest diverged";
+  EXPECT_EQ(full_mesh.stats, reference.stats)
+      << spec.label() << " seed " << seed << ": full-mesh stats diverged";
+  EXPECT_EQ(full_mesh.transmissions, reference.transmissions);
+  // The motion schedule itself must be backend-invariant.
+  EXPECT_EQ(full_mesh.detaches, reference.detaches);
+  EXPECT_EQ(full_mesh.moves, reference.moves);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    const auto sharded =
+        run_mobile(spec, topo::MediumPolicy::kSharded, threads, seed);
+    EXPECT_EQ(sharded.digest, reference.digest)
+        << spec.label() << " seed " << seed << ": sharded@" << threads
+        << " digest diverged";
+    EXPECT_EQ(sharded.stats, reference.stats)
+        << spec.label() << " seed " << seed << ": sharded@" << threads
+        << " stats diverged";
+    // Sharded shares the culled geometry, so its maintenance decisions
+    // must match too, not just its behaviour.
+    EXPECT_EQ(sharded.moves, reference.moves);
+    EXPECT_EQ(sharded.incremental_moves, reference.incremental_moves)
+        << spec.label() << " seed " << seed << ": sharded@" << threads;
+  }
+  return reference;
+}
+
+topo::ScenarioSpec mobile_grid(topo::MobilityKind kind) {
+  auto spec = topo::ScenarioSpec::grid(4, 4);
+  spec.spacing_m = 7.0;  // 21 m wide: several nodes per reach, real culling
+  spec.mobility.kind = kind;
+  spec.mobility.update_interval = sim::Duration::millis(250);
+  spec.mobility.stop_after = sim::Duration::seconds(2);
+  return spec;
+}
+
+TEST(MobilityDeterminism, WaypointWalksAreBackendInvariant) {
+  for (const std::uint64_t seed : {3, 7}) {
+    const auto culled =
+        assert_backends_agree_in_motion(mobile_grid(topo::MobilityKind::kWaypoint), seed);
+    EXPECT_GT(culled.moves, 0u);
+    // Waypoint walks stay inside the world bounds, so the culled
+    // backends absorb every move without rebuilding.
+    EXPECT_EQ(culled.incremental_moves, culled.moves);
+    EXPECT_EQ(culled.rebuilds, 1u);
+  }
+}
+
+TEST(MobilityDeterminism, DistanceStepsForceRebuildsIdentically) {
+  auto spec = mobile_grid(topo::MobilityKind::kDistanceStep);
+  spec.mobility.step_m = 4.0;
+  spec.mobility.steps_out = 3;
+  for (const std::uint64_t seed : {3, 7}) {
+    const auto culled = assert_backends_agree_in_motion(spec, seed);
+    EXPECT_GT(culled.moves, 0u);
+    // The excursion leaves the bounding box, so some ticks rebuild.
+    EXPECT_GT(culled.rebuilds, 1u);
+  }
+}
+
+TEST(MobilityDeterminism, ChurnIsBackendInvariant) {
+  auto spec = mobile_grid(topo::MobilityKind::kChurn);
+  spec.mobility.down_time = sim::Duration::millis(300);
+  for (const std::uint64_t seed : {3, 7}) {
+    const auto culled = assert_backends_agree_in_motion(spec, seed);
+    EXPECT_GT(culled.detaches, 0u);
+  }
+}
+
+TEST(MobilityDeterminism, WideWorldWaypointUsesMultipleStripes) {
+  // A world wider than one reach-radius cell, so the sharded runs in
+  // the sweep genuinely stripe their rebuilds while nodes move across
+  // cell boundaries.
+  auto spec = topo::ScenarioSpec::grid(3, 10);
+  spec.spacing_m = 7.0;  // 63 m wide
+  spec.mobility.kind = topo::MobilityKind::kWaypoint;
+  spec.mobility.speed_mps = 20.0;  // cell-crossing steps per tick
+  spec.mobility.stop_after = sim::Duration::seconds(2);
+  const auto culled = assert_backends_agree_in_motion(spec, 9);
+  EXPECT_GT(culled.moves, 0u);
+  EXPECT_EQ(culled.incremental_moves, culled.moves);
+}
+
+// ---------------------------------------------------------------------
+// Mobility spec plumbing
+// ---------------------------------------------------------------------
+
+TEST(MobilityDeterminism, SpecPlumbsThroughScenario) {
+  auto spec = mobile_grid(topo::MobilityKind::kWaypoint);
+  auto s = topo::Scenario::build(spec, 1);
+  ASSERT_NE(s.mobility(), nullptr);
+  s.run_for(sim::Duration::seconds(3));
+  EXPECT_GT(s.mobility()->ticks(), 0u);
+  EXPECT_GT(s.medium().moves(), 0u);
+
+  auto static_spec = topo::ScenarioSpec::grid(4, 4);
+  auto st = topo::Scenario::build(static_spec, 1);
+  EXPECT_EQ(st.mobility(), nullptr);
+  EXPECT_EQ(topo::to_string(topo::MobilityKind::kChurn),
+            std::string("churn"));
+}
+
+}  // namespace
+}  // namespace hydra

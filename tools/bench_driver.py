@@ -16,7 +16,7 @@ the bench output lives only on stdout.
 Usage:
     tools/bench_driver.py [--build-dir build] [--jobs N] [--output PATH]
                           [--baseline PATH] [--update-baseline PATH]
-                          [--threshold PCT]
+                          [--threshold PCT] [--allow-removed NAME ...]
 
 The aggregate lands in <build-dir>/bench/BENCH_REPORT.json by default.
 bench_micro (google-benchmark) is skipped: it has no JSON report and
@@ -96,13 +96,26 @@ def extract_metrics(results: list[dict]) -> dict[str, float]:
 
 
 def check_baseline(metrics: dict[str, float], baseline: dict,
-                   threshold_pct: float) -> list[str]:
-    """Returns a list of failure messages (empty = within budget)."""
+                   threshold_pct: float,
+                   allow_removed: list[str] | None = None) -> list[str]:
+    """Returns a list of failure messages (empty = within budget).
+
+    A baseline metric with no counterpart in the run is normally a hard
+    failure (a silently vanished metric would shrink coverage forever);
+    names in `allow_removed` — exact metric keys or prefixes, as printed
+    in the failure message — downgrade that to an audited notice for the
+    run where a bench intentionally dropped or renamed a table.
+    """
     reference: dict[str, float] = baseline["metrics"]
+    allowed = tuple(allow_removed or [])
     failures = []
     for key, old in reference.items():
         new = metrics.get(key)
         if new is None:
+            if allowed and (key in allowed or key.startswith(allowed)):
+                print(f"bench_driver: allowed removed metric "
+                      f"(was {old:g}): {key}")
+                continue
             failures.append(f"missing metric (was {old:g}): {key}")
             continue
         if old == 0.0:
@@ -190,6 +203,13 @@ def main() -> int:
                         help="max allowed metric shift in either direction, "
                              "percent (default: the baseline's recorded "
                              "threshold_pct, else 15)")
+    parser.add_argument("--allow-removed", action="append", default=[],
+                        metavar="NAME",
+                        help="baseline metric key (or key prefix) that may "
+                             "be absent from this run without failing the "
+                             "gate; repeatable. For intentionally dropped "
+                             "or renamed tables — follow up with "
+                             "--update-baseline and commit it.")
     args = parser.parse_args()
 
     bench_dir = args.build_dir / "bench"
@@ -237,7 +257,8 @@ def main() -> int:
         baseline = json.loads(args.baseline.read_text())
         threshold = (args.threshold if args.threshold is not None
                      else baseline.get("threshold_pct", 15.0))
-        regressions = check_baseline(metrics, baseline, threshold)
+        regressions = check_baseline(metrics, baseline, threshold,
+                                     args.allow_removed)
         if regressions:
             print(f"bench_driver: {len(regressions)} metric shift(s) "
                   "vs baseline:", file=sys.stderr)
