@@ -1,0 +1,129 @@
+// Extension: conservative parallel event execution — the scheduler's
+// lookahead-window mode against serial stepping. Not a paper figure; it
+// charts the two halves of the parallel-scheduler contract:
+//
+//   1. Parity: a flooded grid must execute exactly the serial event
+//      sequence (the deterministic events/windows cells are
+//      baseline-gated; the trace-digest half of the contract is pinned
+//      by the parallel_sched test suite). The executed-event and
+//      transmission counts are asserted equal across every row before
+//      the table is emitted.
+//   2. Scaling: the same load at 1/2/4 window workers. The wall columns
+//      show whatever overlap the medium's minimum-propagation lookahead
+//      exposes; windows and parallel-event counts are worker-invariant
+//      by construction (window formation is single-threaded).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/assert.h"
+
+using namespace hydra;
+
+namespace {
+
+topo::ExperimentConfig flood_config(std::size_t rows, std::size_t cols,
+                                    sim::Duration sim_time) {
+  topo::ExperimentConfig cfg;
+  cfg.scenario = topo::ScenarioSpec::grid(rows, cols);
+  // 10 m spacing, as in the medium-shard bench: the reach radius
+  // (~36.5 m) covers a few rings of the lattice.
+  cfg.scenario.spacing_m = 10.0;
+  // No sessions and no static routes: flooding needs no routing graph,
+  // and skipping it keeps the N = 10000 build out of the O(N^2)
+  // next-hop matrix.
+  cfg.scenario.sessions.clear();
+  cfg.flooding = true;
+  cfg.flood_interval = sim::Duration::millis(250);
+  cfg.flood_payload_bytes = 40;
+  cfg.max_sim_time = sim_time;
+  return cfg;
+}
+
+double wall_since(std::chrono::steady_clock::time_point started) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started)
+      .count();
+}
+
+void run_size(std::size_t rows, std::size_t cols, sim::Duration sim_time) {
+  struct Row {
+    std::string label;
+    topo::ExperimentResult result;
+    double wall = 0.0;
+  };
+  std::vector<Row> table_rows;
+  const auto run_one = [&](const std::string& label,
+                           topo::SchedulerPolicy policy, unsigned workers) {
+    auto cfg = flood_config(rows, cols, sim_time);
+    cfg.scenario.scheduler.policy = policy;
+    cfg.scenario.scheduler.workers = workers;
+    const auto started = std::chrono::steady_clock::now();
+    Row row{label, app::run_experiment(cfg), 0.0};
+    row.wall = wall_since(started);
+    table_rows.push_back(std::move(row));
+  };
+
+  run_one("serial", topo::SchedulerPolicy::kSerial, 1);
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "windows-%u", workers);
+    run_one(label, topo::SchedulerPolicy::kParallelWindows, workers);
+  }
+
+  const auto& serial = table_rows.front().result;
+  HYDRA_ASSERT(serial.sched_windows == 0);
+  for (const Row& row : table_rows) {
+    // Parity before publication: same events, same traffic, every row.
+    HYDRA_ASSERT_MSG(
+        row.result.sched_executed_events == serial.sched_executed_events,
+        "parallel windows diverged from the serial event sequence");
+    HYDRA_ASSERT_MSG(
+        row.result.phy_transmissions == serial.phy_transmissions,
+        "parallel windows changed the traffic itself");
+  }
+
+  char title[64];
+  std::snprintf(title, sizeof title, "N = %zu", rows * cols);
+  stats::Table table({"scheduler", "nodes", "tx frames", "events", "windows",
+                      "parallel ev", "wall s", "wall speedup"});
+  const double serial_wall = table_rows.front().wall;
+  for (const Row& row : table_rows) {
+    table.add_row({std::string(title) + "/" + row.label,
+                   std::to_string(rows * cols),
+                   std::to_string(row.result.phy_transmissions),
+                   std::to_string(row.result.sched_executed_events),
+                   std::to_string(row.result.sched_windows),
+                   std::to_string(row.result.sched_parallel_events),
+                   stats::Table::num(row.wall, 3),
+                   stats::Table::num(serial_wall / row.wall, 2)});
+  }
+  bench::emit(table);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension: parallel scheduler",
+      "lookahead windows execute the exact serial event sequence",
+      "Flooded grids at N = 1000 and N = 10000: serial stepping vs "
+      "conservative parallel windows at 1/2/4 workers. Event, window and "
+      "parallel-event counts are deterministic and baseline-gated; wall "
+      "columns are host-dependent and excluded from the gate.");
+  bench::record_threads(4);
+
+  run_size(25, 40, sim::Duration::seconds(2));
+  run_size(100, 100, sim::Duration::millis(500));
+
+  bench::comment(
+      "\nExpected shape: events/windows/parallel-ev identical across the "
+      "windows-* rows (window formation is single-threaded and "
+      "worker-invariant); the serial row pins windows = 0. The wall "
+      "speedup tracks how much same-window overlap the minimum-propagation "
+      "lookahead exposes — with nanosecond-scale lookahead it hovers near "
+      "1.0x and the bench is primarily a parity harness at scale.");
+  return 0;
+}

@@ -50,7 +50,7 @@ class Fingerprinter {
 // containers); elsewhere the fingerprints still work, they just lose
 // the compile-time reminder.
 #if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(topo::ScenarioSpec) == 368,
+static_assert(sizeof(topo::ScenarioSpec) == 376,
               "ScenarioSpec changed: update spec_fingerprint");
 static_assert(sizeof(topo::MobilitySpec) == 96,
               "MobilitySpec changed: update spec_fingerprint");
@@ -58,7 +58,7 @@ static_assert(sizeof(topo::NodeParams) == 128,
               "NodeParams changed: update spec_fingerprint");
 static_assert(sizeof(core::AggregationPolicy) == 48,
               "AggregationPolicy changed: update spec_fingerprint");
-static_assert(sizeof(topo::ExperimentConfig) == 504,
+static_assert(sizeof(topo::ExperimentConfig) == 512,
               "ExperimentConfig changed: update workload_fingerprint");
 static_assert(sizeof(transport::TcpConfig) == 48,
               "TcpConfig changed: update workload_fingerprint");
@@ -84,6 +84,10 @@ std::string spec_fingerprint(const topo::ScenarioSpec& spec) {
   fp.add("w%d sr%d rd%d cm%.17g sh%zu ", spec.neighbor_whitelist,
          spec.static_routes, spec.route_discovery,
          spec.medium.cull_margin_db, spec.medium.shard_threads);
+  // Scheduler policy and workers ride along on the same principle as
+  // shard_threads: outcome-neutral by contract, fingerprinted anyway.
+  fp.add("sc%d scw%u ", static_cast<int>(spec.scheduler.policy),
+         spec.scheduler.workers);
   // Mobility changes the outcome through node motion and churn; every
   // knob (including the explicit mobile list) feeds the key.
   const auto& mob = spec.mobility;
@@ -154,28 +158,35 @@ std::string workload_fingerprint(const topo::ExperimentConfig& config) {
 std::vector<SweepPoint> expand_sweep(const SweepGrid& grid) {
   std::vector<SweepPoint> points;
   points.reserve(grid.scenarios.size() * grid.policies.size() *
-                 grid.rate_adaptations.size() * grid.mediums.size());
+                 grid.rate_adaptations.size() * grid.mediums.size() *
+                 grid.schedulers.size());
   for (const auto& [scenario_label, spec] : grid.scenarios) {
     for (const auto& [policy_label, policy] : grid.policies) {
       for (const auto scheme : grid.rate_adaptations) {
         for (const auto& [medium_label, medium_policy] : grid.mediums) {
-          SweepPoint point;
-          point.scenario_label =
-              scenario_label.empty() ? spec.label() : scenario_label;
-          point.policy_label = policy_label;
-          point.rate_adaptation = scheme;
-          point.medium_label = medium_label;
-          point.config = grid.base;
-          point.config.scenario = spec;
-          point.config.scenario.node.policy = policy;
-          point.config.scenario.node.rate_adaptation = scheme;
-          // kAuto axis entries defer to the spec's own MediumTuning (a
-          // spec that pinned full mesh stays pinned under the default
-          // axis); a concrete axis policy overrides it.
-          if (medium_policy != topo::MediumPolicy::kAuto) {
-            point.config.scenario.medium.policy = medium_policy;
+          for (const auto& [sched_label, sched_policy] : grid.schedulers) {
+            SweepPoint point;
+            point.scenario_label =
+                scenario_label.empty() ? spec.label() : scenario_label;
+            point.policy_label = policy_label;
+            point.rate_adaptation = scheme;
+            point.medium_label = medium_label;
+            point.scheduler_label = sched_label;
+            point.config = grid.base;
+            point.config.scenario = spec;
+            point.config.scenario.node.policy = policy;
+            point.config.scenario.node.rate_adaptation = scheme;
+            // kAuto axis entries defer to the spec's own tuning (a spec
+            // that pinned full mesh or parallel windows stays pinned
+            // under the default axis); a concrete axis policy overrides.
+            if (medium_policy != topo::MediumPolicy::kAuto) {
+              point.config.scenario.medium.policy = medium_policy;
+            }
+            if (sched_policy != topo::SchedulerPolicy::kAuto) {
+              point.config.scenario.scheduler.policy = sched_policy;
+            }
+            points.push_back(std::move(point));
           }
-          points.push_back(std::move(point));
         }
       }
     }

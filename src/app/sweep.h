@@ -31,6 +31,8 @@ struct SweepPoint {
   // Label of the medium-policy axis entry ("" for the default axis, so
   // single-policy sweeps keep their historical labels).
   std::string medium_label;
+  // Label of the scheduler-policy axis entry (same convention).
+  std::string scheduler_label;
   topo::ExperimentConfig config;
 };
 
@@ -59,6 +61,12 @@ struct SweepGrid {
   // force that policy onto every spec of the grid.
   std::vector<std::pair<std::string, topo::MediumPolicy>> mediums = {
       {"", topo::MediumPolicy::kAuto}};
+  // Scheduler execution axis, same kAuto convention: the default entry
+  // leaves each spec's own SchedulerTuning in charge; kSerial or
+  // kParallelWindows entries force that policy onto every point (the
+  // parallel determinism suites sweep this axis to pin digest equality).
+  std::vector<std::pair<std::string, topo::SchedulerPolicy>> schedulers = {
+      {"", topo::SchedulerPolicy::kAuto}};
   topo::ExperimentConfig base;
 };
 

@@ -9,7 +9,9 @@ UdpCbrApp::UdpCbrApp(sim::Simulation& simulation, net::Node& node,
     : sim_(simulation),
       config_(config),
       socket_(transport::mux_of(node).open_udp(local_port)),
-      timer_(simulation.scheduler(), [this] { tick(); }) {}
+      timer_(simulation.scheduler(), [this] { tick(); }) {
+  timer_.set_affinity(node.phy().id());
+}
 
 void UdpCbrApp::start() {
   const auto now = sim_.now();

@@ -260,6 +260,15 @@ class Medium {
   // from-scratch rebuild over exactly this set).
   const std::vector<Phy*>& attached() const { return phys_; }
 
+  // The scheduler's safe lookahead: the minimum propagation delay over
+  // every live delivery pair (an event at one node cannot reach another
+  // node's queue sooner than this). Zero when no pairs exist, which
+  // makes the parallel-window policy degrade to serial stepping. The
+  // medium registers this as the simulation scheduler's lookahead
+  // provider on construction; recomputed lazily after any attach /
+  // detach / move / backend change.
+  sim::Duration min_lookahead();
+
  private:
   friend class Phy;
 
@@ -278,6 +287,11 @@ class Medium {
   std::vector<Phy*> phys_;
   std::unique_ptr<DeliveryBackend> backend_;
   bool backend_dirty_ = true;
+  // min_lookahead() cache; dirtied by the same topology changes that
+  // dirty the backend, plus incremental patches (which bypass
+  // backend_dirty_ but can still shrink the minimum).
+  bool min_prop_dirty_ = true;
+  sim::Duration min_prop_ = sim::Duration::zero();
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t deliveries_scheduled_ = 0;
   std::uint64_t rebuilds_ = 0;

@@ -90,6 +90,15 @@ struct ExperimentResult {
   std::uint64_t phy_incremental_detaches = 0;
   std::uint64_t phy_incremental_moves = 0;
 
+  // Scheduler accounting: events executed, lookahead windows the
+  // parallel policy formed, and events run inside windows with more than
+  // one concurrent group. Windows/parallel stay 0 under serial
+  // execution; executed events are policy-invariant by the determinism
+  // contract (the parallel suites pin exact equality).
+  std::uint64_t sched_executed_events = 0;
+  std::uint64_t sched_windows = 0;
+  std::uint64_t sched_parallel_events = 0;
+
   // Slowest session (the paper reports worst-case for the star).
   double worst_throughput_mbps() const;
   double total_throughput_mbps() const;

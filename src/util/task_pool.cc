@@ -6,6 +6,19 @@
 
 namespace hydra::util {
 
+namespace {
+
+// The pool whose batch the current thread is executing (nullptr outside
+// drain_batch). Both workers and the participating caller set it, so a
+// body that re-enters parallel_for *on the same pool* is caught before
+// it deadlocks waiting on workers that are all busy running the outer
+// batch. Distinct pools may nest (the parallel scheduler's window
+// workers drive the sharded medium's own pool), so the guard compares
+// identity, not mere presence.
+thread_local const TaskPool* tl_current_pool = nullptr;
+
+}  // namespace
+
 TaskPool::TaskPool(unsigned concurrency) {
   if (concurrency == 0) {
     concurrency = std::max(1u, std::thread::hardware_concurrency());
@@ -26,11 +39,14 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::drain_batch() {
+  const TaskPool* const prev = tl_current_pool;
+  tl_current_pool = this;
   for (std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
        i < batch_count_;
        i = cursor_.fetch_add(1, std::memory_order_relaxed)) {
     (*batch_body_)(i);
   }
+  tl_current_pool = prev;
 }
 
 void TaskPool::worker_loop() {
@@ -60,6 +76,10 @@ void TaskPool::parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  // A nested batch on the same pool would block forever: the outer
+  // batch's workers are the threads the inner one would wait for.
+  HYDRA_ASSERT_MSG(tl_current_pool != this,
+                   "nested parallel_for on the same TaskPool");
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     HYDRA_ASSERT_MSG(batch_body_ == nullptr, "parallel_for re-entered");

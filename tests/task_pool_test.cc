@@ -83,6 +83,39 @@ TEST(TaskPool, EmptyAndSingletonBatches) {
   EXPECT_EQ(runs.load(), 1);
 }
 
+TEST(TaskPool, NestedParallelForOnTheSamePoolDies) {
+  // Re-entering parallel_for on the pool currently draining this task
+  // would deadlock (the inner batch waits on workers that are all busy
+  // in the outer batch), so the pool traps it instead. The pool is
+  // constructed inside the death statement: threadsafe-style death
+  // tests re-execute the test body in a fresh process, and worker
+  // threads must not leak across that boundary.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        util::TaskPool pool(2);
+        pool.parallel_for(4, [&](std::size_t) {
+          pool.parallel_for(2, [](std::size_t) {});
+        });
+      },
+      "nested parallel_for on the same TaskPool");
+}
+
+TEST(TaskPool, NestingAcrossDistinctPoolsIsLegal) {
+  // The guard is per-pool identity, not a blanket "no pool inside a
+  // pool": the sweep driver's pool runs simulations whose scheduler and
+  // medium own pools of their own, and that layering must keep working.
+  util::TaskPool outer(2);
+  std::atomic<std::uint32_t> inner_runs{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    util::TaskPool inner(2);
+    inner.parallel_for(8, [&](std::size_t) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), 32u);
+}
+
 TEST(TaskPool, UnevenWorkStaysBalanced) {
   // Dynamic stealing: one slow index must not serialize the rest. This
   // is a liveness smoke test, not a timing assertion — it passes by
