@@ -213,7 +213,7 @@ std::string SweepCache::key_of(const SweepPoint& point) {
 
 std::shared_ptr<const topo::ExperimentResult> SweepCache::find(
     const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = results_.find(key);
   if (it == results_.end()) return nullptr;
   ++hits_;
@@ -225,17 +225,17 @@ void SweepCache::store(const std::string& key,
   // The deep copy happens outside the critical section; only the
   // pointer moves under the lock.
   auto copy = std::make_shared<const topo::ExperimentResult>(result);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   results_.insert_or_assign(key, std::move(copy));
 }
 
 std::size_t SweepCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return results_.size();
 }
 
 std::uint64_t SweepCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return hits_;
 }
 
@@ -255,6 +255,9 @@ std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
   // inline on this thread.
   util::TaskPool pool(threads);
   pool.parallel_for(points.size(), [&](std::size_t i) {
+    // Host wall time for the scaling benches; never feeds simulation
+    // state or the result fields the baselines gate.
+    // hydra-lint: allow(wall-clock) — wall_seconds is bench reporting, not simulation state
     const auto started = std::chrono::steady_clock::now();
     SweepOutcome outcome;
     const std::string key =
@@ -269,10 +272,9 @@ std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,
       outcome.result = run_experiment(points[i].config);
       if (cache) cache->store(key, outcome.result);
     }
-    outcome.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started)
-            .count();
+    // hydra-lint: allow(wall-clock) — same measurement, read side
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    outcome.wall_seconds = std::chrono::duration<double>(elapsed).count();
     outcome.point = std::move(points[i]);
     outcomes[i] = std::move(outcome);
   });

@@ -14,12 +14,13 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "app/experiment.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::app {
 
@@ -91,11 +92,13 @@ class SweepCache {
   std::uint64_t hits() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
+  // std::map, not unordered: sweep tooling may iterate the cache (e.g.
+  // to dump keys) and the determinism lint bans hash-order walks.
   std::map<std::string, std::shared_ptr<const topo::ExperimentResult>>
-      results_;
+      results_ GUARDED_BY(mutex_);
   // Mutated by the (const) find path; lookups are logically read-only.
-  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t hits_ GUARDED_BY(mutex_) = 0;
 };
 
 // Expands the grid scenario-major (policies, rate adaptations, then

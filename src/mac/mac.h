@@ -168,9 +168,11 @@ class Mac {
   // Outgoing subframe sequence numbers (802.11 sequence control).
   std::uint16_t next_sequence_ = 1;
   // Duplicate suppression for retransmitted unicast subframes, keyed on
-  // (transmitter, sequence).
+  // (transmitter, sequence). The FIFO carries the eviction order, so
+  // the set is pure membership.
   std::deque<std::uint32_t> dedup_fifo_;
-  std::unordered_set<std::uint32_t> dedup_set_;
+  std::unordered_set<std::uint32_t> dedup_set_;  // hydra-lint: allow(unordered-member) — contains/insert/erase only; eviction iterates dedup_fifo_, never the set
+
 };
 
 }  // namespace hydra::mac

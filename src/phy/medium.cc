@@ -99,16 +99,20 @@ class PrecomputedBackend : public DeliveryBackend {
   // renumbers the attach indices above it down by one, and strips it
   // from every remaining list. Relative attach order is untouched, so
   // the surviving lists stay canonically ordered without recomputation.
-  // Returns the index `phy` held.
-  std::size_t unregister_detached(Phy& phy) {
+  // `phys` is the medium's attach-order vector with `phy` already
+  // erased. Returns the index `phy` held.
+  std::size_t unregister_detached(Phy& phy, const std::vector<Phy*>& phys) {
     const auto it = index_.find(&phy);
     HYDRA_ASSERT_MSG(it != index_.end(), "detach of an unknown phy");
     const std::size_t s = it->second;
     index_.erase(it);
     lists_.erase(lists_.begin() + static_cast<std::ptrdiff_t>(s));
-    for (auto& [p, i] : index_) {
-      if (i > s) --i;
-    }
+    // Renumber by walking the attach-order vector, not the hash map:
+    // phys[i] for i >= s are exactly the survivors whose index shifted
+    // down by one, and a deterministic traversal keeps this path out of
+    // hydra-lint's unordered-iter rule by construction (the old
+    // map-order walk was value-equivalent but order-nondeterministic).
+    for (std::size_t i = s; i < phys.size(); ++i) index_[phys[i]] = i;
     for (auto& list : lists_) {
       std::erase_if(list,
                     [&](const Delivery& d) { return d.destination == &phy; });
@@ -119,7 +123,8 @@ class PrecomputedBackend : public DeliveryBackend {
   std::vector<std::vector<Delivery>> lists_;
   // Pointer-hashed: the per-transmission src -> attach-index lookup is
   // on the hot path this layer exists to keep O(1).
-  std::unordered_map<const Phy*, std::size_t> index_;
+  std::unordered_map<const Phy*, std::size_t> index_;  // hydra-lint: allow(unordered-member) — at/find/erase lookups plus the attach-order renumber walk above; never iterated in hash order
+
 };
 
 // Exact paper behaviour: every attached PHY hears every transmission.
@@ -155,9 +160,9 @@ class FullMeshBackend final : public PrecomputedBackend {
     return true;
   }
 
-  bool detach_incremental(Phy& phy, const std::vector<Phy*>&,
+  bool detach_incremental(Phy& phy, const std::vector<Phy*>& phys,
                           const MediumConfig&) override {
-    unregister_detached(phy);
+    unregister_detached(phy, phys);
     return true;
   }
 
@@ -248,14 +253,14 @@ class CulledBackendBase : public PrecomputedBackend {
     return true;
   }
 
-  bool detach_incremental(Phy& phy, const std::vector<Phy*>&,
+  bool detach_incremental(Phy& phy, const std::vector<Phy*>& phys,
                           const MediumConfig&) override {
     // Always local: removing a node can only shrink candidate sets, and
     // erase_and_renumber keeps the grid aligned with the compacted
     // attach index space (the over-wide bounding box and cell width stay
     // valid — fewer nodes never need a larger reach).
     grid_.erase_and_renumber(static_cast<std::uint32_t>(index_.at(&phy)));
-    unregister_detached(phy);
+    unregister_detached(phy, phys);
     return true;
   }
 

@@ -7,6 +7,9 @@
 #include <cstdint>
 #include <random>
 
+#include "sim/turn.h"
+#include "util/thread_annotations.h"
+
 namespace hydra::sim {
 
 class Rng {
@@ -22,10 +25,18 @@ class Rng {
   // Exponentially distributed duration with the given mean (seconds).
   double exponential(double mean);
 
-  std::mt19937_64& engine() { return engine_; }
+  // Direct engine access for pre-run setup (scenario placement, seeding
+  // helpers). Outside the analysis on purpose: no simulation events are
+  // in flight when it is legitimately used, so there is no turn to
+  // hold — callers drawing mid-run must go through the methods above.
+  std::mt19937_64& engine() NO_THREAD_SAFETY_ANALYSIS { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  // One global draw sequence: a parallel-window event must take its
+  // exact serial turn before consuming engine state (rng.cc), or draw
+  // order — and with it every error-model outcome — would depend on
+  // thread timing.
+  std::mt19937_64 engine_ GUARDED_BY(shared_turn);
 };
 
 }  // namespace hydra::sim

@@ -1,11 +1,11 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 #include "util/assert.h"
 #include "util/task_pool.h"
@@ -89,34 +89,47 @@ struct Scheduler::WindowEngine {
   };
 
   // ---- coordinator state (win_mutex) --------------------------------
-  std::mutex win_mutex;
-  std::condition_variable cv;
-  std::uint64_t version = 0;  // bumped on every state change (cv ticket)
+  util::Mutex win_mutex;
+  util::CondVar cv;
+  // Bumped on every state change (cv ticket).
+  std::uint64_t version GUARDED_BY(win_mutex) = 0;
   // Deque: add_child appends mid-window and references to claimed
   // events must stay stable. Every access — including taking a
   // reference — happens under win_mutex.
-  std::deque<Event> events;
-  std::vector<Group> groups;
-  std::unordered_map<std::uint32_t, std::size_t> group_of;  // affinity ->
-  TimePoint window_end;
-  std::uint64_t ran = 0;       // events that actually executed
-  TimePoint last_ran_at;       // max at among them: the barrier's now()
+  std::deque<Event> events GUARDED_BY(win_mutex);
+  std::vector<Group> groups GUARDED_BY(win_mutex);
+  // affinity -> group index
+  std::unordered_map<std::uint32_t, std::size_t> group_of  // hydra-lint: allow(unordered-member) — lookup-only (try_emplace/at); never iterated, so its order cannot leak into the event sequence
+      GUARDED_BY(win_mutex);
+  std::uint64_t ran GUARDED_BY(win_mutex) = 0;  // events that executed
+  // max at among them: the barrier's now().
+  TimePoint last_ran_at GUARDED_BY(win_mutex);
 
   // ---- deferred-op state (op_mutex) ---------------------------------
-  std::mutex op_mutex;
-  std::vector<PendingOp> pending_ops;
+  util::Mutex op_mutex;
+  TimePoint window_end GUARDED_BY(op_mutex);
+  std::vector<PendingOp> pending_ops GUARDED_BY(op_mutex);
   // slot -> affinity for events living inside the current window (both
   // collected ones and same-window children): lets window_cancel tell a
   // legal same-node cancel from a cross-node one.
-  std::unordered_map<std::uint32_t, std::uint32_t> resident_affinity;
+  std::unordered_map<std::uint32_t, std::uint32_t> resident_affinity  // hydra-lint: allow(unordered-member) — find/erase/empty only; never iterated, so its order cannot leak into the event sequence
+      GUARDED_BY(op_mutex);
 
   Scheduler* owner;
   util::TaskPool pool;
-  std::vector<Entry> collect_buf;  // reused across windows
+  // Main-thread-only scratch (reused across windows): collect_buf feeds
+  // begin(), commit_buf drains pending_ops at the barrier. Neither is
+  // ever touched while the pool is running a batch.
+  std::vector<Entry> collect_buf;
+  std::vector<PendingOp> commit_buf;
 
   // Builds the per-window state from the collected (heap-order) events.
-  // Runs single-threaded; the pool's batch handoff publishes it.
-  void begin(std::vector<Entry>& collected, TimePoint end) {
+  // Runs single-threaded and lock-free on purpose: no worker can touch
+  // this state until the pool's batch handoff publishes it (the workers
+  // observe the generation bump under the pool's own mutex), a
+  // publication protocol the analysis cannot follow — hence the escape.
+  void begin(std::vector<Entry>& collected,
+             TimePoint end) NO_THREAD_SAFETY_ANALYSIS {
     events.clear();
     groups.clear();
     group_of.clear();
@@ -145,23 +158,29 @@ struct Scheduler::WindowEngine {
   // sequences (collection order, below every child's), and children are
   // sequenced in creation order — by creator execution order, then by
   // op within one creator. Recurses up the creator chain, whose depth is
-  // bounded by the window's same-node event count.
-  bool exec_before(std::size_t ai, std::size_t bi) const {
+  // bounded by the window's same-node event count. Static over an
+  // explicit `events` so callers holding win_mutex can alias the member
+  // once and use the comparator from a sort lambda (which the analysis
+  // treats as a separate, unannotated function).
+  static bool exec_before(const std::deque<Event>& events, std::size_t ai,
+                          std::size_t bi) {
     const Event& a = events[ai];
     const Event& b = events[bi];
     if (a.at != b.at) return a.at < b.at;
     if (a.creator == b.creator) return a.idx < b.idx;  // incl. both initial
     if (a.creator == kNoCreator) return true;
     if (b.creator == kNoCreator) return false;
-    return exec_before(a.creator, b.creator);
+    return exec_before(events, a.creator, b.creator);
   }
 
   // Runs (or skips, when cancelled) one claimed event. Called without
-  // win_mutex; the caller marked it kRunning and set its group busy.
-  bool execute(std::size_t ei, Event& e) {
+  // win_mutex; the caller marked it kRunning and set its group busy
+  // (which is what makes the unlocked reference to `e` safe: a claimed
+  // event is owned by exactly one thread until finish_locked).
+  bool execute(std::size_t ei, Event& e) EXCLUDES(win_mutex, op_mutex) {
     bool live = false;
     {
-      const std::lock_guard<std::mutex> lock(op_mutex);
+      const util::MutexLock lock(op_mutex);
       if (owner->slots_[e.slot].pending) {
         live = true;
         --owner->pending_count_;
@@ -185,7 +204,7 @@ struct Scheduler::WindowEngine {
 
   // Marks a claimed event done and wakes every waiter (group runners
   // blocked on a stolen head, turn waiters watching the minimum).
-  void finish_locked(Group& g, Event& e, bool did_run) {
+  void finish_locked(Group& g, Event& e, bool did_run) REQUIRES(win_mutex) {
     e.state = Event::State::kDone;
     ++g.next;
     g.busy = false;
@@ -198,8 +217,8 @@ struct Scheduler::WindowEngine {
   }
 
   // One pool task: drain this group's members in canonical order.
-  void run_group(std::size_t gi) {
-    std::unique_lock<std::mutex> lock(win_mutex);
+  void run_group(std::size_t gi) EXCLUDES(win_mutex, op_mutex) {
+    util::MutexLock lock(win_mutex);
     Group& g = groups[gi];
     for (;;) {
       if (g.next >= g.members.size()) {
@@ -207,7 +226,7 @@ struct Scheduler::WindowEngine {
         // mean "group complete", so wait it out.
         if (!g.busy) return;
         const std::uint64_t v = version;
-        cv.wait(lock, [&] { return version != v; });
+        while (version == v) cv.wait(win_mutex);
         continue;
       }
       Event& head = events[g.members[g.next]];
@@ -215,7 +234,7 @@ struct Scheduler::WindowEngine {
         // The head was claimed by a turn-waiter's helper-steal; wait
         // for it to finish rather than double-running it.
         const std::uint64_t v = version;
-        cv.wait(lock, [&] { return version != v; });
+        while (version == v) cv.wait(win_mutex);
         continue;
       }
       head.state = Event::State::kRunning;
@@ -233,8 +252,8 @@ struct Scheduler::WindowEngine {
   // (helper-steal runs it inline right here — essential on a 1-worker
   // pool, where group tasks run sequentially) or already running on a
   // thread that, by the same rule, can always make progress.
-  void wait_for_turn(ExecContext& ctx) {
-    std::unique_lock<std::mutex> lock(win_mutex);
+  void wait_for_turn(ExecContext& ctx) EXCLUDES(win_mutex, op_mutex) {
+    util::MutexLock lock(win_mutex);
     for (;;) {
       std::size_t min_gi = groups.size();
       std::size_t min_ev = kNoCreator;
@@ -242,7 +261,7 @@ struct Scheduler::WindowEngine {
         const Group& g = groups[gi];
         if (g.next >= g.members.size()) continue;
         const std::size_t head = g.members[g.next];
-        if (min_ev == kNoCreator || exec_before(head, min_ev)) {
+        if (min_ev == kNoCreator || exec_before(events, head, min_ev)) {
           min_ev = head;
           min_gi = gi;
         }
@@ -250,7 +269,7 @@ struct Scheduler::WindowEngine {
       // The caller itself is incomplete, so a minimum always exists and
       // is never past the caller.
       HYDRA_ASSERT(min_gi < groups.size() &&
-                   (min_ev == ctx.ev || exec_before(min_ev, ctx.ev)));
+                   (min_ev == ctx.ev || exec_before(events, min_ev, ctx.ev)));
       if (min_ev == ctx.ev) {
         // Held implicitly until the event completes: it stays its
         // group's incomplete head, so the minimum cannot move past it.
@@ -273,7 +292,7 @@ struct Scheduler::WindowEngine {
         continue;
       }
       const std::uint64_t v = version;
-      cv.wait(lock, [&] { return version != v; });
+      while (version == v) cv.wait(win_mutex);
     }
   }
 
@@ -281,8 +300,8 @@ struct Scheduler::WindowEngine {
   // its creator's group at the canonical position serial execution
   // would give it.
   void add_child(TimePoint at, std::uint32_t slot, const ExecContext& ctx,
-                 std::uint32_t op, Callback cb) {
-    const std::lock_guard<std::mutex> lock(win_mutex);
+                 std::uint32_t op, Callback cb) EXCLUDES(win_mutex) {
+    const util::MutexLock lock(win_mutex);
     const std::size_t idx = events.size();
     events.push_back(Event{at, slot, ctx.affinity, ctx.ev, op,
                            Event::State::kReady, std::move(cb)});
@@ -293,7 +312,7 @@ struct Scheduler::WindowEngine {
     auto pos = g.members.end();
     const auto floor =
         g.members.begin() + static_cast<std::ptrdiff_t>(g.next) + 1;
-    while (pos != floor && exec_before(idx, *(pos - 1))) --pos;
+    while (pos != floor && exec_before(events, idx, *(pos - 1))) --pos;
     g.members.insert(pos, idx);
     ++version;
     cv.notify_all();
@@ -392,7 +411,7 @@ EventId Scheduler::window_schedule(TimePoint at, std::uint32_t affinity,
     // true) the moment this returns; slot *numbers* are allocation-order
     // dependent across threads, but they are unobservable — nothing in
     // a simulation's behaviour reads them.
-    const std::lock_guard<std::mutex> lock(win_->op_mutex);
+    const util::MutexLock lock(win_->op_mutex);
     slot = acquire_slot();
     id = EventId(pack_id(slots_[slot].generation, slot));
     child = at < win_->window_end;
@@ -484,7 +503,7 @@ void Scheduler::schedule_batch(std::vector<BatchEvent>& events,
 bool Scheduler::window_cancel(EventId id, ExecContext& ctx) {
   const auto slot = static_cast<std::uint32_t>(id.id_);
   const auto generation = static_cast<std::uint32_t>(id.id_ >> 32);
-  const std::lock_guard<std::mutex> lock(win_->op_mutex);
+  const util::MutexLock lock(win_->op_mutex);
   if (slot >= slots_.size()) return false;
   auto& s = slots_[slot];
   if (s.generation != generation || !s.pending) return false;
@@ -522,7 +541,7 @@ bool Scheduler::cancel(EventId id) {
 bool Scheduler::window_pending(EventId id) const {
   const auto slot = static_cast<std::uint32_t>(id.id_);
   const auto generation = static_cast<std::uint32_t>(id.id_ >> 32);
-  const std::lock_guard<std::mutex> lock(win_->op_mutex);
+  const util::MutexLock lock(win_->op_mutex);
   if (slot >= slots_.size()) return false;
   const auto& s = slots_[slot];
   return s.generation == generation && s.pending;
@@ -617,27 +636,47 @@ bool Scheduler::run_parallel_window(TimePoint deadline) {
                         [&win](std::size_t gi) { win.run_group(gi); });
 
   // ---- barrier: advance the clock, commit deferred schedules --------
-  if (win.ran > 0) {
-    HYDRA_ASSERT(win.last_ran_at >= now_);
-    now_ = win.last_ran_at;
-    executed_ += win.ran;
+  // The pool barrier means every worker is done, so this section is
+  // single-threaded again; the locks below are uncontended and taken
+  // one at a time (win_mutex and op_mutex are never held together —
+  // the deferred ops move through the main-thread commit_buf between
+  // the two critical sections).
+  {
+    const util::MutexLock lock(win.win_mutex);
+    if (win.ran > 0) {
+      HYDRA_ASSERT(win.last_ran_at >= now_);
+      now_ = win.last_ran_at;
+      executed_ += win.ran;
+    }
+    ++windows_;
+    if (group_count > 1) parallel_events_ += win.ran;
   }
-  ++windows_;
-  if (group_count > 1) parallel_events_ += win.ran;
 
-  auto& ops = win.pending_ops;
+  auto& ops = win.commit_buf;
+  {
+    const util::MutexLock lock(win.op_mutex);
+    ops.swap(win.pending_ops);
+  }
   if (!ops.empty()) {
     // Canonical creator order: exactly the order serial execution would
     // have issued these schedules in, so the contiguous sequence
-    // numbers assigned here reproduce serial same-instant FIFO.
-    std::sort(ops.begin(), ops.end(),
-              [&win](const WindowEngine::PendingOp& a,
-                     const WindowEngine::PendingOp& b) {
-                if (a.creator != b.creator) {
-                  return win.exec_before(a.creator, b.creator);
-                }
-                return a.op < b.op;
-              });
+    // numbers assigned here reproduce serial same-instant FIFO. The
+    // comparator recurses through the window's event records, so the
+    // sort runs under win_mutex (aliased locally: the analysis cannot
+    // follow lock state into the sort lambda).
+    {
+      const util::MutexLock lock(win.win_mutex);
+      const auto& events = win.events;
+      std::sort(ops.begin(), ops.end(),
+                [&events](const WindowEngine::PendingOp& a,
+                          const WindowEngine::PendingOp& b) {
+                  if (a.creator != b.creator) {
+                    return WindowEngine::exec_before(events, a.creator,
+                                                     b.creator);
+                  }
+                  return a.op < b.op;
+                });
+    }
     const std::size_t existing = heap_.size();
     heap_.reserve(existing + ops.size());
     for (auto& op : ops) {
@@ -659,8 +698,12 @@ bool Scheduler::run_parallel_window(TimePoint deadline) {
     }
     ops.clear();
   }
-  // Every resident either ran or was dropped as cancelled by its group.
-  HYDRA_ASSERT(win.resident_affinity.empty());
+  {
+    // Every resident either ran or was dropped as cancelled by its
+    // group.
+    const util::MutexLock lock(win.op_mutex);
+    HYDRA_ASSERT(win.resident_affinity.empty());
+  }
   return true;
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "sim/turn.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::sim {
 
@@ -151,8 +153,10 @@ class Scheduler {
   // happen in exactly the serial order. The turn is held (idempotently)
   // until the calling event finishes. A no-op outside window execution,
   // so shared subsystems (medium, RNG, trace) can call it
-  // unconditionally on their hot paths.
-  static void acquire_shared_turn();
+  // unconditionally on their hot paths. ASSERT_CAPABILITY (rather than
+  // ACQUIRE) because there is no matching release call: the turn lapses
+  // implicitly when the calling event's callback returns.
+  static void acquire_shared_turn() ASSERT_CAPABILITY(shared_turn);
 
   // Tags every event scheduled while in scope with a fixed affinity,
   // overriding inheritance from the currently executing event. Used at
@@ -241,7 +245,13 @@ class Scheduler {
   std::vector<Entry> heap_;
   // Slot storage grows to the high-water mark of concurrently scheduled
   // events and is then recycled through the free list; cancelled heap
-  // entries are dropped lazily when popped.
+  // entries are dropped lazily when popped. Concurrency discipline the
+  // annotations cannot express (the guarding mutex lives in the
+  // policy-dependent WindowEngine): outside window execution only the
+  // run loop's thread touches slots_/free_slots_/pending_count_; inside
+  // a window every access routes through the engine's op_mutex
+  // (window_schedule / window_cancel / execute). The TSan CI slice
+  // (`ctest -L parallel`) covers what GUARDED_BY here cannot.
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
 

@@ -1,0 +1,28 @@
+// The scheduler's canonical shared turn, reified as a compile-time
+// capability.
+//
+// In parallel-window execution, cross-node shared state (the medium's
+// transmission bookkeeping, the global RNG draw sequence, the trace
+// vector) may only be touched by the event whose canonical (time,
+// sequence) position is the minimum incomplete one — that is what keeps
+// the observable sequence bit-identical to serial execution.
+// Scheduler::acquire_shared_turn() blocks until that holds and is
+// annotated ASSERT_CAPABILITY(shared_turn), so under the clang
+// thread-safety build (HYDRA_THREAD_SAFETY=ON) every member marked
+// GUARDED_BY(sim::shared_turn) provably sits behind an acquire call on
+// all paths. The object itself is an empty tag — the real gate lives in
+// the scheduler's window engine; this type only gives the analysis a
+// name for it.
+#pragma once
+
+#include "util/thread_annotations.h"
+
+namespace hydra::sim {
+
+class CAPABILITY("shared_turn") SharedTurnCapability {};
+
+// The one global instance GUARDED_BY expressions name. Zero-size and
+// stateless: it never appears in generated code, only in attributes.
+inline SharedTurnCapability shared_turn;
+
+}  // namespace hydra::sim

@@ -31,7 +31,7 @@ TaskPool::TaskPool(unsigned concurrency) {
 
 TaskPool::~TaskPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -53,14 +53,14 @@ void TaskPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && generation_ == seen) work_cv_.wait(mutex_);
       if (stopping_) return;
       seen = generation_;
     }
     drain_batch();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       // The caller waits for every worker to pass through the batch —
       // even one that woke to an already-drained cursor — so the next
       // batch can never overlap this one.
@@ -81,7 +81,7 @@ void TaskPool::parallel_for(std::size_t count,
   HYDRA_ASSERT_MSG(tl_current_pool != this,
                    "nested parallel_for on the same TaskPool");
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     HYDRA_ASSERT_MSG(batch_body_ == nullptr, "parallel_for re-entered");
     batch_count_ = count;
     batch_body_ = &body;
@@ -91,8 +91,8 @@ void TaskPool::parallel_for(std::size_t count,
   }
   work_cv_.notify_all();
   drain_batch();
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+  const MutexLock lock(mutex_);
+  while (busy_workers_ != 0) idle_cv_.wait(mutex_);
   batch_body_ = nullptr;
   batch_count_ = 0;
 }

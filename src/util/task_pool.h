@@ -6,13 +6,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::util {
 
@@ -46,19 +47,25 @@ class TaskPool {
 
  private:
   void worker_loop();
-  // Claims and runs batch indices until the cursor runs out.
-  void drain_batch();
+  // Claims and runs batch indices until the cursor runs out. Reads the
+  // batch fields without holding mutex_: the generation handshake (the
+  // caller writes them under the lock before bumping generation_, the
+  // worker re-reads them only after observing the bump under the same
+  // lock) publishes them, which the analysis cannot follow.
+  void drain_batch() NO_THREAD_SAFETY_ANALYSIS;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers wait here for a batch
-  std::condition_variable idle_cv_;  // the caller waits here for workers
-  std::uint64_t generation_ = 0;     // bumped once per batch
-  bool stopping_ = false;
-  std::size_t busy_workers_ = 0;
+  Mutex mutex_;
+  CondVar work_cv_;  // workers wait here for a batch
+  CondVar idle_cv_;  // the caller waits here for workers
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;  // bumped per batch
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  std::size_t busy_workers_ GUARDED_BY(mutex_) = 0;
   // The current batch. Written under mutex_ before workers wake, read
-  // by them after observing the generation bump under the same mutex.
-  std::size_t batch_count_ = 0;
-  const std::function<void(std::size_t)>* batch_body_ = nullptr;
+  // by them after observing the generation bump under the same mutex
+  // (see drain_batch for why the analysis gets an escape there).
+  std::size_t batch_count_ GUARDED_BY(mutex_) = 0;
+  const std::function<void(std::size_t)>* batch_body_
+      GUARDED_BY(mutex_) = nullptr;
   std::atomic<std::size_t> cursor_{0};
   std::vector<std::thread> workers_;
 };

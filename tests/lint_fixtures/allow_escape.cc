@@ -1,0 +1,32 @@
+// Fixture: the escape hatch. A well-formed allow comment — rule list
+// plus a mandatory reason — suppresses the finding on its own line,
+// or on the next line when the comment stands alone. A malformed one
+// (no reason) suppresses nothing and is reported as bad-allow.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+unsigned sanctioned_entropy() {
+  // Inline form: governs its own line. No expect marker — the point
+  // is that nothing fires here.
+  std::random_device device;  // hydra-lint: allow(raw-rand) — fixture for the inline escape hatch
+  return device();
+}
+
+long sanctioned_wall_time() {
+  // Standalone form: governs the next line.
+  // hydra-lint: allow(wall-clock) — fixture for the preceding-line escape hatch
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+long unsanctioned_wall_time() {
+  // Missing the mandatory reason: the rule still fires AND the
+  // malformed marker itself is flagged.
+  // hydra-lint-expect: wall-clock, bad-allow
+  const auto now = std::chrono::steady_clock::now();  // hydra-lint: allow(wall-clock)
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: ordered containers keyed on pointer values. Addresses
+// depend on allocation order and ASLR, so iterating one is an
+// address-order walk that differs across runs. Key on stable ids.
+#include <functional>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Widget {
+  int id = 0;
+};
+
+struct Registry {
+  // hydra-lint-expect: ptr-order
+  std::map<Widget*, int> rank_of;
+  // hydra-lint-expect: ptr-order
+  std::set<const Widget*> live;
+  // hydra-lint-expect: ptr-order
+  std::less<Widget*> before;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: raw standard-library locks. The concurrent core goes
+// through util::Mutex/util::MutexLock so clang -Wthread-safety can
+// see every acquire and release; a bare std::mutex is invisible to
+// the analysis.
+#include <mutex>
+
+namespace fixture {
+
+struct Counter {
+  // hydra-lint-expect: raw-mutex
+  std::mutex mutex;
+  long value = 0;
+
+  void bump() {
+    // hydra-lint-expect: raw-mutex
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++value;
+  }
+};
+
+}  // namespace fixture

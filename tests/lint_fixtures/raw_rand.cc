@@ -1,0 +1,19 @@
+// Fixture: randomness outside sim::Rng. std::rand is a hidden global
+// stream; std::random_device is nondeterministic by construction.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  // hydra-lint-expect: raw-rand
+  return std::rand() % 6;
+}
+
+unsigned hw_seed() {
+  // hydra-lint-expect: raw-rand
+  std::random_device device;
+  return device();
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: hash containers may be declared (with justification) but
+// never iterated — iteration order is unspecified and leaks straight
+// into event/trace order.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tally {
+  // hydra-lint-expect: unordered-member
+  std::unordered_map<int, long> counts;
+
+  long total() const {
+    long sum = 0;
+    // hydra-lint-expect: unordered-iter
+    for (const auto& [key, value] : counts) {
+      sum += value;
+    }
+    return sum;
+  }
+
+  int first_key() const {
+    // hydra-lint-expect: unordered-iter
+    return counts.begin()->first;  // hash-order "first" is no order at all
+  }
+};
+
+}  // namespace fixture

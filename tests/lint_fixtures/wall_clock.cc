@@ -1,0 +1,17 @@
+// Fixture: host clocks in the simulation core. Simulation time is
+// sim::TimePoint; wall time makes results machine- and load-dependent.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long late_by() {
+  // hydra-lint-expect: wall-clock
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+// hydra-lint-expect: wall-clock
+long epoch() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fixture

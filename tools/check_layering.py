@@ -22,11 +22,17 @@ Four rules, all fatal:
      how the aliases were implemented).
 
 Run from anywhere: paths are resolved relative to the repo root (the
-parent of this script's directory).
+parent of this script's directory). `--self-test` builds a throwaway
+tree containing one instance of each violation kind, asserts all four
+are flagged, then repairs the tree and asserts it comes back clean —
+so a regex change that silently stops a rule from firing fails in CI
+before it ships.
 """
 
+import argparse
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 LAYERS = [
@@ -157,7 +163,100 @@ def alias_violations(root: Path) -> list[str]:
     return problems
 
 
+def all_violations(root: Path) -> list[str]:
+    src = root / "src"
+    return (
+        include_violations(src)
+        + link_violations(src)
+        + alias_violations(root)
+    )
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        src = root / "src"
+        for layer in LAYERS:
+            (src / layer).mkdir(parents=True)
+            (src / layer / "CMakeLists.txt").write_text(
+                f"add_library(hydra_{layer} INTERFACE)\n"
+            )
+        tests = root / "tests"
+        tests.mkdir()
+
+        # One instance of each violation kind.
+        (src / "util" / "bad.h").write_text('#include "sim/scheduler.h"\n')
+        (src / "sim" / "CMakeLists.txt").write_text(
+            "add_library(hydra_sim INTERFACE)\n"
+            "target_link_libraries(hydra_sim INTERFACE hydra::app)\n"
+        )
+        (tests / "alias.cc").write_text("fixture::consume(net::Packet{});\n")
+        (src / "proto" / "evil.h").write_text("namespace hydra::mac {}\n")
+
+        problems = all_violations(root)
+        checks = [
+            ("upward #include", "sim is above util"),
+            ("upward CMake link", "app is above sim"),
+            ("retired alias spelling", "retired alias spelling 'net::Packet'"),
+            ("proto namespace reopen", "namespace hydra::mac"),
+        ]
+        failures = [
+            label
+            for label, needle in checks
+            if not any(needle in problem for problem in problems)
+        ]
+        for label in failures:
+            print(
+                f"layering self-test: '{label}' was not detected",
+                file=sys.stderr,
+            )
+        if len(problems) != len(checks):
+            print(
+                f"layering self-test: expected exactly {len(checks)} "
+                f"violations, got {len(problems)}:",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            failures.append("violation count")
+
+        # The same tree, repaired, must come back clean.
+        (src / "util" / "bad.h").write_text('#include "util/task_pool.h"\n')
+        (src / "sim" / "CMakeLists.txt").write_text(
+            "add_library(hydra_sim INTERFACE)\n"
+            "target_link_libraries(hydra_sim INTERFACE hydra::util)\n"
+        )
+        (tests / "alias.cc").write_text(
+            "fixture::consume(proto::Packet{});\n"
+        )
+        (src / "proto" / "evil.h").write_text("namespace hydra::proto {}\n")
+        for problem in all_violations(root):
+            print(
+                f"layering self-test: repaired tree still flagged: "
+                f"{problem}",
+                file=sys.stderr,
+            )
+            failures.append("repaired tree")
+
+        if failures:
+            return 1
+        print(
+            f"layering self-test: OK ({len(checks)}/{len(checks)} violation "
+            "kinds detected, repaired tree passes)"
+        )
+        return 0
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="assert every rule fires on a synthetic bad tree",
+    )
+    if parser.parse_args().self_test:
+        return self_test()
+
     root = Path(__file__).resolve().parent.parent
     src = root / "src"
     problems = (
