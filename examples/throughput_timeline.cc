@@ -29,6 +29,9 @@ TimelineRun run(const core::AggregationPolicy& policy) {
 
   constexpr std::uint64_t kFile = 400'000;
   stats::ThroughputTimeline timeline(sim::Duration::millis(500));
+  // The measurement window is known up front: preallocate the bins so
+  // every record() below is allocation-free.
+  timeline.reserve_span(simulation.now(), sim::Duration::seconds(60));
   app::FileReceiverApp receiver(simulation, chain.node(2), 5001, kFile);
   // Tap delivered bytes into the timeline via a second receiver hook:
   // FileReceiverApp already accumulates; sample it per slice instead.

@@ -9,7 +9,9 @@
 #include "app/udp_cbr.h"
 #include "app/udp_sink.h"
 #include "net/node.h"
+#include "util/alloc_stats.h"
 #include "util/assert.h"
+#include "util/pool.h"
 
 namespace hydra::app {
 
@@ -22,6 +24,11 @@ constexpr proto::Port kUdpPort = 9001;
 
 topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
   using topo::TrafficKind;
+
+  // Meter the whole experiment, scenario build included: the build is
+  // where cold pools warm up, so excluding it would hide setup cost.
+  const auto alloc_before = util::alloc_snapshot();
+  const auto pool_before = util::BufferPool::stats();
 
   auto scenario = topo::Scenario::build(config.scenario, config.seed);
   sim::Simulation& simulation = scenario.sim();
@@ -173,6 +180,14 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
   for (std::size_t i = 0; i < node_count; ++i) {
     result.node_stats.push_back(scenario.node(i).mac_stats());
   }
+
+  const auto alloc_after = util::alloc_snapshot();
+  const auto pool_after = util::BufferPool::stats();
+  result.heap_allocations = alloc_after.allocations - alloc_before.allocations;
+  result.heap_bytes_allocated = alloc_after.bytes - alloc_before.bytes;
+  result.pool_requests = pool_after.requests - pool_before.requests;
+  result.pool_recycled = pool_after.recycled - pool_before.recycled;
+  result.peak_rss_kb = util::peak_rss_kb();
   return result;
 }
 

@@ -4,8 +4,15 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <system_error>
 #include <thread>
 
+#include "util/crc32.h"
 #include "util/task_pool.h"
 
 namespace hydra::app {
@@ -62,6 +69,17 @@ static_assert(sizeof(topo::ExperimentConfig) == 512,
               "ExperimentConfig changed: update workload_fingerprint");
 static_assert(sizeof(transport::TcpConfig) == 48,
               "TcpConfig changed: update workload_fingerprint");
+// The disk-cache serializer hand-enumerates every field of these four;
+// a field added without extending serialize/deserialize_result would
+// silently persist partial results.
+static_assert(sizeof(topo::ExperimentResult) == 216,
+              "ExperimentResult changed: update serialize_result");
+static_assert(sizeof(topo::FlowResult) == 32,
+              "FlowResult changed: update serialize_result");
+static_assert(sizeof(mac::MacStats) == 192,
+              "MacStats changed: update serialize_result");
+static_assert(sizeof(mac::TimeAccounting) == 48,
+              "TimeAccounting changed: update serialize_result");
 #endif
 
 // Everything in a spec that changes the simulation's outcome but is not
@@ -153,7 +171,123 @@ std::string workload_fingerprint(const topo::ExperimentConfig& config) {
   return std::move(fp).take();
 }
 
+// Disk-cache file path for a key: the CRC-32 of the full key names the
+// file. Distinct keys can collide onto one name; the loader verifies
+// the key line inside the file, so a collision costs a re-simulation,
+// never a wrong result.
+std::filesystem::path disk_path_for(const std::string& dir,
+                                    const std::string& key) {
+  const auto fp = crc32({reinterpret_cast<const std::uint8_t*>(key.data()),
+                         key.size()});
+  char name[32];
+  std::snprintf(name, sizeof name, "%08x.sweep", fp);
+  return std::filesystem::path(dir) / name;
+}
+
 }  // namespace
+
+std::string serialize_result(const topo::ExperimentResult& result) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "hydra-sweep-result 1\n";
+  out << "sim_time " << result.sim_time.ns() << "\n";
+  out << "counters " << result.phy_transmissions << ' '
+      << result.phy_deliveries << ' ' << result.phy_shards << ' '
+      << result.phy_rebuilds << ' ' << result.phy_incremental_attaches << ' '
+      << result.phy_detaches << ' ' << result.phy_moves << ' '
+      << result.phy_incremental_detaches << ' '
+      << result.phy_incremental_moves << ' ' << result.sched_executed_events
+      << ' ' << result.sched_windows << ' ' << result.sched_parallel_events
+      << ' ' << result.heap_allocations << ' '
+      << result.heap_bytes_allocated << ' ' << result.pool_requests << ' '
+      << result.pool_recycled << ' ' << result.peak_rss_kb << "\n";
+  out << "relays " << result.relay_indices.size();
+  for (const auto i : result.relay_indices) out << ' ' << i;
+  out << "\nflows " << result.flows.size() << "\n";
+  for (const auto& f : result.flows) {
+    out << f.bytes << ' ' << f.elapsed.ns() << ' ' << (f.completed ? 1 : 0)
+        << ' ' << f.throughput_mbps << "\n";
+  }
+  out << "nodes " << result.node_stats.size() << "\n";
+  for (const auto& n : result.node_stats) {
+    out << n.data_frames_tx << ' ' << n.broadcast_subframes_tx << ' '
+        << n.unicast_subframes_tx << ' ' << n.data_bytes_tx << ' '
+        << n.mac_header_bytes_tx << ' ' << n.rts_tx << ' ' << n.cts_tx << ' '
+        << n.ack_tx << ' ' << n.retries << ' ' << n.retry_drops << ' '
+        << n.queue_drops << ' ' << n.delivered_up << ' '
+        << n.dropped_not_for_us << ' ' << n.crc_failures << ' '
+        << n.aggregate_discards << ' ' << n.duplicates_suppressed << ' '
+        << n.acks_rx << ' ' << n.collisions << ' ' << n.time.payload.ns()
+        << ' ' << n.time.mac_header.ns() << ' ' << n.time.phy_header.ns()
+        << ' ' << n.time.control.ns() << ' ' << n.time.ifs.ns() << ' '
+        << n.time.backoff.ns() << "\n";
+  }
+  out << "end\n";
+  return std::move(out).str();
+}
+
+bool deserialize_result(const std::string& text,
+                        topo::ExperimentResult* out) {
+  std::istringstream in(text);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "hydra-sweep-result" || version != 1) {
+    return false;
+  }
+  topo::ExperimentResult r;
+  std::int64_t ns = 0;
+  if (!(in >> tag >> ns) || tag != "sim_time") return false;
+  r.sim_time = sim::Duration::nanos(ns);
+  if (!(in >> tag >> r.phy_transmissions >> r.phy_deliveries >>
+        r.phy_shards >> r.phy_rebuilds >> r.phy_incremental_attaches >>
+        r.phy_detaches >> r.phy_moves >> r.phy_incremental_detaches >>
+        r.phy_incremental_moves >> r.sched_executed_events >>
+        r.sched_windows >> r.sched_parallel_events >> r.heap_allocations >>
+        r.heap_bytes_allocated >> r.pool_requests >> r.pool_recycled >>
+        r.peak_rss_kb) ||
+      tag != "counters") {
+    return false;
+  }
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "relays") return false;
+  r.relay_indices.resize(count);
+  for (auto& i : r.relay_indices) {
+    if (!(in >> i)) return false;
+  }
+  if (!(in >> tag >> count) || tag != "flows") return false;
+  r.flows.resize(count);
+  for (auto& f : r.flows) {
+    int completed = 0;
+    if (!(in >> f.bytes >> ns >> completed >> f.throughput_mbps)) {
+      return false;
+    }
+    f.elapsed = sim::Duration::nanos(ns);
+    f.completed = completed != 0;
+  }
+  if (!(in >> tag >> count) || tag != "nodes") return false;
+  r.node_stats.resize(count);
+  for (auto& n : r.node_stats) {
+    std::int64_t t[6] = {};
+    if (!(in >> n.data_frames_tx >> n.broadcast_subframes_tx >>
+          n.unicast_subframes_tx >> n.data_bytes_tx >>
+          n.mac_header_bytes_tx >> n.rts_tx >> n.cts_tx >> n.ack_tx >>
+          n.retries >> n.retry_drops >> n.queue_drops >> n.delivered_up >>
+          n.dropped_not_for_us >> n.crc_failures >> n.aggregate_discards >>
+          n.duplicates_suppressed >> n.acks_rx >> n.collisions >> t[0] >>
+          t[1] >> t[2] >> t[3] >> t[4] >> t[5])) {
+      return false;
+    }
+    n.time.payload = sim::Duration::nanos(t[0]);
+    n.time.mac_header = sim::Duration::nanos(t[1]);
+    n.time.phy_header = sim::Duration::nanos(t[2]);
+    n.time.control = sim::Duration::nanos(t[3]);
+    n.time.ifs = sim::Duration::nanos(t[4]);
+    n.time.backoff = sim::Duration::nanos(t[5]);
+  }
+  if (!(in >> tag) || tag != "end") return false;
+  *out = std::move(r);
+  return true;
+}
 
 std::vector<SweepPoint> expand_sweep(const SweepGrid& grid) {
   std::vector<SweepPoint> points;
@@ -213,11 +347,41 @@ std::string SweepCache::key_of(const SweepPoint& point) {
 
 std::shared_ptr<const topo::ExperimentResult> SweepCache::find(
     const std::string& key) const {
+  std::string dir;
+  {
+    const util::MutexLock lock(mutex_);
+    const auto it = results_.find(key);
+    if (it != results_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    dir = disk_dir_;
+  }
+  // Memory miss: consult the disk directory, outside the lock so a slow
+  // filesystem never serializes the sweep workers. The file's own key
+  // line is the aliasing guard — a CRC collision reads as a miss.
+  if (!dir.empty()) {
+    std::ifstream in(disk_path_for(dir, key));
+    if (in) {
+      std::string stored_key;
+      if (std::getline(in, stored_key) && stored_key == key) {
+        std::ostringstream rest;
+        rest << in.rdbuf();
+        topo::ExperimentResult result;
+        if (deserialize_result(rest.str(), &result)) {
+          auto shared =
+              std::make_shared<const topo::ExperimentResult>(std::move(result));
+          const util::MutexLock lock(mutex_);
+          ++disk_hits_;
+          results_.insert_or_assign(key, shared);
+          return shared;
+        }
+      }
+    }
+  }
   const util::MutexLock lock(mutex_);
-  const auto it = results_.find(key);
-  if (it == results_.end()) return nullptr;
-  ++hits_;
-  return it->second;
+  ++misses_;
+  return nullptr;
 }
 
 void SweepCache::store(const std::string& key,
@@ -225,8 +389,58 @@ void SweepCache::store(const std::string& key,
   // The deep copy happens outside the critical section; only the
   // pointer moves under the lock.
   auto copy = std::make_shared<const topo::ExperimentResult>(result);
+  std::string dir;
+  {
+    const util::MutexLock lock(mutex_);
+    results_.insert_or_assign(key, copy);
+    dir = disk_dir_;
+  }
+  if (dir.empty()) return;
+  // Write-through: tmp file + rename, so a crashed or concurrent writer
+  // never leaves a half-written result where the loader can see it. The
+  // write mutex keeps two workers storing one key from interleaving
+  // bytes in the shared tmp file.
+  const auto path = disk_path_for(dir, key);
+  auto tmp = path;
+  tmp += ".tmp";
+  bool written = false;
+  {
+    const util::MutexLock wlock(disk_write_mutex_);
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) {
+      out << key << '\n' << serialize_result(*copy);
+      out.close();
+      if (out) {
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        written = !ec;
+      }
+    }
+  }
+  if (written) {
+    const util::MutexLock lock(mutex_);
+    ++disk_stores_;
+  }
+}
+
+void SweepCache::set_disk_dir(std::string dir) {
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "SweepCache: cannot create %s, disabling disk\n",
+                   dir.c_str());
+      dir.clear();
+    }
+  }
   const util::MutexLock lock(mutex_);
-  results_.insert_or_assign(key, std::move(copy));
+  disk_dir_ = std::move(dir);
+}
+
+void SweepCache::attach_env_disk_dir() {
+  if (const char* dir = std::getenv("HYDRA_SWEEP_CACHE_DIR")) {
+    if (dir[0] != '\0') set_disk_dir(dir);
+  }
 }
 
 std::size_t SweepCache::size() const {
@@ -237,6 +451,21 @@ std::size_t SweepCache::size() const {
 std::uint64_t SweepCache::hits() const {
   const util::MutexLock lock(mutex_);
   return hits_;
+}
+
+std::uint64_t SweepCache::disk_hits() const {
+  const util::MutexLock lock(mutex_);
+  return disk_hits_;
+}
+
+std::uint64_t SweepCache::disk_stores() const {
+  const util::MutexLock lock(mutex_);
+  return disk_stores_;
+}
+
+std::uint64_t SweepCache::misses() const {
+  const util::MutexLock lock(mutex_);
+  return misses_;
 }
 
 std::vector<SweepOutcome> sweep_experiments(const SweepGrid& grid,

@@ -78,6 +78,14 @@ struct SweepGrid {
 // different worlds or workloads never alias — one cache can safely
 // serve every sweep in a process. Thread-safe; sweep workers consult it
 // concurrently.
+//
+// Optionally backed by a directory of persisted results (set_disk_dir):
+// find() falls back to disk on a memory miss and store() writes
+// through, so figure-regeneration drivers re-run across processes skip
+// every point an earlier run already simulated. Files are named by the
+// CRC-32 of the key; the full key is stored inside each file and
+// verified on load, so a fingerprint collision degrades to a miss,
+// never to an aliased result.
 class SweepCache {
  public:
   static std::string key_of(const SweepPoint& point);
@@ -88,18 +96,43 @@ class SweepCache {
       const std::string& key) const;
   void store(const std::string& key, const topo::ExperimentResult& result);
 
+  // Attaches a persistence directory (created if missing; "" detaches).
+  void set_disk_dir(std::string dir);
+  // Attaches the directory named by $HYDRA_SWEEP_CACHE_DIR if set; the
+  // bench driver points it under the build tree, keyed on a hash of the
+  // source tree so stale results never survive a code change. No-op
+  // when the variable is absent.
+  void attach_env_disk_dir();
+
   std::size_t size() const;
-  std::uint64_t hits() const;
+  std::uint64_t hits() const;        // served from memory
+  std::uint64_t disk_hits() const;   // served from the disk directory
+  std::uint64_t disk_stores() const; // results persisted to it
+  std::uint64_t misses() const;      // simulated from scratch
 
  private:
   mutable util::Mutex mutex_;
   // std::map, not unordered: sweep tooling may iterate the cache (e.g.
   // to dump keys) and the determinism lint bans hash-order walks.
-  std::map<std::string, std::shared_ptr<const topo::ExperimentResult>>
+  // mutable: the (const) find path promotes disk hits into memory.
+  mutable std::map<std::string, std::shared_ptr<const topo::ExperimentResult>>
       results_ GUARDED_BY(mutex_);
+  std::string disk_dir_ GUARDED_BY(mutex_);
   // Mutated by the (const) find path; lookups are logically read-only.
   mutable std::uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t disk_hits_ GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t misses_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t disk_stores_ GUARDED_BY(mutex_) = 0;
+  // Serializes tmp-file writes so two workers storing the same key
+  // never interleave bytes; held after (never with) mutex_.
+  util::Mutex disk_write_mutex_;
 };
+
+// Text round-trip of an ExperimentResult, the on-disk format of the
+// persistent SweepCache (exposed for its tests). serialize is exact:
+// doubles print with 17 significant digits, durations as nanoseconds.
+std::string serialize_result(const topo::ExperimentResult& result);
+bool deserialize_result(const std::string& text, topo::ExperimentResult* out);
 
 // Expands the grid scenario-major (policies, rate adaptations, then
 // medium policies innermost) without running anything.

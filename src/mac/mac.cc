@@ -257,7 +257,7 @@ void Mac::account_data_tx(const proto::AggregateFrame& frame,
   stats_.data_bytes_tx += frame.total_wire_bytes();
   stats_.time.phy_header += timing.header;
 
-  const auto account_portion = [this](const std::vector<proto::MacSubframe>& sfs,
+  const auto account_portion = [this](const proto::AggregateFrame::SubframeVec& sfs,
                                       const proto::PhyMode& mode) {
     for (const auto& sf : sfs) {
       const auto pkt_bytes = sf.packet_bytes();
@@ -434,7 +434,7 @@ void Mac::handle_control(const proto::ControlFrame& frame,
       stats_.time.ifs += config_.timings.sifs;
       if (frame.has_block_ack) {
         // Extension: keep only unacknowledged subframes for retry.
-        std::vector<proto::MacSubframe> remaining;
+        proto::AggregateFrame::SubframeVec remaining;
         for (std::size_t i = 0; i < inflight_unicast_.size(); ++i) {
           const bool acked =
               i < 64 && ((frame.block_ack_bitmap >> i) & 1) != 0;

@@ -157,7 +157,7 @@ class Mac {
   // Current transmit sequence.
   std::shared_ptr<const MacPdu> pending_pdu_;
   phy::FrameTiming pending_timing_;
-  std::vector<proto::MacSubframe> inflight_unicast_;
+  proto::AggregateFrame::SubframeVec inflight_unicast_;
   unsigned retries_ = 0;
   sim::Timer response_timer_;
 

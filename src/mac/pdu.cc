@@ -6,7 +6,7 @@ namespace hydra::mac {
 
 std::shared_ptr<const MacPdu> MacPdu::make_control(proto::ControlFrame frame,
                                                    proto::MacAddress transmitter) {
-  auto pdu = std::make_shared<MacPdu>();
+  auto pdu = util::make_pooled<MacPdu>();
   pdu->kind = Kind::kControl;
   pdu->control = frame;
   pdu->transmitter = transmitter;
@@ -15,7 +15,7 @@ std::shared_ptr<const MacPdu> MacPdu::make_control(proto::ControlFrame frame,
 
 std::shared_ptr<const MacPdu> MacPdu::make_aggregate(proto::AggregateFrame frame,
                                                      proto::MacAddress transmitter) {
-  auto pdu = std::make_shared<MacPdu>();
+  auto pdu = util::make_pooled<MacPdu>();
   pdu->kind = Kind::kAggregate;
   pdu->aggregate = std::move(frame);
   pdu->transmitter = transmitter;

@@ -53,10 +53,16 @@ void Ipv4Stack::on_mac_deliver(proto::PacketPtr packet,
     return;
   }
   if (on_forward) on_forward(packet, transmitter);
-  auto copy = std::make_shared<proto::Packet>(*packet);
+  // Copy-on-write: forwarding is the one path that mutates a shared
+  // packet (the TTL decrement), so it takes exactly one pooled clone
+  // per hop; local delivery, broadcast and protocol handlers above
+  // share the incoming PacketPtr with zero copies. header_clones_
+  // pins that contract (see the chain-forwarding regression test).
+  auto copy = proto::clone_packet(*packet);
   copy->ip.ttl -= 1;
   ++forwarded_;
-  transmit(copy);
+  ++header_clones_;
+  transmit(std::move(copy));
 }
 
 }  // namespace hydra::net

@@ -45,6 +45,10 @@ class Ipv4Stack {
   proto::Ipv4Address address() const { return self_; }
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t ttl_drops() const { return ttl_drops_; }
+  // Packet deep copies this stack made because a header had to mutate
+  // (TTL on forward). Read-only paths never clone, so this equals
+  // forwarded(): the zero-copy regression tests pin both.
+  std::uint64_t header_clones() const { return header_clones_; }
 
  private:
   void transmit(const proto::PacketPtr& packet);
@@ -55,6 +59,7 @@ class Ipv4Stack {
   std::map<std::uint8_t, ProtocolHandler> protocol_handlers_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t ttl_drops_ = 0;
+  std::uint64_t header_clones_ = 0;
 };
 
 }  // namespace hydra::net

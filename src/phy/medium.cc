@@ -8,6 +8,7 @@
 
 #include "phy/phy.h"
 #include "util/assert.h"
+#include "util/pool.h"
 #include "util/task_pool.h"
 
 namespace hydra::phy {
@@ -527,7 +528,9 @@ sim::Duration Medium::start_transmission(Phy& src, PhyFrame frame) {
   // keeps running — but reaches nobody.
   if (!src.attached_) return timing.total;
   ensure_backend();
-  auto tx = std::make_shared<Transmission>();
+  // Pooled: a Transmission and its control block recycle through the
+  // allocating thread's shard when the last delivery drops its ref.
+  auto tx = util::make_pooled<Transmission>();
   tx->id = next_tx_id_++;
   tx->source = &src;
   tx->frame = std::move(frame);

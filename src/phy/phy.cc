@@ -21,7 +21,7 @@ void Phy::transmit(PhyFrame frame) {
   transmitting_ = true;
   ++frames_sent_;
   // Receptions overlapping our own transmission are lost (half duplex).
-  for (auto& [id, rx] : incoming_) rx.doomed = true;
+  for (auto& rx : incoming_) rx.doomed = true;
   update_cca();
 
   const auto airtime = medium_.start_transmission(*this, std::move(frame));
@@ -38,7 +38,7 @@ void Phy::transmit(PhyFrame frame) {
 
 bool Phy::cca_busy() const {
   if (transmitting_) return true;
-  for (const auto& [id, rx] : incoming_) {
+  for (const auto& rx : incoming_) {
     if (rx.power_dbm >= medium_.config().cca_threshold_dbm) return true;
   }
   return false;
@@ -64,22 +64,23 @@ void Phy::rx_start(const std::shared_ptr<const Transmission>& tx,
   bool doomed = transmitting_;
   if (audible) {
     // Any concurrent audible reception corrupts both frames (no capture).
-    for (auto& [id, rx] : incoming_) {
+    for (auto& rx : incoming_) {
       if (rx.power_dbm >= medium_.config().cca_threshold_dbm) {
         rx.doomed = true;
         doomed = true;
       }
     }
   }
-  incoming_.emplace(tx->id, Incoming{rx_power_dbm, doomed});
+  incoming_.push_back(Incoming{tx->id, rx_power_dbm, doomed});
   update_cca();
 }
 
 void Phy::rx_end(const std::shared_ptr<const Transmission>& tx,
                  double rx_power_dbm) {
-  const auto it = incoming_.find(tx->id);
+  auto it = incoming_.begin();
+  while (it != incoming_.end() && it->tx_id != tx->id) ++it;
   HYDRA_ASSERT_MSG(it != incoming_.end(), "rx_end without rx_start");
-  const bool doomed = it->second.doomed || transmitting_;
+  const bool doomed = it->doomed || transmitting_;
   incoming_.erase(it);
   update_cca();
 
@@ -88,15 +89,21 @@ void Phy::rx_end(const std::shared_ptr<const Transmission>& tx,
   }
   if (doomed) ++collisions_;
 
-  const auto report = evaluate(*tx, rx_power_dbm, doomed);
+  const auto& report = evaluate(*tx, rx_power_dbm, doomed);
   ++frames_received_;
   if (on_rx) on_rx(report);
 }
 
-RxReport Phy::evaluate(const Transmission& tx, double rx_power_dbm,
-                       bool collided) {
-  RxReport report;
+const RxReport& Phy::evaluate(const Transmission& tx, double rx_power_dbm,
+                              bool collided) {
+  // Reuse the scratch report: every assignment below lands in storage
+  // retained from the previous reception, so the per-delivery path is
+  // allocation-free once warm. The reference stays valid through the
+  // synchronous on_rx call that consumes it.
+  RxReport& report = scratch_report_;
   report.frame = tx.frame;
+  report.broadcast_ok.clear();
+  report.unicast_ok.clear();
   report.snr_db = rx_power_dbm - medium_.config().noise_floor_dbm;
   report.collided = collided;
   report.broadcast_ok.resize(tx.frame.broadcast.subframe_bytes.size(), false);

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -79,6 +78,7 @@ class Phy {
   friend class Medium;
 
   struct Incoming {
+    std::uint64_t tx_id;
     double power_dbm;
     bool doomed;  // overlapped another reception or our own transmission
   };
@@ -88,8 +88,9 @@ class Phy {
   // (the matching rx_end events have just been cancelled, so nothing
   // else would ever clear them).
   void abort_receptions();
-  RxReport evaluate(const Transmission& tx, double rx_power_dbm,
-                    bool collided);
+  // Fills and returns scratch_report_; valid until the next evaluate().
+  const RxReport& evaluate(const Transmission& tx, double rx_power_dbm,
+                           bool collided);
 
   sim::Simulation& sim_;
   Medium& medium_;
@@ -99,7 +100,13 @@ class Phy {
   bool transmitting_ = false;
   bool last_cca_busy_ = false;
   bool attached_ = false;
-  std::map<std::uint64_t, Incoming> incoming_;
+  // In-progress receptions, ordered by arrival. A handful at most, so a
+  // flat vector beats a node-per-entry map on the per-delivery path:
+  // push_back/erase reuse the same capacity for the whole run.
+  std::vector<Incoming> incoming_;
+  // Reused across receptions so steady-state delivery evaluation
+  // allocates nothing (the contained vectors keep their capacity).
+  RxReport scratch_report_;
   // Scheduler handles for events that capture `this`: the rx_start /
   // rx_end pairs of in-flight deliveries (written by the medium,
   // compacted as events run) and the tx-complete timer.

@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "proto/mode.h"
 #include "sim/time.h"
+#include "util/pool.h"
 
 namespace hydra::phy {
 
@@ -42,7 +42,9 @@ sim::Duration payload_airtime(std::size_t bytes, const proto::PhyMode& mode);
 // subframe byte lengths, all sent back-to-back at one mode.
 struct PortionSpec {
   proto::PhyMode mode = proto::base_mode();
-  std::vector<std::size_t> subframe_bytes;
+  // Pooled: one of these is built per transmission and copied into each
+  // receiver's report, so the backing arrays recycle hard.
+  util::PooledVector<std::size_t> subframe_bytes;
 
   std::size_t total_bytes() const;
   bool empty() const { return subframe_bytes.empty(); }
@@ -57,8 +59,8 @@ struct FrameTiming {
 
   // End offset (from frame start) of each subframe, per portion; the error
   // model uses these to age the channel estimate across the frame.
-  std::vector<sim::Duration> broadcast_subframe_end;
-  std::vector<sim::Duration> unicast_subframe_end;
+  util::PooledVector<sim::Duration> broadcast_subframe_end;
+  util::PooledVector<sim::Duration> unicast_subframe_end;
 };
 
 FrameTiming frame_timing(const PortionSpec& bcast, const PortionSpec& ucast,

@@ -70,10 +70,11 @@ std::optional<MacSubframe> MacSubframe::parse(BufferReader& r) {
   const std::size_t pkt_bytes = payload_len - kEncapBytes;
   if (pkt_bytes > 0) {
     const auto pkt_start = r.position();
-    auto parsed = Packet::parse(r);
-    if (!parsed) return std::nullopt;
+    // Deserialize straight into pooled shared storage: one allocation,
+    // no intermediate stack Packet.
+    sf.packet = Packet::parse_shared(r);
+    if (!sf.packet) return std::nullopt;
     if (r.position() - pkt_start != pkt_bytes) return std::nullopt;
-    sf.packet = std::make_shared<const Packet>(*parsed);
   }
 
   // Verify the FCS over header + payload, exactly the span serialize()

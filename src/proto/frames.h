@@ -99,8 +99,12 @@ struct ControlFrame {
 // The aggregate handed to the PHY: broadcast subframes first, then unicast
 // subframes all addressed to one receiver (paper Fig. 2).
 struct AggregateFrame {
-  std::vector<MacSubframe> broadcast;
-  std::vector<MacSubframe> unicast;
+  // Subframe storage recycles through the BufferPool: aggregates are
+  // built and torn down once per transmission, squarely on the hot path.
+  using SubframeVec = util::PooledVector<MacSubframe>;
+
+  SubframeVec broadcast;
+  SubframeVec unicast;
 
   bool has_unicast() const { return !unicast.empty(); }
   bool empty() const { return broadcast.empty() && unicast.empty(); }

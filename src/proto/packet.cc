@@ -151,32 +151,50 @@ Bytes Packet::serialize() const {
 
 std::optional<Packet> Packet::parse(BufferReader& r) {
   Packet p;
+  if (!parse_into(r, p)) return std::nullopt;
+  return p;
+}
+
+bool Packet::parse_into(BufferReader& r, Packet& out) {
+  out.tcp.reset();
+  out.udp.reset();
+  out.discovery.reset();
   const auto ip = Ipv4Header::parse(r);
-  if (!ip) return std::nullopt;
-  p.ip = *ip;
+  if (!ip) return false;
+  out.ip = *ip;
   std::size_t header_bytes = Ipv4Header::kWireBytes;
-  if (p.ip.protocol == kProtoTcp) {
+  if (out.ip.protocol == kProtoTcp) {
     const auto tcp = TcpHeader::parse(r);
-    if (!tcp) return std::nullopt;
-    p.tcp = *tcp;
+    if (!tcp) return false;
+    out.tcp = *tcp;
     header_bytes += TcpHeader::kWireBytes;
-  } else if (p.ip.protocol == kProtoUdp) {
+  } else if (out.ip.protocol == kProtoUdp) {
     const auto udp = UdpHeader::parse(r);
-    if (!udp) return std::nullopt;
-    p.udp = *udp;
+    if (!udp) return false;
+    out.udp = *udp;
     header_bytes += UdpHeader::kWireBytes;
-  } else if (p.ip.protocol == kProtoDiscovery) {
+  } else if (out.ip.protocol == kProtoDiscovery) {
     const auto disc = DiscoveryHeader::parse(r);
-    if (!disc) return std::nullopt;
-    p.discovery = *disc;
+    if (!disc) return false;
+    out.discovery = *disc;
     header_bytes += DiscoveryHeader::kWireBytes;
   }
-  if (p.ip.total_length < header_bytes) return std::nullopt;
-  const std::size_t payload = p.ip.total_length - header_bytes;
-  if (!r.can_read(payload)) return std::nullopt;
+  if (out.ip.total_length < header_bytes) return false;
+  const std::size_t payload = out.ip.total_length - header_bytes;
+  if (!r.can_read(payload)) return false;
   r.skip(payload);
-  p.payload_bytes = static_cast<std::uint32_t>(payload);
+  out.payload_bytes = static_cast<std::uint32_t>(payload);
+  return true;
+}
+
+std::shared_ptr<const Packet> Packet::parse_shared(BufferReader& r) {
+  auto p = util::make_pooled<Packet>();
+  if (!parse_into(r, *p)) return nullptr;
   return p;
+}
+
+std::shared_ptr<Packet> clone_packet(const Packet& p) {
+  return util::make_pooled<Packet>(p);
 }
 
 namespace {
@@ -203,7 +221,7 @@ PacketPtr make_udp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,
       static_cast<std::uint16_t>(UdpHeader::kWireBytes + payload_bytes);
   p.udp = udp;
   p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
-  return std::make_shared<const Packet>(p);
+  return util::make_pooled<Packet>(std::move(p));
 }
 
 PacketPtr make_tcp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,
@@ -220,14 +238,14 @@ PacketPtr make_tcp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,
   tcp.window = window;
   p.tcp = tcp;
   p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
-  return std::make_shared<const Packet>(p);
+  return util::make_pooled<Packet>(std::move(p));
 }
 
 PacketPtr make_flood_packet(Ipv4Address src, std::uint32_t payload_bytes) {
   auto p = base_packet(src, Ipv4Address::broadcast(), kProtoFlood,
                        payload_bytes);
   p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
-  return std::make_shared<const Packet>(p);
+  return util::make_pooled<Packet>(std::move(p));
 }
 
 PacketPtr make_discovery_packet(Ipv4Address src, Ipv4Address dst,
@@ -237,7 +255,7 @@ PacketPtr make_discovery_packet(Ipv4Address src, Ipv4Address dst,
   p.discovery = header;
   p.ip.ttl = ttl;
   p.ip.total_length = static_cast<std::uint16_t>(p.wire_size());
-  return std::make_shared<const Packet>(p);
+  return util::make_pooled<Packet>(std::move(p));
 }
 
 }  // namespace hydra::proto

@@ -14,6 +14,7 @@
 
 #include "proto/ip_address.h"
 #include "util/buffer.h"
+#include "util/pool.h"
 
 namespace hydra::proto {
 
@@ -112,9 +113,21 @@ struct Packet {
   // it. Used by the wire-format tests and the MAC frame serializer.
   Bytes serialize() const;
   static std::optional<Packet> parse(BufferReader& r);
+  // Deserializes directly into `out` (which may hold a previous packet's
+  // fields — every field is overwritten on success; contents are
+  // unspecified on failure). The allocation-free core of parse().
+  static bool parse_into(BufferReader& r, Packet& out);
+  // Parses straight into pooled shared storage: one pooled allocation,
+  // no intermediate stack Packet, no copy. nullptr on malformed input.
+  static std::shared_ptr<const Packet> parse_shared(BufferReader& r);
 };
 
 using PacketPtr = std::shared_ptr<const Packet>;
+
+// Pooled deep copy, for paths that must mutate a shared packet's
+// headers (the forwarding TTL decrement). Everything that only reads a
+// packet shares the PacketPtr instead.
+std::shared_ptr<Packet> clone_packet(const Packet& p);
 
 // Builds a UDP datagram packet.
 PacketPtr make_udp_packet(Ipv4Address src, Ipv4Address dst, Port src_port,

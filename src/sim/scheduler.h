@@ -11,6 +11,7 @@
 
 #include "sim/time.h"
 #include "sim/turn.h"
+#include "util/small_fn.h"
 #include "util/thread_annotations.h"
 
 namespace hydra::sim {
@@ -54,7 +55,11 @@ enum class ExecutionPolicy { kSerial, kParallelWindows };
 // in scheduling order (FIFO), which keeps protocol traces deterministic.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  // Move-only with inline capture storage (boxed through the
+  // BufferPool past 48 bytes), so scheduling an event allocates nothing
+  // from the system heap in steady state. Accepts any void() callable,
+  // like std::function, but is moved — never copied — through the heap.
+  using Callback = util::SmallFn;
   // Returns the current safe lookahead: no event executed now may
   // schedule onto a *different* affinity sooner than now + lookahead.
   // Zero (or a negative/absent value) disables window formation and

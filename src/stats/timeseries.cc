@@ -26,6 +26,27 @@ void ThroughputTimeline::record(sim::TimePoint t, std::uint64_t bytes) {
   total_ += bytes;
 }
 
+void ThroughputTimeline::reserve_span(sim::TimePoint start,
+                                      sim::Duration span) {
+  HYDRA_ASSERT(bin_width_.ns() > 0);
+  if (span.ns() <= 0) return;
+  const auto first = static_cast<std::size_t>(start.ns() / bin_width_.ns());
+  const auto last = static_cast<std::size_t>((start.ns() + span.ns() - 1) /
+                                             bin_width_.ns());
+  if (bytes_per_bin_.empty()) {
+    // No samples yet: the first record() will pin the storage origin to
+    // its own bin, somewhere inside the window, so window-width capacity
+    // always covers the remaining span. Reserving is invisible to the
+    // accessors (stored_bins() counts actual size, which stays 0).
+    bytes_per_bin_.reserve(last - first + 1);
+  } else if (first >= first_bin_) {
+    bytes_per_bin_.reserve(last - first_bin_ + 1);
+  } else {
+    bytes_per_bin_.reserve((last > first_bin_ ? last - first_bin_ : 0) +
+                           bytes_per_bin_.size() + (first_bin_ - first));
+  }
+}
+
 std::uint64_t ThroughputTimeline::bytes_in_bin(std::size_t i) const {
   if (i < first_bin_ || i - first_bin_ >= bytes_per_bin_.size()) return 0;
   return bytes_per_bin_[i - first_bin_];

@@ -23,6 +23,13 @@ class ThroughputTimeline {
   // Records `bytes` delivered at `t`.
   void record(sim::TimePoint t, std::uint64_t bytes);
 
+  // Preallocates bin storage for samples landing in [start, start+span),
+  // so every record() inside that window is allocation-free (samples
+  // outside it still work — storage grows as before). Call before the
+  // run when the measurement window is known, e.g. the experiment's
+  // configured duration.
+  void reserve_span(sim::TimePoint start, sim::Duration span);
+
   sim::Duration bin_width() const { return bin_width_; }
   // Absolute index of the first stored bin (0 until the first sample).
   std::size_t first_bin() const { return first_bin_; }

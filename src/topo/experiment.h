@@ -99,6 +99,20 @@ struct ExperimentResult {
   std::uint64_t sched_windows = 0;
   std::uint64_t sched_parallel_events = 0;
 
+  // Memory accounting over the run (scenario build + traffic), from the
+  // process-wide counters in util/alloc_stats.h and util/pool.h:
+  // operator-new calls and bytes, pool requests and how many of those
+  // were served by recycling a block, and the process peak RSS after
+  // the run. Deltas are exact for serially executed experiments;
+  // inside a parallel sweep they include concurrent runs and are only
+  // indicative. peak_rss_kb is a whole-process high-water mark, not a
+  // per-run delta.
+  std::uint64_t heap_allocations = 0;
+  std::uint64_t heap_bytes_allocated = 0;
+  std::uint64_t pool_requests = 0;
+  std::uint64_t pool_recycled = 0;
+  std::uint64_t peak_rss_kb = 0;
+
   // Slowest session (the paper reports worst-case for the star).
   double worst_throughput_mbps() const;
   double total_throughput_mbps() const;

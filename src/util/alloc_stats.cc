@@ -1,0 +1,141 @@
+#include "util/alloc_stats.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace {
+
+// Constant-initialized so counting is safe for allocations made during
+// static initialization, before main.
+constinit std::atomic<std::uint64_t> g_allocations{0};
+constinit std::atomic<std::uint64_t> g_bytes{0};
+
+inline void note(std::size_t bytes) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) noexcept {
+  note(size);
+  // malloc(0) may return nullptr; operator new must not.
+  return std::malloc(size ? size : 1);
+}
+
+inline void* counted_aligned_alloc(std::size_t size,
+                                   std::align_val_t al) noexcept {
+  note(size);
+  std::size_t alignment = static_cast<std::size_t>(al);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+namespace hydra::util {
+
+AllocSnapshot alloc_snapshot() noexcept {
+  return AllocSnapshot{
+      .allocations = g_allocations.load(std::memory_order_relaxed),
+      .bytes = g_bytes.load(std::memory_order_relaxed),
+  };
+}
+
+std::uint64_t peak_rss_kb() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace hydra::util
+
+// ---- global operator new/delete replacements --------------------------
+// Defined here (same TU as alloc_snapshot) so any binary that meters
+// allocations is guaranteed to link the counting allocator. All
+// variants funnel into malloc/posix_memalign; free() releases both.
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  void* p = counted_aligned_alloc(size, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  void* p = counted_aligned_alloc(size, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, al);
+}
+
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, al);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

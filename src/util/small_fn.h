@@ -1,0 +1,138 @@
+// Move-only type-erased `void()` callable for the scheduler hot path.
+//
+// std::function costs a heap allocation for any capture over ~16 bytes
+// (libstdc++), and the medium's per-delivery rx callbacks capture 32.
+// SmallFn stores captures up to 48 bytes inline — enough for every
+// callback the simulator schedules today — and boxes larger ones
+// through the BufferPool, so steady-state event scheduling allocates
+// nothing from the system heap. Move-only (no copy), matching how the
+// scheduler actually handles callbacks: constructed once, moved through
+// the heap/window engine, invoked, destroyed.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/pool.h"
+
+namespace hydra::util {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(runtime/explicit): drop-in for std::function
+    emplace<std::decay_t<F>>(std::forward<F>(fn));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() {
+    HYDRA_ASSERT_MSG(ops_ != nullptr, "invoking an empty SmallFn");
+    ops_->invoke(storage());
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) noexcept {
+    return f.ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct into dst's storage from src's, then destroy src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  // Inline iff it fits, is sufficiently aligned, and relocates without
+  // throwing (the move constructor must be noexcept for SmallFn's own
+  // noexcept moves); everything else is boxed through the BufferPool.
+  template <class F>
+  static constexpr bool kInline =
+      sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <class F>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*static_cast<F*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F(std::move(*static_cast<F*>(src)));
+        static_cast<F*>(src)->~F();
+      },
+      [](void* s) noexcept { static_cast<F*>(s)->~F(); },
+  };
+
+  template <class F>
+  static constexpr Ops kBoxedOps = {
+      [](void* s) { (**static_cast<F**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *static_cast<F**>(dst) = *static_cast<F**>(src);
+      },
+      [](void* s) noexcept {
+        F* boxed = *static_cast<F**>(s);
+        boxed->~F();
+        BufferPool::deallocate(boxed);
+      },
+  };
+
+  template <class F, class Arg>
+  void emplace(Arg&& fn) {
+    if constexpr (kInline<F>) {
+      ::new (storage()) F(std::forward<Arg>(fn));
+      ops_ = &kInlineOps<F>;
+    } else {
+      static_assert(alignof(F) <= BufferPool::kAlignment,
+                    "over-aligned callables are not supported");
+      void* box = BufferPool::allocate(sizeof(F));
+      ::new (box) F(std::forward<Arg>(fn));
+      *static_cast<void**>(storage()) = box;
+      ops_ = &kBoxedOps<F>;
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage(), other.storage());
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  void* storage() noexcept { return buf_; }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace hydra::util

@@ -1,0 +1,54 @@
+// Fixture: order-sensitive floating-point reductions. FP addition is
+// not associative; std::reduce is free to reassociate and a float
+// accumulate over an unpinned range sums in whatever order the range
+// iterates, so the same data can digest differently run to run.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+double mean_power(const std::vector<double>& dbm) {
+  // hydra-lint-expect: float-order
+  const double sum = std::reduce(dbm.begin(), dbm.end());
+  return sum / static_cast<double>(dbm.size());
+}
+
+double weighted(const std::vector<double>& w, const std::vector<double>& v) {
+  // hydra-lint-expect: float-order
+  return std::transform_reduce(w.begin(), w.end(), v.begin(), 0.0);
+}
+
+double total_mbps(const std::vector<double>& per_flow) {
+  // hydra-lint-expect: float-order
+  return std::accumulate(per_flow.begin(), per_flow.end(), 0.0);
+}
+
+struct Flow {
+  double mbps;
+};
+
+// The init and lambda live on later lines than the call: the rule joins
+// the statement before deciding it is floating point.
+double spread_call(const std::vector<Flow>& flows) {
+  // hydra-lint-expect: float-order
+  return std::accumulate(flows.begin(), flows.end(),
+                         double{0},
+                         [](double acc, const Flow& f) {
+                           return acc + f.mbps;
+                         });
+}
+
+// Integer folds are associative and exact — they must NOT fire (this is
+// the shape of proto::AggregateFrame::total_wire_bytes).
+std::size_t total_bytes(const std::vector<std::size_t>& wire) {
+  return std::accumulate(wire.begin(), wire.end(), std::size_t{0});
+}
+
+// The allow hatch works here like everywhere else: a float fold over a
+// range whose order the caller pins is safe when justified.
+double pinned(const std::vector<double>& ordered) {
+  // hydra-lint: allow(float-order) — range is a vector filled in node-id order
+  return std::accumulate(ordered.begin(), ordered.end(), 0.0);
+}
+
+}  // namespace fixture

@@ -67,6 +67,51 @@ TEST(FullStack, ThreeHopDelivery) {
   EXPECT_EQ(chain.node(2).stack().forwarded(), 1u);
 }
 
+TEST(FullStack, ForwardingClonesExactlyOncePerHop) {
+  // The copy-on-write contract of the forwarding path: packets travel
+  // the stack as shared immutable pointers, and the only copy made on
+  // the whole journey is the per-hop clone that decrements TTL. Each
+  // relay therefore clones exactly as often as it forwards — a change
+  // that reintroduces a defensive deep copy anywhere else shows up
+  // here as clones > forwards.
+  auto chain = routed_chain(5);
+  app::UdpSinkApp sink(chain.sim(), chain.node(4), 9001);
+  auto& socket = transport::mux_of(chain.node(0)).open_udp(9000);
+  socket.send_to({proto::Ipv4Address::for_node(4), 9001}, 500);
+  socket.send_to({proto::Ipv4Address::for_node(4), 9001}, 500);
+  socket.send_to({proto::Ipv4Address::for_node(4), 9001}, 500);
+  chain.run_for(sim::Duration::seconds(2));
+
+  EXPECT_EQ(sink.packets(), 3u);
+  for (const std::size_t relay : {1u, 2u, 3u}) {
+    EXPECT_EQ(chain.node(relay).stack().forwarded(), 3u) << "relay " << relay;
+    EXPECT_EQ(chain.node(relay).stack().header_clones(),
+              chain.node(relay).stack().forwarded())
+        << "relay " << relay;
+  }
+  // Originating and terminal nodes never rewrite a header: no clones.
+  EXPECT_EQ(chain.node(0).stack().header_clones(), 0u);
+  EXPECT_EQ(chain.node(4).stack().header_clones(), 0u);
+}
+
+TEST(FullStack, LocalAndBroadcastDeliveryNeverClones) {
+  // Read-only paths — local delivery at the destination and broadcast
+  // reception (which is never re-flooded) — must share the parsed
+  // packet, not copy it.
+  auto chain = routed_chain(3);
+  app::UdpSinkApp sink(chain.sim(), chain.node(1), 9001);
+  auto& socket = transport::mux_of(chain.node(0)).open_udp(9000);
+  socket.send_to({proto::Ipv4Address::for_node(1), 9001}, 200);  // one hop
+  chain.node(0).stack().send(
+      proto::make_flood_packet(proto::Ipv4Address::for_node(0), 40));
+  chain.run_for(sim::Duration::seconds(2));
+
+  EXPECT_EQ(sink.packets(), 1u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(chain.node(i).stack().header_clones(), 0u) << "node " << i;
+  }
+}
+
 TEST(FullStack, BroadcastReachesNeighboursWithoutReflooding) {
   auto chain = routed_chain(3);
   int rx1 = 0, rx2 = 0;

@@ -1,0 +1,280 @@
+// BufferPool unit and edge tests: recycling really reuses storage,
+// frees route back to the owning shard from any thread, the runtime
+// toggle is safe mid-stream, double frees die loudly, and the typed
+// facades (PoolAllocator / PooledVector / make_pooled / SmallFn) behave
+// like their std counterparts. Registered under the `pool` ctest label
+// so the ASan and TSan CI jobs both run it: ASan proves recycled
+// blocks never overlap live ones, TSan proves the cross-thread return
+// stack is race-free.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/alloc_stats.h"
+#include "util/pool.h"
+#include "util/small_fn.h"
+
+namespace hydra::util {
+namespace {
+
+// Every assertion works on counter deltas: the test binary shares one
+// process-wide pool with every other suite gtest ran before this one.
+PoolStats delta(const PoolStats& before) {
+  const auto now = BufferPool::stats();
+  PoolStats d;
+  d.requests = now.requests - before.requests;
+  d.recycled = now.recycled - before.recycled;
+  d.fresh = now.fresh - before.fresh;
+  d.heap = now.heap - before.heap;
+  d.remote_returns = now.remote_returns - before.remote_returns;
+  d.slab_bytes = now.slab_bytes - before.slab_bytes;
+  d.shards = now.shards;
+  return d;
+}
+
+TEST(BufferPool, RecycleReturnsTheSameBlockLifo) {
+  const auto before = BufferPool::stats();
+  void* p = BufferPool::allocate(100);
+  ASSERT_NE(p, nullptr);
+  BufferPool::deallocate(p);
+  void* q = BufferPool::allocate(100);
+  // Same size class, same thread, nothing allocated in between: the
+  // free list is LIFO, so the recycled block is the one just returned.
+  EXPECT_EQ(p, q);
+  const auto d = delta(before);
+  EXPECT_EQ(d.requests, 2u);
+  EXPECT_GE(d.recycled, 1u);
+  BufferPool::deallocate(q);
+}
+
+TEST(BufferPool, SizeClassesDoNotAlias) {
+  void* small = BufferPool::allocate(50);
+  void* large = BufferPool::allocate(1000);
+  BufferPool::deallocate(small);
+  BufferPool::deallocate(large);
+  // Each class recycles its own returns.
+  EXPECT_EQ(BufferPool::allocate(50), small);
+  EXPECT_EQ(BufferPool::allocate(1000), large);
+  BufferPool::deallocate(small);
+  BufferPool::deallocate(large);
+}
+
+TEST(BufferPool, PayloadsAreAligned) {
+  for (const std::size_t bytes : {1u, 17u, 64u, 100u, 4096u}) {
+    void* p = BufferPool::allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % BufferPool::kAlignment,
+              0u)
+        << bytes;
+    BufferPool::deallocate(p);
+  }
+}
+
+TEST(BufferPool, OversizeFallsThroughToHeap) {
+  const auto before = BufferPool::stats();
+  void* p = BufferPool::allocate(BufferPool::kMaxBlockBytes + 1);
+  ASSERT_NE(p, nullptr);
+  BufferPool::deallocate(p);
+  const auto d = delta(before);
+  EXPECT_EQ(d.heap, 1u);
+  EXPECT_EQ(d.recycled, 0u);
+}
+
+TEST(BufferPool, DisabledMeansHeapPassthrough) {
+  set_pooling_enabled(false);
+  const auto before = BufferPool::stats();
+  void* p = BufferPool::allocate(128);
+  BufferPool::deallocate(p);
+  void* q = BufferPool::allocate(128);
+  BufferPool::deallocate(q);
+  const auto d = delta(before);
+  set_pooling_enabled(true);
+  EXPECT_EQ(d.heap, 2u);
+  EXPECT_EQ(d.recycled, 0u);
+  EXPECT_EQ(d.fresh, 0u);
+}
+
+TEST(BufferPool, ToggleMidStreamFreesByOrigin) {
+  // The block header records where storage came from, so disabling the
+  // pool between an allocation and its free (or vice versa) routes the
+  // free correctly — no leak, no pool block handed to ::free.
+  void* pooled = BufferPool::allocate(200);
+  set_pooling_enabled(false);
+  BufferPool::deallocate(pooled);        // pooled block freed while off
+  void* heaped = BufferPool::allocate(200);
+  set_pooling_enabled(true);
+  BufferPool::deallocate(heaped);        // heap block freed while on
+  // The pooled block really went back to its class list.
+  EXPECT_EQ(BufferPool::allocate(200), pooled);
+  BufferPool::deallocate(pooled);
+}
+
+TEST(BufferPool, CrossThreadFreeReturnsToTheOwningShard) {
+  constexpr std::size_t kBlocks = 16;
+  constexpr std::size_t kBytes = 300;
+  const auto before = BufferPool::stats();
+  std::vector<void*> blocks;
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    blocks.push_back(BufferPool::allocate(kBytes));
+  }
+  // Free every block from a different thread: each free must take the
+  // owner's MPSC return stack, not the freeing thread's own lists.
+  std::thread([&blocks] {
+    for (void* p : blocks) BufferPool::deallocate(p);
+  }).join();
+  EXPECT_EQ(delta(before).remote_returns, kBlocks);
+
+  // The owner drains its return stack on allocation: keep allocating
+  // this size class and every remotely freed block comes back to us.
+  std::set<void*> expected(blocks.begin(), blocks.end());
+  std::vector<void*> drained;
+  for (std::size_t i = 0; i < 4096 && !expected.empty(); ++i) {
+    void* p = BufferPool::allocate(kBytes);
+    drained.push_back(p);
+    expected.erase(p);
+  }
+  EXPECT_TRUE(expected.empty())
+      << expected.size() << " remotely freed block(s) never recycled";
+  for (void* p : drained) BufferPool::deallocate(p);
+}
+
+TEST(BufferPoolDeathTest, DoubleFreeAborts) {
+  void* p = BufferPool::allocate(64);
+  BufferPool::deallocate(p);
+  EXPECT_DEATH(BufferPool::deallocate(p), "assertion failed");
+  // Leave the (freed) block where it is: it is live on the free list.
+}
+
+TEST(PooledVector, GrowsAndRecyclesThroughThePool) {
+  const auto before = BufferPool::stats();
+  {
+    PooledVector<std::uint32_t> v;
+    for (std::uint32_t i = 0; i < 1000; ++i) v.push_back(i);
+    for (std::uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  }
+  const auto d = delta(before);
+  EXPECT_GT(d.requests, 0u);
+  EXPECT_EQ(d.heap, 0u);  // 1000 × 4 B stays well under the class cap
+}
+
+TEST(PoolAllocator, OverAlignedTypesBypassThePool) {
+  struct alignas(64) Wide {
+    double lanes[8];
+  };
+  const auto before = BufferPool::stats();
+  std::vector<Wide, PoolAllocator<Wide>> v(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  EXPECT_EQ(delta(before).requests, 0u);  // pool never saw it
+}
+
+TEST(ArenaPool, MakePooledConstructsAndRecycles) {
+  const auto before = BufferPool::stats();
+  auto p = make_pooled<std::pair<int, int>>(3, 4);
+  EXPECT_EQ(p->first, 3);
+  EXPECT_EQ(p->second, 4);
+  const void* raw = p.get();
+  p.reset();  // control block + object return to the shard together
+  auto q = make_pooled<std::pair<int, int>>(5, 6);
+  EXPECT_EQ(static_cast<const void*>(q.get()), raw);
+  EXPECT_GE(delta(before).recycled, 1u);
+}
+
+TEST(SmallFn, InlineCaptureInvokes) {
+  int hits = 0;
+  SmallFn fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, LargeCaptureBoxesThroughThePool) {
+  const auto before = BufferPool::stats();
+  std::array<std::uint8_t, 128> payload{};
+  payload[0] = 42;
+  payload[127] = 7;
+  int sum = 0;
+  SmallFn fn([payload, &sum] { sum = payload[0] + payload[127]; });
+  EXPECT_GE(delta(before).requests, 1u);  // the box
+  fn();
+  EXPECT_EQ(sum, 49);
+}
+
+TEST(SmallFn, MoveTransfersAndEmptiesTheSource) {
+  int hits = 0;
+  SmallFn a([&hits] { ++hits; });
+  SmallFn b(std::move(a));
+  EXPECT_EQ(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  b();
+  EXPECT_EQ(hits, 1);
+  a = std::move(b);
+  EXPECT_EQ(b, nullptr);
+  a();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, DestroysCapturesExactlyOnce) {
+  const auto token = std::make_shared<int>(1);
+  // Inline: the shared_ptr capture fits the 48-byte buffer.
+  {
+    SmallFn fn([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+  // Boxed: pad the capture past the inline buffer.
+  {
+    std::array<std::uint8_t, 64> pad{};
+    SmallFn fn([token, pad] { (void)pad; });
+    EXPECT_EQ(token.use_count(), 2);
+    SmallFn moved(std::move(fn));
+    EXPECT_EQ(token.use_count(), 2);  // relocation is not a copy
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFn, NullStatesCompareAndAssignLikeStdFunction) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(fn, nullptr);
+  fn = SmallFn([] {});
+  EXPECT_NE(fn, nullptr);
+  fn = SmallFn(nullptr);
+  EXPECT_EQ(fn, nullptr);
+}
+
+TEST(SmallFnDeathTest, InvokingEmptyAborts) {
+  SmallFn fn;
+  EXPECT_DEATH(fn(), "empty SmallFn");
+}
+
+TEST(AllocStats, CountsOperatorNewTraffic) {
+  const auto before = alloc_snapshot();
+  // Direct operator-new call: a new-*expression* here could legally be
+  // elided as unused (GCC does at -O2), which is exactly a miscount.
+  void* block = ::operator new(10'000);
+  const auto after = alloc_snapshot();
+  ::operator delete(block);
+  EXPECT_GE(after.allocations, before.allocations + 1);
+  EXPECT_GE(after.bytes, before.bytes + 10'000);
+  EXPECT_GT(peak_rss_kb(), 0u);
+}
+
+TEST(PoolStatsAccounting, ShardsAndSlabsAreVisible) {
+  // This thread allocated earlier in the suite, so at least its shard
+  // and one slab exist.
+  void* p = BufferPool::allocate(64);
+  BufferPool::deallocate(p);
+  const auto stats = BufferPool::stats();
+  EXPECT_GE(stats.shards, 1u);
+  EXPECT_GT(stats.slab_bytes, 0u);
+  EXPECT_GE(stats.requests, stats.recycled + stats.fresh);
+}
+
+}  // namespace
+}  // namespace hydra::util

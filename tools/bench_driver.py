@@ -35,9 +35,12 @@ just made (commit it and say so in the PR).
 
 import argparse
 import concurrent.futures
+import functools
+import hashlib
 import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -47,8 +50,10 @@ from pathlib import Path
 SKIP = {"bench_micro"}
 
 # Columns whose values depend on the host machine rather than on the
-# (deterministic) simulation — the only cells not worth pinning.
-EXCLUDE_HEADER = re.compile(r"wall", re.IGNORECASE)
+# (deterministic) simulation — the only cells not worth pinning. Wall
+# clock and peak RSS both vary with the host (RSS with allocator, page
+# size and whatever ran earlier in the process).
+EXCLUDE_HEADER = re.compile(r"wall|rss", re.IGNORECASE)
 
 # Leading number of a cell: "0.275 Mbps" -> 0.275, "10.9%" -> 10.9,
 # "chain-8" / "DBA" -> no match (labels are not metrics).
@@ -148,13 +153,49 @@ def discover(bench_dir: Path) -> list[Path]:
     return benches
 
 
-def run_one(binary: Path) -> dict:
+def source_tree_hash(repo_root: Path) -> str:
+    """Content fingerprint of the C++ sources under src/ and bench/ —
+    everything that can change a simulation's outcome. Keys the
+    persistent sweep-cache directory, so a code change starts from an
+    empty cache and stale results can never leak into a regenerated
+    figure. Only .cc/.h files count: hashing data files too would let
+    `bench_baseline` rewriting bench/baseline.json invalidate the cache
+    it just warmed."""
+    digest = hashlib.sha256()
+    for top in ("src", "bench"):
+        base = repo_root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.is_file() and path.suffix in (".cc", ".h"):
+                digest.update(str(path.relative_to(repo_root)).encode())
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+                digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def prepare_sweep_cache_dir(build_dir: Path, repo_root: Path) -> Path:
+    """Creates <build>/bench/sweep_cache/<tree-hash> and prunes sibling
+    directories keyed on older trees (their results are dead weight)."""
+    cache_root = build_dir / "bench" / "sweep_cache"
+    cache_dir = cache_root / source_tree_hash(repo_root)
+    if cache_root.is_dir():
+        for old in cache_root.iterdir():
+            if old != cache_dir:
+                shutil.rmtree(old, ignore_errors=True)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    return cache_dir
+
+
+def run_one(binary: Path, env: dict[str, str]) -> dict:
     started = time.monotonic()
     with tempfile.TemporaryDirectory(prefix=f"{binary.name}.") as scratch:
         try:
             proc = subprocess.run(
                 [str(binary)],
                 cwd=scratch,
+                env=env,
                 stdout=subprocess.PIPE,
                 stderr=subprocess.STDOUT,
                 text=True,
@@ -216,13 +257,37 @@ def main() -> int:
     benches = discover(bench_dir)
     output = args.output or bench_dir / "BENCH_REPORT.json"
 
+    # Sweep-capable benches persist their SweepCache here, keyed on the
+    # source tree, so rerunning the driver on unchanged code serves those
+    # points from disk instead of re-simulating. An explicit
+    # HYDRA_SWEEP_CACHE_DIR in the environment wins (set it to "" to
+    # disable persistence for a timing run).
+    env = dict(os.environ)
+    if "HYDRA_SWEEP_CACHE_DIR" not in env:
+        repo_root = Path(__file__).resolve().parent.parent
+        env["HYDRA_SWEEP_CACHE_DIR"] = str(
+            prepare_sweep_cache_dir(args.build_dir, repo_root))
+
     print(f"bench_driver: {len(benches)} benches, {args.jobs} in parallel")
     started = time.monotonic()
     with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
-        results = list(pool.map(run_one, benches))
+        results = list(pool.map(functools.partial(run_one, env=env), benches))
     elapsed = time.monotonic() - started
 
     failed = [r["binary"] for r in results if r["exit_code"] != 0]
+    # Fold the per-bench sweep-cache counters (bench::record_sweep_cache)
+    # into one summary: how much of this run was served from the
+    # persistent cache versus simulated from scratch.
+    cache_totals = {"memory_hits": 0, "disk_hits": 0, "disk_stores": 0,
+                    "misses": 0}
+    cache_benches = 0
+    for r in results:
+        for rep in r["reports"]:
+            counters = rep.get("sweep_cache")
+            if counters:
+                cache_benches += 1
+                for key in cache_totals:
+                    cache_totals[key] += counters.get(key, 0)
     report = {
         "total_seconds": round(elapsed, 3),
         "bench_count": len(results),
@@ -231,9 +296,18 @@ def main() -> int:
         # container cannot show a speedup).
         "host_cpus": os.cpu_count(),
         "failed": failed,
+        "sweep_cache": {
+            "dir": env.get("HYDRA_SWEEP_CACHE_DIR", ""),
+            "benches": cache_benches,
+            **cache_totals,
+        },
         "benches": results,
     }
     output.write_text(json.dumps(report, indent=1) + "\n")
+    if cache_benches:
+        print(f"bench_driver: sweep cache served {cache_totals['disk_hits']} "
+              f"point(s) from disk, simulated {cache_totals['misses']}, "
+              f"stored {cache_totals['disk_stores']}")
 
     for r in results:
         status = "ok" if r["exit_code"] == 0 else f"FAILED ({r['exit_code']})"

@@ -45,6 +45,20 @@ Rules:
                     acquire/release; a raw std::mutex is invisible to
                     the analysis. util/mutex.h is exempt — it is the
                     annotated wrapper.
+  float-order       Reductions whose operand association the standard
+                    leaves unspecified, applied to floating point.
+                    std::reduce / std::transform_reduce may reassociate
+                    (that is their point), and FP addition is not
+                    associative, so the same data can sum to different
+                    bits run to run — they are flagged always.
+                    std::accumulate folds left-to-right and is flagged
+                    only when its statement mentions float/double or a
+                    floating literal: a float fold is one refactor away
+                    from a reduce, and over any container whose order
+                    is not pinned it is already nondeterministic.
+                    Integer folds (e.g. summing wire bytes with a
+                    std::size_t init) are associative and exact, and do
+                    not fire.
 
 Escape hatch (same line as the violation, or the line immediately
 above; the reason is mandatory):
@@ -75,6 +89,7 @@ RULES = {
     "thread-id": "std::this_thread::get_id()",
     "ptr-order": "ordered container keyed on pointer values",
     "raw-mutex": "raw std::mutex outside util/mutex.h",
+    "float-order": "order-sensitive floating-point reduction",
 }
 
 # Per-rule path exemptions, relative to the scanned tree. The exempted
@@ -106,6 +121,11 @@ RAW_MUTEX_RE = re.compile(
     r"|condition_variable_any|lock_guard|unique_lock|scoped_lock"
     r"|shared_lock)\b"
 )
+REDUCE_RE = re.compile(r"\bstd::(?:reduce|transform_reduce)\s*\(")
+ACCUMULATE_RE = re.compile(r"\bstd::accumulate\s*\(")
+# Floating-point hints inside an accumulate statement: a float/double
+# mention, a decimal literal (1.0, 0.f) or an exponent literal (1e9).
+FLOATISH_RE = re.compile(r"\b(?:float|double)\b|\d\.\d|\d\.f|\d[eE][-+]?\d")
 
 ALLOW_RE = re.compile(
     r"hydra-lint:\s*allow\(\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)\s*\)"
@@ -201,6 +221,27 @@ def lint_file(
         if RAW_MUTEX_RE.search(code):
             flag(lineno, "raw-mutex",
                  "use util::Mutex so -Wthread-safety can see the lock")
+        if REDUCE_RE.search(code):
+            flag(lineno, "float-order",
+                 "std::reduce may reassociate operands — use an ordered "
+                 "fold over a pinned range")
+        if m := ACCUMULATE_RE.search(code):
+            # Join the call statement across lines (balanced parens,
+            # bounded) so an init value or lambda placed on a later
+            # line still counts as part of this accumulate.
+            span = code[m.start():]
+            depth = span.count("(") - span.count(")")
+            nxt = lineno  # enumerate starts at 1: lines[lineno] is next
+            while depth > 0 and nxt < len(lines) and nxt < lineno + 8:
+                more = strip_line_comment(lines[nxt])
+                span += " " + more
+                depth += more.count("(") - more.count(")")
+                nxt += 1
+            if FLOATISH_RE.search(span):
+                flag(lineno, "float-order",
+                     "floating-point accumulate — the sum is "
+                     "order-sensitive; pin the range order or keep "
+                     "integer units")
     return findings
 
 
