@@ -34,6 +34,32 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
   sim::Simulation& simulation = scenario.sim();
   const std::size_t node_count = scenario.size();
 
+  // Install injected channel losses. Counter-based (no RNG): the drop
+  // pattern is a pure function of the traffic, so runs stay bit-identical
+  // across medium backends and scheduler policies. Rules on the same node
+  // chain; each keeps its own match counter.
+  for (const auto& rule : config.losses) {
+    if (rule.period == 0 || rule.node_index >= node_count) continue;
+    auto& stack = scenario.node(rule.node_index).stack();
+    const bool any_hop = rule.next_hop_index < 0;
+    const auto hop_ip = any_hop ? proto::Ipv4Address{}
+                                : proto::Ipv4Address::for_node(static_cast<
+                                      std::uint32_t>(rule.next_hop_index));
+    stack.drop_filter = [rule, any_hop, hop_ip,
+                         prev = std::move(stack.drop_filter),
+                         matches = std::uint64_t{0}](
+                            const proto::Packet& p,
+                            proto::Ipv4Address next_hop) mutable {
+      if (prev && prev(p, next_hop)) return true;
+      if (rule.tcp_data_only && (!p.tcp.has_value() || p.payload_bytes == 0)) {
+        return false;
+      }
+      if (!any_hop && next_hop != hop_ip) return false;
+      const auto n = matches++;
+      return n >= rule.offset && (n - rule.offset) % rule.period == 0;
+    };
+  }
+
   auto sessions = config.scenario.sessions;
   HYDRA_ASSERT_MSG(!sessions.empty() || config.flooding,
                    "a scenario needs sessions or flooding traffic");
@@ -120,6 +146,26 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
       }
       result.flows.push_back(fr);
     }
+
+    // Transport accounting over every connection the workload opened.
+    const auto add_tcp = [&result](const transport::TcpConnection& conn) {
+      const auto& st = conn.stats();
+      result.tcp_retransmits += st.retransmits;
+      result.tcp_timeouts += st.timeouts;
+      result.tcp_acks_sent += st.acks_sent;
+      result.tcp_acks_delayed += st.acks_delayed;
+      result.tcp_channel_losses += conn.congestion().channel_losses();
+      result.tcp_congestion_losses += conn.congestion().congestion_losses();
+    };
+    for (const auto& sender : senders) {
+      if (sender->connection()) add_tcp(*sender->connection());
+    }
+    for (const auto& recv : receivers) {
+      if (!recv) continue;
+      for (std::size_t i = 0; i < recv->flow_count(); ++i) {
+        add_tcp(recv->connection(i));
+      }
+    }
   } else if (config.traffic == TrafficKind::kUdp && !sessions.empty()) {
     // UDP: CBR from each session sender to a sink at the receiver. A
     // sink aggregates every session terminating at its node, so results
@@ -179,6 +225,7 @@ topo::ExperimentResult run_experiment(const topo::ExperimentConfig& config) {
       simulation.scheduler().parallel_events_executed();
   for (std::size_t i = 0; i < node_count; ++i) {
     result.node_stats.push_back(scenario.node(i).mac_stats());
+    result.transport_injected_drops += scenario.node(i).stack().injected_drops();
   }
 
   const auto alloc_after = util::alloc_snapshot();

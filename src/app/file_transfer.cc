@@ -41,6 +41,7 @@ FileReceiverApp::FileReceiverApp(sim::Simulation& simulation, net::Node& node,
       port, tcp, [this](transport::TcpConnection& conn) {
         const auto index = flows_.size();
         flows_.emplace_back();
+        connections_.push_back(&conn);
         conn.on_data = [this, index](std::uint64_t bytes) {
           auto& flow = flows_[index];
           if (flow.received == 0) flow.first_byte = sim_.now();

@@ -59,6 +59,11 @@ class FileReceiverApp {
 
   std::size_t flow_count() const { return flows_.size(); }
   const Flow& flow(std::size_t i) const { return flows_.at(i); }
+  // Accepted connection behind flow i (accept order), for transport
+  // stats harvesting. Owned by the node's mux, outliving this app.
+  const transport::TcpConnection& connection(std::size_t i) const {
+    return *connections_.at(i);
+  }
   std::uint64_t total_received() const;
   bool all_complete(std::size_t expected_flows) const;
 
@@ -66,6 +71,7 @@ class FileReceiverApp {
   sim::Simulation& sim_;
   std::uint64_t expected_bytes_;
   std::vector<Flow> flows_;
+  std::vector<const transport::TcpConnection*> connections_;
 };
 
 }  // namespace hydra::app

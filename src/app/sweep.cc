@@ -65,14 +65,16 @@ static_assert(sizeof(topo::NodeParams) == 128,
               "NodeParams changed: update spec_fingerprint");
 static_assert(sizeof(core::AggregationPolicy) == 48,
               "AggregationPolicy changed: update spec_fingerprint");
-static_assert(sizeof(topo::ExperimentConfig) == 512,
+static_assert(sizeof(topo::ExperimentConfig) == 584,
               "ExperimentConfig changed: update workload_fingerprint");
-static_assert(sizeof(transport::TcpConfig) == 48,
+static_assert(sizeof(transport::TcpConfig) == 96,
               "TcpConfig changed: update workload_fingerprint");
+static_assert(sizeof(transport::TransportTuning) == 48,
+              "TransportTuning changed: update workload_fingerprint");
 // The disk-cache serializer hand-enumerates every field of these four;
 // a field added without extending serialize/deserialize_result would
 // silently persist partial results.
-static_assert(sizeof(topo::ExperimentResult) == 216,
+static_assert(sizeof(topo::ExperimentResult) == 272,
               "ExperimentResult changed: update serialize_result");
 static_assert(sizeof(topo::FlowResult) == 32,
               "FlowResult changed: update serialize_result");
@@ -160,6 +162,16 @@ std::string workload_fingerprint(const topo::ExperimentConfig& config) {
          static_cast<long long>(config.tcp.rto_min.ns()),
          static_cast<long long>(config.tcp.rto_max.ns()),
          config.tcp.max_retries);
+  const auto& tn = config.tcp.tuning;
+  fp.add("cc%d ap%d ca%.17g dd%lld/%lld dp%u gm%.17g ",
+         static_cast<int>(tn.cc), static_cast<int>(tn.ack), tn.cerl.alpha,
+         static_cast<long long>(tn.delack.delay.ns()),
+         static_cast<long long>(tn.delack.max_delay.ns()),
+         tn.delack.max_pending_segments, tn.delack.gap_multiplier);
+  for (const auto& rule : config.losses) {
+    fp.add("L%u,%d,%u,%u,%d ", rule.node_index, rule.next_hop_index,
+           rule.period, rule.offset, rule.tcp_data_only);
+  }
   fp.add("up%u ui%lld upt%u ud%lld ", config.udp_payload_bytes,
          static_cast<long long>(config.udp_interval.ns()),
          config.udp_packets_per_tick,
@@ -189,7 +201,7 @@ std::filesystem::path disk_path_for(const std::string& dir,
 std::string serialize_result(const topo::ExperimentResult& result) {
   std::ostringstream out;
   out << std::setprecision(17);
-  out << "hydra-sweep-result 1\n";
+  out << "hydra-sweep-result 2\n";
   out << "sim_time " << result.sim_time.ns() << "\n";
   out << "counters " << result.phy_transmissions << ' '
       << result.phy_deliveries << ' ' << result.phy_shards << ' '
@@ -200,7 +212,11 @@ std::string serialize_result(const topo::ExperimentResult& result) {
       << ' ' << result.sched_windows << ' ' << result.sched_parallel_events
       << ' ' << result.heap_allocations << ' '
       << result.heap_bytes_allocated << ' ' << result.pool_requests << ' '
-      << result.pool_recycled << ' ' << result.peak_rss_kb << "\n";
+      << result.pool_recycled << ' ' << result.peak_rss_kb << ' '
+      << result.tcp_retransmits << ' ' << result.tcp_timeouts << ' '
+      << result.tcp_acks_sent << ' ' << result.tcp_acks_delayed << ' '
+      << result.tcp_channel_losses << ' ' << result.tcp_congestion_losses
+      << ' ' << result.transport_injected_drops << "\n";
   out << "relays " << result.relay_indices.size();
   for (const auto i : result.relay_indices) out << ' ' << i;
   out << "\nflows " << result.flows.size() << "\n";
@@ -231,7 +247,9 @@ bool deserialize_result(const std::string& text,
   std::istringstream in(text);
   std::string tag;
   int version = 0;
-  if (!(in >> tag >> version) || tag != "hydra-sweep-result" || version != 1) {
+  // Version 1 files predate the transport counters; they fail the parse
+  // and degrade to a cache miss (re-simulated, then re-stored as v2).
+  if (!(in >> tag >> version) || tag != "hydra-sweep-result" || version != 2) {
     return false;
   }
   topo::ExperimentResult r;
@@ -244,7 +262,9 @@ bool deserialize_result(const std::string& text,
         r.phy_incremental_moves >> r.sched_executed_events >>
         r.sched_windows >> r.sched_parallel_events >> r.heap_allocations >>
         r.heap_bytes_allocated >> r.pool_requests >> r.pool_recycled >>
-        r.peak_rss_kb) ||
+        r.peak_rss_kb >> r.tcp_retransmits >> r.tcp_timeouts >>
+        r.tcp_acks_sent >> r.tcp_acks_delayed >> r.tcp_channel_losses >>
+        r.tcp_congestion_losses >> r.transport_injected_drops) ||
       tag != "counters") {
     return false;
   }
@@ -293,33 +313,45 @@ std::vector<SweepPoint> expand_sweep(const SweepGrid& grid) {
   std::vector<SweepPoint> points;
   points.reserve(grid.scenarios.size() * grid.policies.size() *
                  grid.rate_adaptations.size() * grid.mediums.size() *
-                 grid.schedulers.size());
+                 grid.schedulers.size() * grid.transports.size());
   for (const auto& [scenario_label, spec] : grid.scenarios) {
     for (const auto& [policy_label, policy] : grid.policies) {
       for (const auto scheme : grid.rate_adaptations) {
         for (const auto& [medium_label, medium_policy] : grid.mediums) {
           for (const auto& [sched_label, sched_policy] : grid.schedulers) {
-            SweepPoint point;
-            point.scenario_label =
-                scenario_label.empty() ? spec.label() : scenario_label;
-            point.policy_label = policy_label;
-            point.rate_adaptation = scheme;
-            point.medium_label = medium_label;
-            point.scheduler_label = sched_label;
-            point.config = grid.base;
-            point.config.scenario = spec;
-            point.config.scenario.node.policy = policy;
-            point.config.scenario.node.rate_adaptation = scheme;
-            // kAuto axis entries defer to the spec's own tuning (a spec
-            // that pinned full mesh or parallel windows stays pinned
-            // under the default axis); a concrete axis policy overrides.
-            if (medium_policy != topo::MediumPolicy::kAuto) {
-              point.config.scenario.medium.policy = medium_policy;
+            for (const auto& [transport_label, tuning] : grid.transports) {
+              SweepPoint point;
+              point.scenario_label =
+                  scenario_label.empty() ? spec.label() : scenario_label;
+              point.policy_label = policy_label;
+              point.rate_adaptation = scheme;
+              point.medium_label = medium_label;
+              point.scheduler_label = sched_label;
+              point.config = grid.base;
+              point.config.scenario = spec;
+              point.config.scenario.node.policy = policy;
+              point.config.scenario.node.rate_adaptation = scheme;
+              // kAuto axis entries defer to the spec's own tuning (a spec
+              // that pinned full mesh or parallel windows stays pinned
+              // under the default axis); a concrete axis policy overrides.
+              if (medium_policy != topo::MediumPolicy::kAuto) {
+                point.config.scenario.medium.policy = medium_policy;
+              }
+              if (sched_policy != topo::SchedulerPolicy::kAuto) {
+                point.config.scenario.scheduler.policy = sched_policy;
+              }
+              // Same deferral for the transport axis: nullopt keeps the
+              // base config's tuning (and the historical "" label).
+              if (tuning.has_value()) {
+                point.config.tcp.tuning = *tuning;
+                point.transport_label = transport_label.empty()
+                                            ? transport::to_string(*tuning)
+                                            : transport_label;
+              } else {
+                point.transport_label = transport_label;
+              }
+              points.push_back(std::move(point));
             }
-            if (sched_policy != topo::SchedulerPolicy::kAuto) {
-              point.config.scenario.scheduler.policy = sched_policy;
-            }
-            points.push_back(std::move(point));
           }
         }
       }

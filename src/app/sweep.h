@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,9 @@ struct SweepPoint {
   std::string medium_label;
   // Label of the scheduler-policy axis entry (same convention).
   std::string scheduler_label;
+  // Label of the transport-scheme axis entry (same convention; "" for
+  // the default axis, whose points run the base config's tuning).
+  std::string transport_label;
   topo::ExperimentConfig config;
 };
 
@@ -68,6 +72,13 @@ struct SweepGrid {
   // parallel determinism suites sweep this axis to pin digest equality).
   std::vector<std::pair<std::string, topo::SchedulerPolicy>> schedulers = {
       {"", topo::SchedulerPolicy::kAuto}};
+  // Transport-scheme axis (congestion control × ACK policy), innermost.
+  // The same deferral convention as mediums/schedulers: a nullopt entry
+  // leaves base.tcp.tuning in charge; a concrete TransportTuning
+  // overwrites it on every point. Empty labels resolve to the tuning's
+  // own to_string ("newreno+ack-imm") so ablation tables stay readable.
+  std::vector<std::pair<std::string, std::optional<transport::TransportTuning>>>
+      transports = {{"", std::nullopt}};
   topo::ExperimentConfig base;
 };
 

@@ -13,6 +13,10 @@ Ipv4Stack::Ipv4Stack(proto::Ipv4Address self, mac::Mac& mac, RoutingTable& route
 
 void Ipv4Stack::transmit(const proto::PacketPtr& packet) {
   const auto next_hop = routes_.next_hop(packet->ip.dst);
+  if (drop_filter && drop_filter(*packet, next_hop)) {
+    ++injected_drops_;
+    return;
+  }
   mac_.enqueue(packet, mac_for(next_hop), mac_for(packet->ip.src));
 }
 

@@ -42,9 +42,22 @@ class Ipv4Stack {
   // included); discovery snoops RREPs here to learn forward routes.
   std::function<void(const proto::PacketPtr&, proto::MacAddress from)> on_forward;
 
+  // Loss-injection hook, consulted on every transmit (originated and
+  // forwarded) with the packet and the resolved next hop. Returning true
+  // drops the packet before it reaches the MAC — modelling a channel
+  // loss the MAC never sees (no retries, no MAC-level recovery), which
+  // is exactly the error class CERL's differentiator targets. Installed
+  // by the experiment driver from ExperimentConfig::losses; must be
+  // deterministic (counter-based, never random).
+  using DropFilter =
+      std::function<bool(const proto::Packet&, proto::Ipv4Address next_hop)>;
+  DropFilter drop_filter;
+
   proto::Ipv4Address address() const { return self_; }
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t ttl_drops() const { return ttl_drops_; }
+  // Packets the drop_filter discarded on this node.
+  std::uint64_t injected_drops() const { return injected_drops_; }
   // Packet deep copies this stack made because a header had to mutate
   // (TTL on forward). Read-only paths never clone, so this equals
   // forwarded(): the zero-copy regression tests pin both.
@@ -60,6 +73,7 @@ class Ipv4Stack {
   std::uint64_t forwarded_ = 0;
   std::uint64_t ttl_drops_ = 0;
   std::uint64_t header_clones_ = 0;
+  std::uint64_t injected_drops_ = 0;
 };
 
 }  // namespace hydra::net

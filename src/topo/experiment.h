@@ -24,6 +24,22 @@ enum class TrafficKind {
   kTcpBidirectional,
 };
 
+// Deterministic per-link channel-loss injection: on node `node_index`,
+// drop every `period`-th matching packet (after skipping `offset`
+// matches) headed for `next_hop_index`. Counter-based — no RNG — so a
+// loss pattern is a pure function of the traffic, reproducible across
+// medium backends and scheduler policies. `next_hop_index < 0` matches
+// any next hop; `tcp_data_only` restricts matching to TCP segments
+// carrying payload (pure ACKs and control traffic pass), which keeps the
+// reverse ACK channel clean for loss-differentiation experiments.
+struct LossRule {
+  std::uint32_t node_index = 0;
+  std::int32_t next_hop_index = -1;
+  std::uint32_t period = 0;  // 0 disables the rule
+  std::uint32_t offset = 0;
+  bool tcp_data_only = true;
+};
+
 struct ExperimentConfig {
   // The topology, per-node configuration and traffic sessions. The four
   // paper topologies are the named specs (ScenarioSpec::one_hop()
@@ -35,6 +51,10 @@ struct ExperimentConfig {
   // TCP workload (paper §5): one-way 0.2 MB file transfer per session.
   std::uint64_t tcp_file_bytes = 200'000;
   transport::TcpConfig tcp;
+
+  // Injected channel losses (see LossRule). Empty = lossless links; MAC
+  // contention and collisions remain the only loss source, as before.
+  std::vector<LossRule> losses;
 
   // UDP workload.
   std::uint32_t udp_payload_bytes = 1048;  // 1140 B MAC frames
@@ -112,6 +132,20 @@ struct ExperimentResult {
   std::uint64_t pool_requests = 0;
   std::uint64_t pool_recycled = 0;
   std::uint64_t peak_rss_kb = 0;
+
+  // Transport accounting, summed over every TCP connection the workload
+  // opened (client and accepted sides): retransmissions, RTO firings,
+  // ACKs emitted, ACKs the policy delayed, and the congestion scheme's
+  // loss classification tallies (channel vs congestion episodes; NewReno
+  // reports everything as congestion). transport_injected_drops counts
+  // packets the LossRule filters discarded across all nodes.
+  std::uint64_t tcp_retransmits = 0;
+  std::uint64_t tcp_timeouts = 0;
+  std::uint64_t tcp_acks_sent = 0;
+  std::uint64_t tcp_acks_delayed = 0;
+  std::uint64_t tcp_channel_losses = 0;
+  std::uint64_t tcp_congestion_losses = 0;
+  std::uint64_t transport_injected_drops = 0;
 
   // Slowest session (the paper reports worst-case for the star).
   double worst_throughput_mbps() const;

@@ -1,0 +1,17 @@
+#include "transport/ack_policy.h"
+
+namespace hydra::transport {
+
+std::unique_ptr<AckPolicy> make_ack_policy(const TransportTuning& tuning) {
+  switch (tuning.ack) {
+    case AckScheme::kDelayed:
+      return std::make_unique<DelayedAckPolicy>(tuning.delack);
+    case AckScheme::kAdaptive:
+      return std::make_unique<AdaptiveAckPolicy>(tuning.delack);
+    case AckScheme::kImmediate:
+      break;
+  }
+  return std::make_unique<ImmediateAckPolicy>();
+}
+
+}  // namespace hydra::transport

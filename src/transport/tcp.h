@@ -2,11 +2,24 @@
 // transfer with cumulative ACKs over a lossy multi-hop MAC.
 //
 // Implemented: three-way handshake, MSS-sized segmentation, cumulative
-// acknowledgements (one ACK per received data segment, no delayed ACKs —
-// matching the prototype's observed 1:1 data/ACK pattern), out-of-order
-// reassembly, NewReno congestion control (slow start, congestion
-// avoidance, fast retransmit/recovery with partial-ACK handling), RTO per
-// RFC 6298 with Karn's rule and exponential backoff, and FIN teardown.
+// acknowledgements, out-of-order reassembly, RTO per RFC 6298 with
+// Karn's rule and exponential backoff, and FIN teardown.
+//
+// Congestion control and ACK policy are pluggable seams selected by
+// TcpConfig::tuning (see transport/tuning.h):
+//   - CongestionControl owns cwnd/ssthresh and the loss-recovery state
+//     machine (default: NewReno — slow start, congestion avoidance,
+//     fast retransmit/recovery with partial-ACK handling; alternative:
+//     CERL-style channel-vs-congestion loss differentiation).
+//   - AckPolicy decides ack-now vs delay per in-order data arrival and
+//     supplies the delack deadline (default: immediate — one ACK per
+//     received data segment, matching the prototype's observed 1:1
+//     data/ACK pattern; alternatives: classic and adaptive delayed
+//     ACKs). Out-of-order arrivals, hole fills and FINs always ACK
+//     immediately, regardless of policy.
+// The defaults are the seed behaviour extracted verbatim;
+// transport_differential_test pins them bit-identical to a frozen copy
+// of the pre-seam implementation.
 //
 // The payload is synthetic: send() appends a byte *count* to the stream;
 // receivers observe in-order byte counts via on_data. Sequence numbers,
@@ -16,12 +29,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "proto/packet.h"
 #include "sim/simulation.h"
 #include "sim/timer.h"
+#include "transport/ack_policy.h"
+#include "transport/congestion.h"
 #include "transport/seq.h"
+#include "transport/tuning.h"
 
 namespace hydra::transport {
 
@@ -39,6 +56,8 @@ struct TcpConfig {
   sim::Duration rto_min = sim::Duration::millis(400);
   sim::Duration rto_max = sim::Duration::seconds(60);
   unsigned max_retries = 12;
+  // Which congestion-control / ACK-policy schemes this connection runs.
+  TransportTuning tuning;
 };
 
 struct TcpStats {
@@ -51,6 +70,10 @@ struct TcpStats {
   std::uint64_t timeouts = 0;
   std::uint64_t dup_acks_seen = 0;
   std::uint64_t out_of_order_segments = 0;
+  // ACKs the policy held back and later covered by a delack firing or a
+  // forced ack-now (0 under the immediate policy).
+  std::uint64_t acks_delayed = 0;
+  std::uint64_t delack_fires = 0;
 };
 
 class TcpConnection {
@@ -95,14 +118,19 @@ class TcpConnection {
 
   // --- introspection -----------------------------------------------------
   State state() const { return state_; }
-  std::uint32_t cwnd() const { return cwnd_; }
-  std::uint32_t ssthresh() const { return ssthresh_; }
+  std::uint32_t cwnd() const { return cc_->cwnd(); }
+  std::uint32_t ssthresh() const { return cc_->ssthresh(); }
   std::uint64_t bytes_in_flight() const { return seq_diff(snd_nxt_, snd_una_); }
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
   const TcpStats& stats() const { return stats_; }
   proto::Endpoint local() const { return local_; }
   proto::Endpoint remote() const { return remote_; }
   sim::Duration current_rto() const { return rto_; }
+  // The scheme instances behind the seams (for stats harvesting and
+  // scheme-specific introspection in tests).
+  const CongestionControl& congestion() const { return *cc_; }
+  const AckPolicy& ack_policy() const { return *ack_policy_; }
+  bool delack_pending() const { return delack_timer_.pending(); }
 
  private:
   // --- sender ---
@@ -116,13 +144,24 @@ class TcpConnection {
   std::uint32_t flight_size() const { return seq_diff(snd_nxt_, snd_una_); }
   std::uint32_t send_limit_seq() const;
   bool all_data_acked() const;
-  void enter_recovery();
   void maybe_send_fin();
+  CcView cc_view() const {
+    return {.mss = config_.mss,
+            .flight_size = flight_size(),
+            .snd_nxt = snd_nxt_,
+            .rtt_valid = rtt_valid_,
+            .srtt = srtt_};
+  }
 
   // --- receiver ---
   void handle_data(const proto::TcpHeader& h, std::uint32_t payload);
   void send_ack();
   void send_control(proto::TcpFlags flags, std::uint32_t seq);
+  // Bookkeeping after any segment carrying a valid ack leaves: the
+  // delack timer is moot and the pending-segment count restarts. A
+  // no-op under the immediate policy (timer never armed, count 0).
+  void ack_emitted();
+  void delack_fired();
 
   sim::Simulation& sim_;
   TcpConfig config_;
@@ -138,8 +177,6 @@ class TcpConnection {
   std::uint32_t snd_una_ = 0;
   std::uint32_t snd_nxt_ = 0;
   std::uint32_t high_water_ = 0;  // highest sequence ever sent
-  std::uint32_t cwnd_ = 0;
-  std::uint32_t ssthresh_ = 0xffffffff;
   std::uint32_t peer_window_ = 0;
   std::uint64_t app_bytes_ = 0;   // total stream bytes the app queued
   bool fin_requested_ = false;
@@ -147,10 +184,8 @@ class TcpConnection {
   bool send_complete_fired_ = false;
   std::uint32_t fin_seq_ = 0;
 
-  // Fast retransmit / NewReno.
-  unsigned dup_acks_ = 0;
-  bool in_recovery_ = false;
-  std::uint32_t recover_ = 0;
+  // Congestion control (owns cwnd/ssthresh/recovery state).
+  std::unique_ptr<CongestionControl> cc_;
 
   // RTT estimation.
   bool rtt_valid_ = false;
@@ -172,6 +207,12 @@ class TcpConnection {
   std::uint32_t peer_fin_seq_ = 0;
   // Out-of-order byte intervals [first, second), sorted, disjoint.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> ooo_;
+
+  // ACK policy (receiver side).
+  std::unique_ptr<AckPolicy> ack_policy_;
+  sim::Timer delack_timer_;
+  // In-order data segments received since the last ACK left.
+  unsigned segs_since_ack_ = 0;
 };
 
 }  // namespace hydra::transport

@@ -1,50 +1,44 @@
-#include "transport/tcp.h"
+// Frozen pre-seam TCP — see seed_tcp.h. The connection logic below is
+// the seed transport/tcp.cc verbatim (modulo the class name and the
+// removal of the HYDRA_TCP_TRACE debug prints); keep it that way.
+#include "support/seed_tcp.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "util/assert.h"
 
-namespace hydra::transport {
+namespace hydra::seedtcp {
 
 namespace {
-// Initial sequence numbers; fixed for reproducible traces.
 constexpr std::uint32_t kClientIss = 10'000;
 }  // namespace
 
-TcpConnection::TcpConnection(sim::Simulation& simulation, TcpConfig config,
-                             proto::Endpoint local, proto::Endpoint remote,
-                             SendPacket send)
+SeedTcpConnection::SeedTcpConnection(sim::Simulation& simulation,
+                                     TcpConfig config, proto::Endpoint local,
+                                     proto::Endpoint remote, SendPacket send)
     : sim_(simulation),
       config_(config),
       local_(local),
       remote_(remote),
       send_packet_(std::move(send)),
-      cc_(make_congestion_control(config.tuning)),
       rto_(config.rto_initial),
-      rto_timer_(simulation.scheduler(), [this] { on_rto(); }),
-      ack_policy_(make_ack_policy(config.tuning)),
-      delack_timer_(simulation.scheduler(), [this] { delack_fired(); }) {
+      rto_timer_(simulation.scheduler(), [this] { on_rto(); }) {
   HYDRA_ASSERT(send_packet_ != nullptr);
-  cc_->init(config_.initial_cwnd_segments * config_.mss);
+  cwnd_ = config_.initial_cwnd_segments * config_.mss;
 }
 
-// -----------------------------------------------------------------------
-// Connection management
-// -----------------------------------------------------------------------
-
-void TcpConnection::connect() {
+void SeedTcpConnection::connect() {
   HYDRA_ASSERT(state_ == State::kClosed);
   iss_ = kClientIss;
   snd_una_ = iss_;
-  snd_nxt_ = iss_ + 1;  // SYN consumes one sequence number
+  snd_nxt_ = iss_ + 1;
   high_water_ = snd_nxt_;
   state_ = State::kSynSent;
   send_control({.syn = true}, iss_);
   arm_rto();
 }
 
-void TcpConnection::accept(const proto::TcpHeader& syn) {
+void SeedTcpConnection::accept(const proto::TcpHeader& syn) {
   HYDRA_ASSERT(state_ == State::kClosed);
   HYDRA_ASSERT(syn.flags.syn);
   irs_ = syn.seq;
@@ -59,21 +53,17 @@ void TcpConnection::accept(const proto::TcpHeader& syn) {
   arm_rto();
 }
 
-void TcpConnection::send(std::uint64_t bytes) {
+void SeedTcpConnection::send(std::uint64_t bytes) {
   app_bytes_ += bytes;
   if (state_ == State::kEstablished) try_transmit();
 }
 
-void TcpConnection::close() {
+void SeedTcpConnection::close() {
   fin_requested_ = true;
   if (state_ == State::kEstablished) try_transmit();
 }
 
-// -----------------------------------------------------------------------
-// Segment input
-// -----------------------------------------------------------------------
-
-void TcpConnection::segment_arrived(const proto::Packet& packet) {
+void SeedTcpConnection::segment_arrived(const proto::Packet& packet) {
   HYDRA_ASSERT(packet.tcp.has_value());
   const auto& h = *packet.tcp;
   ++stats_.segments_received;
@@ -99,7 +89,6 @@ void TcpConnection::segment_arrived(const proto::Packet& packet) {
     }
     case State::kSynReceived: {
       if (h.flags.syn && !h.flags.ack) {
-        // Retransmitted SYN: our SYN-ACK was lost.
         send_control({.syn = true, .ack = true}, iss_);
         arm_rto();
         return;
@@ -115,7 +104,7 @@ void TcpConnection::segment_arrived(const proto::Packet& packet) {
       } else {
         return;
       }
-      break;  // fall through: the establishing segment may carry data
+      break;
     }
     case State::kEstablished:
     case State::kFinSent:
@@ -123,7 +112,7 @@ void TcpConnection::segment_arrived(const proto::Packet& packet) {
       break;
   }
 
-  if (h.flags.syn) return;  // stale handshake duplicate
+  if (h.flags.syn) return;
 
   if (h.flags.ack) handle_ack(h);
   if (packet.payload_bytes > 0) handle_data(h, packet.payload_bytes);
@@ -139,32 +128,28 @@ void TcpConnection::segment_arrived(const proto::Packet& packet) {
       if (state_ == State::kEstablished) state_ = State::kClosedByPeer;
       if (on_peer_fin) on_peer_fin();
     }
-    send_ack();  // a FIN is always acknowledged immediately
+    send_ack();
   }
 }
 
-// -----------------------------------------------------------------------
-// Sender
-// -----------------------------------------------------------------------
-
-std::uint32_t TcpConnection::send_limit_seq() const {
+std::uint32_t SeedTcpConnection::send_limit_seq() const {
   const std::uint32_t window =
-      std::min(cc_->cwnd(), peer_window_ == 0 ? config_.mss : peer_window_);
+      std::min(cwnd_, peer_window_ == 0 ? config_.mss : peer_window_);
   return snd_una_ + window;
 }
 
-bool TcpConnection::all_data_acked() const {
+bool SeedTcpConnection::all_data_acked() const {
   return snd_una_ == snd_nxt_;
 }
 
-void TcpConnection::try_transmit() {
+void SeedTcpConnection::try_transmit() {
   if (state_ != State::kEstablished && state_ != State::kFinSent &&
       state_ != State::kClosedByPeer) {
     return;
   }
   while (true) {
     const std::uint64_t offset = seq_diff(snd_nxt_, iss_ + 1);
-    if (offset >= app_bytes_) break;  // nothing left to send
+    if (offset >= app_bytes_) break;
     const std::uint64_t available = app_bytes_ - offset;
     const std::uint32_t limit = send_limit_seq();
     if (!seq_lt(snd_nxt_, limit)) break;
@@ -172,12 +157,7 @@ void TcpConnection::try_transmit() {
     const std::uint32_t len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
         {config_.mss, available, window_room}));
     if (len == 0) break;
-    // Sender-side silly-window avoidance: never emit a sub-MSS segment
-    // unless it is the final piece of the stream — a window-clipped
-    // partial would misalign every subsequent segment boundary.
     if (len < config_.mss && len < available) break;
-    // Segments below the high-water mark are go-back-N retransmissions
-    // (Karn's rule: never RTT-time them).
     const bool is_retx = seq_lt(snd_nxt_, high_water_);
     emit_segment(snd_nxt_, len, is_retx);
     snd_nxt_ += len;
@@ -186,38 +166,29 @@ void TcpConnection::try_transmit() {
   maybe_send_fin();
 }
 
-void TcpConnection::emit_segment(std::uint32_t seq, std::uint32_t len,
-                                 bool is_retransmit) {
+void SeedTcpConnection::emit_segment(std::uint32_t seq, std::uint32_t len,
+                                     bool is_retransmit) {
   auto pkt = proto::make_tcp_packet(local_.address, remote_.address, local_.port,
                                   remote_.port, seq, rcv_nxt_, {.ack = true},
                                   static_cast<std::uint16_t>(config_.recv_window),
                                   len);
   ++stats_.segments_sent;
-  static const bool kTrace = getenv("HYDRA_TCP_TRACE") != nullptr;
-  if (kTrace) {
-    std::fprintf(stderr, "[%.4f] emit seq=%u len=%u retx=%d una=%u nxt=%u hw=%u cwnd=%u\n",
-                 sim_.now().seconds_f(), seq - iss_, len, (int)is_retransmit,
-                 snd_una_ - iss_, snd_nxt_ - iss_, high_water_ - iss_,
-                 cc_->cwnd());
-  }
   if (is_retransmit) {
     ++stats_.retransmits;
-    // Karn's rule: never time a retransmitted segment.
     if (timing_segment_ && seq_leq(seq, timed_seq_)) timing_segment_ = false;
   } else if (!timing_segment_) {
     timing_segment_ = true;
-    timed_seq_ = seq + len;  // sample when cumulative ACK covers the end
+    timed_seq_ = seq + len;
     timed_sent_at_ = sim_.now();
   }
   if (!rto_timer_.pending()) arm_rto();
-  ack_emitted();  // data segments carry (piggyback) the cumulative ACK
   send_packet_(std::move(pkt));
 }
 
-void TcpConnection::maybe_send_fin() {
+void SeedTcpConnection::maybe_send_fin() {
   if (!fin_requested_ || fin_sent_) return;
   const std::uint64_t offset = seq_diff(snd_nxt_, iss_ + 1);
-  if (offset < app_bytes_) return;  // data still unsent
+  if (offset < app_bytes_) return;
   fin_seq_ = snd_nxt_;
   fin_sent_ = true;
   state_ = State::kFinSent;
@@ -227,7 +198,7 @@ void TcpConnection::maybe_send_fin() {
   arm_rto();
 }
 
-void TcpConnection::retransmit_front() {
+void SeedTcpConnection::retransmit_front() {
   const std::uint64_t offset = seq_diff(snd_una_, iss_ + 1);
   if (offset < app_bytes_) {
     const std::uint64_t available = app_bytes_ - offset;
@@ -241,16 +212,8 @@ void TcpConnection::retransmit_front() {
   }
 }
 
-void TcpConnection::handle_ack(const proto::TcpHeader& h) {
-  static const bool kTrace = getenv("HYDRA_TCP_TRACE") != nullptr;
-  if (kTrace) {
-    std::fprintf(stderr, "[%.4f] peer=%u rx-ack ack=%u una=%u nxt=%u\n",
-                 sim_.now().seconds_f(), remote_.address.value() & 0xff, h.ack, snd_una_, snd_nxt_);
-  }
-  // Bound against the highest sequence ever transmitted, not snd_nxt:
-  // during a go-back-N replay snd_nxt sits below data the receiver may
-  // already hold, and its cumulative ACKs are entirely legitimate.
-  if (seq_gt(h.ack, high_water_)) return;  // acks data we never sent
+void SeedTcpConnection::handle_ack(const proto::TcpHeader& h) {
+  if (seq_gt(h.ack, high_water_)) return;
 
   if (seq_gt(h.ack, snd_una_)) {
     const std::uint32_t newly = seq_diff(h.ack, snd_una_);
@@ -258,9 +221,6 @@ void TcpConnection::handle_ack(const proto::TcpHeader& h) {
     snd_una_ = h.ack;
     peer_window_ = h.window;
     consecutive_timeouts_ = 0;
-    // During a go-back-N replay a cumulative ACK can overtake snd_nxt
-    // (the receiver already had the replayed bytes — only their ACKs were
-    // lost). Never resend below snd_una.
     if (seq_lt(snd_nxt_, snd_una_)) snd_nxt_ = snd_una_;
 
     if (timing_segment_ && seq_geq(h.ack, timed_seq_)) {
@@ -268,9 +228,26 @@ void TcpConnection::handle_ack(const proto::TcpHeader& h) {
       update_rtt(sim_.now() - timed_sent_at_);
     }
 
-    // The scheme grows/deflates the window; a true return asks for the
-    // NewReno partial-ACK hole fill.
-    if (cc_->on_ack(h.ack, newly, cc_view())) retransmit_front();
+    if (in_recovery_) {
+      if (seq_geq(h.ack, recover_)) {
+        in_recovery_ = false;
+        dup_acks_ = 0;
+        cwnd_ = std::max(ssthresh_, config_.mss);
+      } else {
+        retransmit_front();
+        cwnd_ = std::max(config_.mss, cwnd_ - std::min(cwnd_, newly) +
+                                          config_.mss);
+      }
+    } else {
+      dup_acks_ = 0;
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += config_.mss;
+      } else {
+        cwnd_ += std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(
+                   std::uint64_t{config_.mss} * config_.mss / cwnd_));
+      }
+    }
 
     if (all_data_acked()) {
       rto_timer_.cancel();
@@ -283,34 +260,38 @@ void TcpConnection::handle_ack(const proto::TcpHeader& h) {
         if (on_send_complete) on_send_complete();
       }
     } else {
-      arm_rto();  // restart for the remaining flight
+      arm_rto();
     }
     try_transmit();
     return;
   }
 
-  // Possible duplicate ACK: pure, no payload, for the front of the flight.
   if (h.ack == snd_una_ && flight_size() > 0) {
+    ++dup_acks_;
     ++stats_.dup_acks_seen;
-    switch (cc_->on_dup_ack(cc_view())) {
-      case CongestionControl::DupAckAction::kFastRetransmit:
-        ++stats_.fast_retransmits;
-        retransmit_front();
-        break;
-      case CongestionControl::DupAckAction::kSendMore:
-        try_transmit();
-        break;
-      case CongestionControl::DupAckAction::kNone:
-        break;
+    if (!in_recovery_ && dup_acks_ == 3) {
+      enter_recovery();
+    } else if (in_recovery_) {
+      cwnd_ += config_.mss;
+      try_transmit();
     }
   }
 }
 
-void TcpConnection::on_rto() {
+void SeedTcpConnection::enter_recovery() {
+  ssthresh_ = std::max(flight_size() / 2, 2 * config_.mss);
+  recover_ = snd_nxt_;
+  in_recovery_ = true;
+  cwnd_ = ssthresh_ + 3 * config_.mss;
+  ++stats_.fast_retransmits;
+  retransmit_front();
+}
+
+void SeedTcpConnection::on_rto() {
   ++stats_.timeouts;
   ++consecutive_timeouts_;
   if (consecutive_timeouts_ > config_.max_retries) {
-    state_ = State::kClosed;  // give up
+    state_ = State::kClosed;
     return;
   }
   rto_ = std::min(rto_ * 2, config_.rto_max);
@@ -327,15 +308,13 @@ void TcpConnection::on_rto() {
     case State::kEstablished:
     case State::kFinSent:
     case State::kClosedByPeer: {
-      // The view must capture the flight *before* the go-back-N rewind —
-      // ssthresh halves against what was actually outstanding.
-      cc_->on_rto(cc_view());
+      ssthresh_ = std::max(flight_size() / 2, 2 * config_.mss);
+      cwnd_ = config_.mss;
+      in_recovery_ = false;
+      dup_acks_ = 0;
       timing_segment_ = false;
-      // Go-back-N: without SACK, everything past the timeout hole must be
-      // presumed lost; pull snd_nxt back so the normal send path (clocked
-      // by returning cumulative ACKs in slow start) re-covers the gap.
       snd_nxt_ = snd_una_;
-      if (fin_sent_) fin_sent_ = false;  // FIN re-emitted after the data
+      if (fin_sent_) fin_sent_ = false;
       try_transmit();
       break;
     }
@@ -345,12 +324,11 @@ void TcpConnection::on_rto() {
   arm_rto();
 }
 
-void TcpConnection::arm_rto() {
+void SeedTcpConnection::arm_rto() {
   rto_timer_.arm(std::clamp(rto_, config_.rto_min, config_.rto_max));
 }
 
-void TcpConnection::update_rtt(sim::Duration sample) {
-  // RFC 6298.
+void SeedTcpConnection::update_rtt(sim::Duration sample) {
   if (!rtt_valid_) {
     rtt_valid_ = true;
     srtt_ = sample;
@@ -361,33 +339,20 @@ void TcpConnection::update_rtt(sim::Duration sample) {
     srtt_ = (7 * srtt_ + sample) / 8;
   }
   rto_ = std::clamp(srtt_ + 4 * rttvar_, config_.rto_min, config_.rto_max);
-  cc_->on_rtt_sample(sample, cc_view());
 }
 
-// -----------------------------------------------------------------------
-// Receiver
-// -----------------------------------------------------------------------
-
-void TcpConnection::handle_data(const proto::TcpHeader& h,
-                                std::uint32_t payload) {
+void SeedTcpConnection::handle_data(const proto::TcpHeader& h,
+                                    std::uint32_t payload) {
   const std::uint32_t end = h.seq + payload;
-  static const bool kTrace = getenv("HYDRA_TCP_TRACE") != nullptr;
-  if (kTrace) {
-    std::fprintf(stderr, "[%.4f] peer=%u rx-data seq=%u end=%u rcv_nxt=%u\n",
-                 sim_.now().seconds_f(), remote_.address.value() & 0xff, h.seq, end, rcv_nxt_);
-  }
   if (seq_leq(end, rcv_nxt_)) {
-    send_ack();  // stale retransmission: duplicate ACK, never delayed
+    send_ack();
     return;
   }
   if (seq_gt(h.seq, rcv_nxt_)) {
-    // Out of order: stash the interval and emit a duplicate ACK
-    // immediately — the sender's fast retransmit depends on it.
     ++stats_.out_of_order_segments;
     auto it = ooo_.begin();
     while (it != ooo_.end() && seq_lt(it->first, h.seq)) ++it;
     ooo_.insert(it, {h.seq, end});
-    // Merge overlapping neighbours.
     for (std::size_t i = 0; i + 1 < ooo_.size();) {
       if (seq_geq(ooo_[i].second, ooo_[i + 1].first)) {
         ooo_[i].second = seq_gt(ooo_[i].second, ooo_[i + 1].second)
@@ -402,8 +367,6 @@ void TcpConnection::handle_data(const proto::TcpHeader& h,
     return;
   }
 
-  // In order (possibly overlapping the left edge).
-  const bool had_ooo = !ooo_.empty();
   const std::uint32_t before = rcv_nxt_;
   rcv_nxt_ = end;
   while (!ooo_.empty() && seq_leq(ooo_.front().first, rcv_nxt_)) {
@@ -412,7 +375,6 @@ void TcpConnection::handle_data(const proto::TcpHeader& h,
     }
     ooo_.erase(ooo_.begin());
   }
-  const bool filled_hole = had_ooo && ooo_.empty();
   const std::uint32_t delivered = seq_diff(rcv_nxt_, before);
   delivered_bytes_ += delivered;
   if (on_data) on_data(delivered);
@@ -421,51 +383,99 @@ void TcpConnection::handle_data(const proto::TcpHeader& h,
     ++rcv_nxt_;
     if (state_ == State::kEstablished) state_ = State::kClosedByPeer;
     if (on_peer_fin) on_peer_fin();
-    send_ack();  // FIN consumed: always ack-now
-    return;
   }
-  if (filled_hole) {
-    send_ack();  // reassembly completed: ack-now per RFC 5681
-    return;
-  }
-  ++segs_since_ack_;
-  if (ack_policy_->on_in_order_data(sim_.now(), segs_since_ack_) ==
-      AckPolicy::Decision::kAckNow) {
-    send_ack();
-  } else {
-    ++stats_.acks_delayed;
-    if (!delack_timer_.pending()) delack_timer_.arm(ack_policy_->delay());
-  }
+  send_ack();
 }
 
-void TcpConnection::send_ack() {
+void SeedTcpConnection::send_ack() {
   ++stats_.acks_sent;
   auto pkt = proto::make_tcp_packet(
       local_.address, remote_.address, local_.port, remote_.port, snd_nxt_,
       rcv_nxt_, {.ack = true},
       static_cast<std::uint16_t>(config_.recv_window), 0);
-  ack_emitted();
   send_packet_(std::move(pkt));
 }
 
-void TcpConnection::send_control(proto::TcpFlags flags, std::uint32_t seq) {
+void SeedTcpConnection::send_control(proto::TcpFlags flags, std::uint32_t seq) {
   auto pkt = proto::make_tcp_packet(
       local_.address, remote_.address, local_.port, remote_.port, seq,
       flags.ack ? rcv_nxt_ : 0, flags,
       static_cast<std::uint16_t>(config_.recv_window), 0);
   ++stats_.segments_sent;
-  if (flags.ack) ack_emitted();
   send_packet_(std::move(pkt));
 }
 
-void TcpConnection::ack_emitted() {
-  segs_since_ack_ = 0;
-  delack_timer_.cancel();
+// ---------------------------------------------------------------------
+// SeedMux
+// ---------------------------------------------------------------------
+
+SeedTcpConnection& SeedMux::create_connection(proto::Port local_port,
+                                              proto::Endpoint remote,
+                                              const TcpConfig& config) {
+  auto conn = std::make_unique<SeedTcpConnection>(
+      sim_, config, proto::Endpoint{local_ip_, local_port}, remote,
+      [this](proto::PacketPtr pkt) { send_packet(std::move(pkt)); });
+  auto& ref = *conn;
+  const auto [it, inserted] =
+      connections_.emplace(ConnKey{local_port, remote}, std::move(conn));
+  HYDRA_ASSERT_MSG(inserted, "duplicate tcp connection");
+  (void)it;
+  return ref;
 }
 
-void TcpConnection::delack_fired() {
-  ++stats_.delack_fires;
-  send_ack();
+SeedTcpConnection& SeedMux::tcp_connect(proto::Endpoint remote,
+                                        TcpConfig config) {
+  const auto port = next_ephemeral_++;
+  auto& conn = create_connection(port, remote, config);
+  conn.connect();
+  return conn;
 }
 
-}  // namespace hydra::transport
+void SeedMux::tcp_listen(proto::Port port, TcpConfig config,
+                         std::function<void(SeedTcpConnection&)> on_accept) {
+  HYDRA_ASSERT_MSG(!listeners_.contains(port), "port already listening");
+  listeners_.emplace(port, Listener{config, std::move(on_accept)});
+}
+
+void SeedMux::deliver(const proto::PacketPtr& packet) {
+  HYDRA_ASSERT(packet != nullptr);
+  if (!packet->tcp) {
+    ++unmatched_;
+    return;
+  }
+  const auto& h = *packet->tcp;
+  const ConnKey key{h.dst_port, {packet->ip.src, h.src_port}};
+  if (const auto it = connections_.find(key); it != connections_.end()) {
+    it->second->segment_arrived(*packet);
+    return;
+  }
+  if (h.flags.syn && !h.flags.ack) {
+    if (const auto lit = listeners_.find(h.dst_port); lit != listeners_.end()) {
+      auto& conn = create_connection(h.dst_port, key.remote,
+                                     lit->second.config);
+      conn.accept(h);
+      if (lit->second.on_accept) lit->second.on_accept(conn);
+      return;
+    }
+  }
+  ++unmatched_;
+}
+
+SeedMux& seed_mux_of(net::Node& node) {
+  return node.attachment<SeedMux>([&node] {
+    auto mux = std::make_unique<SeedMux>(node.simulation(), node.ip());
+    auto& stack = node.stack();
+    mux->send_packet = [&stack](proto::PacketPtr packet) {
+      stack.send(std::move(packet));
+    };
+    stack.deliver_local = [mux = mux.get(),
+                           prev = std::move(stack.deliver_local)](
+                              const proto::PacketPtr& packet) {
+      mux->deliver(packet);
+      if (prev) prev(packet);
+    };
+    return mux;
+  });
+}
+
+}  // namespace hydra::seedtcp

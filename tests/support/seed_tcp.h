@@ -1,0 +1,187 @@
+// A verbatim freeze of the pre-seam TCP implementation (the monolithic
+// transport::TcpConnection before congestion control and ACK policy
+// became pluggable), kept as the reference side of
+// transport_differential_test. The refactor's safety contract — the
+// pluggable default (NewReno + immediate ACK) is bit-identical to the
+// seed — is only checkable against the seed itself, so it lives on here
+// under its own namespace, wired through a SeedMux that mirrors
+// transport::TransportMux's packet paths exactly.
+//
+// Do not "improve" this code: any change breaks the reference. It
+// accepts the current transport::TcpConfig for drop-in harness reuse
+// and simply ignores the tuning field (the seed had exactly one
+// scheme).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/node.h"
+#include "proto/packet.h"
+#include "sim/simulation.h"
+#include "sim/timer.h"
+#include "transport/seq.h"
+#include "transport/tcp.h"
+
+namespace hydra::seedtcp {
+
+using transport::TcpConfig;
+using transport::TcpStats;
+using transport::seq_diff;
+using transport::seq_geq;
+using transport::seq_gt;
+using transport::seq_leq;
+using transport::seq_lt;
+
+class SeedTcpConnection {
+ public:
+  enum class State {
+    kClosed,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinSent,
+    kClosedByPeer,
+  };
+
+  using SendPacket = std::function<void(proto::PacketPtr)>;
+
+  SeedTcpConnection(sim::Simulation& simulation, TcpConfig config,
+                    proto::Endpoint local, proto::Endpoint remote,
+                    SendPacket send);
+
+  SeedTcpConnection(const SeedTcpConnection&) = delete;
+  SeedTcpConnection& operator=(const SeedTcpConnection&) = delete;
+
+  void connect();
+  void accept(const proto::TcpHeader& syn);
+
+  void send(std::uint64_t bytes);
+  void close();
+
+  void segment_arrived(const proto::Packet& packet);
+
+  std::function<void()> on_established;
+  std::function<void(std::uint64_t bytes)> on_data;
+  std::function<void()> on_send_complete;
+  std::function<void()> on_peer_fin;
+
+  State state() const { return state_; }
+  std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  const TcpStats& stats() const { return stats_; }
+
+ private:
+  void try_transmit();
+  void emit_segment(std::uint32_t seq, std::uint32_t len, bool is_retransmit);
+  void retransmit_front();
+  void handle_ack(const proto::TcpHeader& h);
+  void on_rto();
+  void arm_rto();
+  void update_rtt(sim::Duration sample);
+  std::uint32_t flight_size() const { return seq_diff(snd_nxt_, snd_una_); }
+  std::uint32_t send_limit_seq() const;
+  bool all_data_acked() const;
+  void enter_recovery();
+  void maybe_send_fin();
+
+  void handle_data(const proto::TcpHeader& h, std::uint32_t payload);
+  void send_ack();
+  void send_control(proto::TcpFlags flags, std::uint32_t seq);
+
+  sim::Simulation& sim_;
+  TcpConfig config_;
+  proto::Endpoint local_;
+  proto::Endpoint remote_;
+  SendPacket send_packet_;
+  TcpStats stats_;
+
+  State state_ = State::kClosed;
+
+  std::uint32_t iss_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t high_water_ = 0;
+  std::uint32_t cwnd_ = 0;
+  std::uint32_t ssthresh_ = 0xffffffff;
+  std::uint32_t peer_window_ = 0;
+  std::uint64_t app_bytes_ = 0;
+  bool fin_requested_ = false;
+  bool fin_sent_ = false;
+  bool send_complete_fired_ = false;
+  std::uint32_t fin_seq_ = 0;
+
+  unsigned dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint32_t recover_ = 0;
+
+  bool rtt_valid_ = false;
+  sim::Duration srtt_;
+  sim::Duration rttvar_;
+  sim::Duration rto_;
+  bool timing_segment_ = false;
+  std::uint32_t timed_seq_ = 0;
+  sim::TimePoint timed_sent_at_;
+  unsigned consecutive_timeouts_ = 0;
+
+  sim::Timer rto_timer_;
+
+  std::uint32_t irs_ = 0;
+  std::uint32_t rcv_nxt_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  bool peer_fin_seen_ = false;
+  std::uint32_t peer_fin_seq_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ooo_;
+};
+
+// TCP-only mirror of transport::TransportMux: same ephemeral port base,
+// same connection keying, same listener dispatch, driving
+// SeedTcpConnection instead.
+class SeedMux {
+ public:
+  SeedMux(sim::Simulation& simulation, proto::Ipv4Address local_ip)
+      : sim_(simulation), local_ip_(local_ip) {}
+
+  SeedMux(const SeedMux&) = delete;
+  SeedMux& operator=(const SeedMux&) = delete;
+
+  std::function<void(proto::PacketPtr)> send_packet;
+
+  void deliver(const proto::PacketPtr& packet);
+
+  SeedTcpConnection& tcp_connect(proto::Endpoint remote, TcpConfig config = {});
+  void tcp_listen(proto::Port port, TcpConfig config,
+                  std::function<void(SeedTcpConnection&)> on_accept);
+
+ private:
+  struct ConnKey {
+    proto::Port local_port;
+    proto::Endpoint remote;
+    friend auto operator<=>(const ConnKey&, const ConnKey&) = default;
+  };
+  struct Listener {
+    TcpConfig config;
+    std::function<void(SeedTcpConnection&)> on_accept;
+  };
+
+  SeedTcpConnection& create_connection(proto::Port local_port,
+                                       proto::Endpoint remote,
+                                       const TcpConfig& config);
+
+  sim::Simulation& sim_;
+  proto::Ipv4Address local_ip_;
+  std::map<ConnKey, std::unique_ptr<SeedTcpConnection>> connections_;
+  std::map<proto::Port, Listener> listeners_;
+  proto::Port next_ephemeral_ = 49152;
+  std::uint64_t unmatched_ = 0;
+};
+
+// attachment<SeedMux> accessor mirroring transport::mux_of's wiring
+// (send into the node's IP stack, deliver_local chained).
+SeedMux& seed_mux_of(net::Node& node);
+
+}  // namespace hydra::seedtcp

@@ -213,5 +213,157 @@ TEST(TcpEdge, ZeroWindowPeerStallsSender) {
   EXPECT_LE(data_segments, 1u);
 }
 
+// ---------------------------------------------------------------------
+// Delayed-ACK edges. A hand-fed server (the ReceiverMerges pattern)
+// makes the ack-now/delay decisions directly observable: acks_sent
+// moves only when an ACK actually left, delack_pending() exposes the
+// timer.
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Server in kSynReceived with a delayed/adaptive ACK policy, plus a
+// segment factory acknowledging its SYN-ACK (ISS 20000).
+struct DelAckServer {
+  sim::Simulation sim{1};
+  std::vector<proto::PacketPtr> out;
+  TcpConnection conn;
+
+  explicit DelAckServer(TcpConfig cfg)
+      : conn(sim, cfg, {kIpB, 5001}, {kIpA, 40000},
+             [this](proto::PacketPtr p) { out.push_back(std::move(p)); }) {
+    proto::TcpHeader syn;
+    syn.src_port = 40000;
+    syn.dst_port = 5001;
+    syn.seq = 1000;
+    syn.flags = {.syn = true};
+    syn.window = 65000;
+    conn.accept(syn);
+  }
+
+  proto::PacketPtr seg(std::uint32_t index) const {
+    return proto::make_tcp_packet(kIpA, kIpB, 40000, 5001,
+                                1001 + index * 100, 20'001, {.ack = true},
+                                65000, 100);
+  }
+};
+
+TcpConfig delayed_cfg() {
+  TcpConfig cfg;
+  cfg.tuning.ack = AckScheme::kDelayed;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(TcpEdge, DelayedAckHoldsInOrderDataButAcksOutOfOrderNow) {
+  DelAckServer server(delayed_cfg());
+  server.conn.segment_arrived(*server.seg(0));  // in order: held
+  EXPECT_EQ(server.conn.stats().acks_sent, 0u);
+  EXPECT_EQ(server.conn.stats().acks_delayed, 1u);
+  EXPECT_TRUE(server.conn.delack_pending());
+
+  // Out-of-order arrival: the duplicate ACK the sender's fast
+  // retransmit depends on must leave immediately, policy or not, and
+  // it covers (cancels) the pending delack.
+  server.conn.segment_arrived(*server.seg(2));
+  EXPECT_EQ(server.conn.stats().acks_sent, 1u);
+  EXPECT_FALSE(server.conn.delack_pending());
+}
+
+TEST(TcpEdge, DelayedAckStretchCapForcesAckAtBoundary) {
+  DelAckServer server(delayed_cfg());  // max_pending_segments = 2
+  server.conn.segment_arrived(*server.seg(0));
+  EXPECT_EQ(server.conn.stats().acks_sent, 0u);
+  EXPECT_TRUE(server.conn.delack_pending());
+  // Second in-order segment hits the stretch cap: ack-now.
+  server.conn.segment_arrived(*server.seg(1));
+  EXPECT_EQ(server.conn.stats().acks_sent, 1u);
+  EXPECT_FALSE(server.conn.delack_pending());
+  // And the held+forced pair counts one delayed decision, one forced.
+  EXPECT_EQ(server.conn.stats().acks_delayed, 1u);
+  // The cycle restarts cleanly for the next segment.
+  server.conn.segment_arrived(*server.seg(2));
+  EXPECT_EQ(server.conn.stats().acks_sent, 1u);
+  EXPECT_TRUE(server.conn.delack_pending());
+}
+
+TEST(TcpEdge, FinArrivingWhileDelackPendingAcksImmediately) {
+  DelAckServer server(delayed_cfg());
+  server.conn.segment_arrived(*server.seg(0));
+  ASSERT_TRUE(server.conn.delack_pending());
+
+  // FIN right after the held segment: consumed, acknowledged now, and
+  // the obsolete delack timer is gone.
+  auto fin = proto::make_tcp_packet(kIpA, kIpB, 40000, 5001, 1101, 20'001,
+                                  {.ack = true, .fin = true}, 65000, 0);
+  server.conn.segment_arrived(*fin);
+  EXPECT_EQ(server.conn.state(), TcpConnection::State::kClosedByPeer);
+  EXPECT_EQ(server.conn.stats().acks_sent, 1u);
+  EXPECT_FALSE(server.conn.delack_pending());
+}
+
+TEST(TcpEdge, DelackTimerCancelledOnConnectionDestruction) {
+  // A connection destroyed with a delack pending must take the timer
+  // with it; were the firing to outlive the connection, the callback
+  // would touch freed memory (ASan turns that into a hard failure —
+  // this suite rides the sanitizer CI slices).
+  sim::Simulation sim(1);
+  std::vector<proto::PacketPtr> out;
+  TcpConfig cfg;
+  cfg.tuning.ack = AckScheme::kAdaptive;
+  {
+    TcpConnection conn(sim, cfg, {kIpB, 5001}, {kIpA, 40000},
+                       [&](proto::PacketPtr p) { out.push_back(std::move(p)); });
+    proto::TcpHeader syn;
+    syn.src_port = 40000;
+    syn.dst_port = 5001;
+    syn.seq = 1000;
+    syn.flags = {.syn = true};
+    syn.window = 65000;
+    conn.accept(syn);
+    conn.segment_arrived(*proto::make_tcp_packet(kIpA, kIpB, 40000, 5001, 1001,
+                                               20'001, {.ack = true}, 65000,
+                                               100));
+    ASSERT_TRUE(conn.delack_pending());
+  }  // destroyed with the timer armed
+  sim.run_for(sim::Duration::seconds(2));  // past any delack deadline
+}
+
+TEST(TcpEdge, KarnRuleAndRtoSurviveDelayedAcks) {
+  // Delayed ACKs stretch the measured RTT but must never (a) fire the
+  // sender's RTO spuriously — the delack deadline sits below rto_min by
+  // construction — or (b) leak an RTT sample from a retransmitted
+  // segment (Karn's rule) that would wreck the estimator.
+  TcpConfig cfg;
+  cfg.tuning.ack = AckScheme::kDelayed;
+  InspectedPipe pipe;
+  std::uint64_t received = 0;
+  pipe.b.tcp_listen(5001, cfg, [&](TcpConnection& c) {
+    c.on_data = [&](std::uint64_t n) { received += n; };
+  });
+  auto& client = pipe.a.tcp_connect({kIpB, 5001}, cfg);
+  // Drop one mid-stream data segment: the receiver's immediate dup ACKs
+  // (out-of-order path) drive a fast retransmit under the delayed
+  // policy.
+  int data_seen = 0;
+  pipe.drop_a_to_b = [&](const proto::Packet& p) {
+    if (p.payload_bytes == 0) return false;
+    return ++data_seen == 5;
+  };
+  client.send(30 * 1357);
+  pipe.sim.run_for(sim::Duration::seconds(30));
+
+  EXPECT_EQ(received, 30u * 1357);
+  EXPECT_GE(client.stats().retransmits, 1u);
+  // No spurious RTO: every held ACK arrived well inside the 400 ms
+  // floor.
+  EXPECT_EQ(client.stats().timeouts, 0u);
+  // Karn held: no retransmitted segment fed the estimator, so post-
+  // recovery samples (10 ms pipe + ≤100 ms delack) keep the RTO clamped
+  // at its floor rather than inflated by a bogus mega-sample.
+  EXPECT_EQ(client.current_rto(), cfg.rto_min);
+}
+
 }  // namespace
 }  // namespace hydra::transport
